@@ -1,0 +1,251 @@
+//! Alignment representation: the operation list recovered by traceback,
+//! plus pretty-printing in the style of the paper's Figure 1.
+
+use oasis_bioseq::Alphabet;
+
+use crate::score::Score;
+
+/// One local-alignment operation (§2.1): every operation is a generalized
+/// replacement `x -> y`, where insertions are `x -> -` and deletions are
+/// `- -> y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Replace a query residue with a target residue (match or mismatch).
+    Replace,
+    /// Skip a symbol in the query (`q -> -`): the paper's *insertion*.
+    Insert,
+    /// Skip a symbol in the target (`- -> t`): the paper's *deletion*.
+    Delete,
+}
+
+/// A fully resolved local alignment between a query and a target window.
+///
+/// Ranges are half-open over the respective coordinate spaces. `ops` walk
+/// from `(q_start, t_start)` to `(q_end, t_end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Total alignment score.
+    pub score: Score,
+    /// First aligned query position.
+    pub q_start: usize,
+    /// One past the last aligned query position.
+    pub q_end: usize,
+    /// First aligned target position.
+    pub t_start: usize,
+    /// One past the last aligned target position.
+    pub t_end: usize,
+    /// The operations, in left-to-right order.
+    pub ops: Vec<AlignOp>,
+}
+
+impl Alignment {
+    /// Number of operations (columns in the printed alignment).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the alignment has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of `(replace, insert, delete)` operations.
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut r = 0;
+        let mut i = 0;
+        let mut d = 0;
+        for op in &self.ops {
+            match op {
+                AlignOp::Replace => r += 1,
+                AlignOp::Insert => i += 1,
+                AlignOp::Delete => d += 1,
+            }
+        }
+        (r, i, d)
+    }
+
+    /// Check internal consistency: the ops must consume exactly the residues
+    /// in the two ranges.
+    pub fn is_consistent(&self) -> bool {
+        let (r, i, d) = self.op_counts();
+        r + i == self.q_end - self.q_start && r + d == self.t_end - self.t_start
+    }
+
+    /// Fraction of `Replace` columns where query and target residues are
+    /// identical.
+    pub fn identity(&self, query: &[u8], target: &[u8]) -> f64 {
+        let mut qi = self.q_start;
+        let mut ti = self.t_start;
+        let mut replaces = 0usize;
+        let mut identical = 0usize;
+        for op in &self.ops {
+            match op {
+                AlignOp::Replace => {
+                    replaces += 1;
+                    if query[qi] == target[ti] {
+                        identical += 1;
+                    }
+                    qi += 1;
+                    ti += 1;
+                }
+                AlignOp::Insert => qi += 1,
+                AlignOp::Delete => ti += 1,
+            }
+        }
+        if replaces == 0 {
+            0.0
+        } else {
+            identical as f64 / replaces as f64
+        }
+    }
+
+    /// A compact CIGAR-style string: `R` replace, `I` insert (query gap in
+    /// target), `D` delete, run-length encoded (`4R1D3R`).
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut iter = self.ops.iter().peekable();
+        while let Some(op) = iter.next() {
+            let mut run = 1usize;
+            while iter.peek() == Some(&op) {
+                iter.next();
+                run += 1;
+            }
+            let ch = match op {
+                AlignOp::Replace => 'R',
+                AlignOp::Insert => 'I',
+                AlignOp::Delete => 'D',
+            };
+            out.push_str(&run.to_string());
+            out.push(ch);
+        }
+        out
+    }
+
+    /// Render a three-line alignment like the paper's Figure 1:
+    ///
+    /// ```text
+    /// Q: TAC-G
+    ///    ||| |
+    /// T: TACCG
+    /// ```
+    ///
+    /// `|` marks identities, `.` marks substitutions, spaces mark gaps.
+    pub fn render(&self, query: &[u8], target: &[u8], alphabet: &Alphabet) -> String {
+        let mut top = String::from("Q: ");
+        let mut mid = String::from("   ");
+        let mut bot = String::from("T: ");
+        let mut qi = self.q_start;
+        let mut ti = self.t_start;
+        for op in &self.ops {
+            match op {
+                AlignOp::Replace => {
+                    top.push(alphabet.decode(query[qi]));
+                    bot.push(alphabet.decode(target[ti]));
+                    mid.push(if query[qi] == target[ti] { '|' } else { '.' });
+                    qi += 1;
+                    ti += 1;
+                }
+                AlignOp::Insert => {
+                    top.push(alphabet.decode(query[qi]));
+                    bot.push('-');
+                    mid.push(' ');
+                    qi += 1;
+                }
+                AlignOp::Delete => {
+                    top.push('-');
+                    bot.push(alphabet.decode(target[ti]));
+                    mid.push(' ');
+                    ti += 1;
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_bioseq::Alphabet;
+
+    fn sample() -> Alignment {
+        // Q: TAC-G  vs  T: TACCG
+        Alignment {
+            score: 3,
+            q_start: 0,
+            q_end: 4,
+            t_start: 0,
+            t_end: 5,
+            ops: vec![
+                AlignOp::Replace,
+                AlignOp::Replace,
+                AlignOp::Replace,
+                AlignOp::Delete,
+                AlignOp::Replace,
+            ],
+        }
+    }
+
+    #[test]
+    fn op_counts_and_consistency() {
+        let a = sample();
+        assert_eq!(a.op_counts(), (4, 0, 1));
+        assert!(a.is_consistent());
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_detected() {
+        let mut a = sample();
+        a.q_end = 5; // ops no longer consume the range
+        assert!(!a.is_consistent());
+    }
+
+    #[test]
+    fn cigar_run_length() {
+        let a = sample();
+        assert_eq!(a.cigar(), "3R1D1R");
+    }
+
+    #[test]
+    fn identity_fraction() {
+        let alpha = Alphabet::dna();
+        let q = alpha.encode_str("TACG").unwrap();
+        let t = alpha.encode_str("TACCG").unwrap();
+        let a = sample();
+        assert!((a.identity(&q, &t) - 1.0).abs() < 1e-12);
+
+        let t2 = alpha.encode_str("TGCCG").unwrap();
+        assert!((a.identity(&q, &t2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_figure1_style() {
+        let alpha = Alphabet::dna();
+        let q = alpha.encode_str("TACG").unwrap();
+        let t = alpha.encode_str("TACCG").unwrap();
+        let text = sample().render(&q, &t, &alpha);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Q: TAC-G");
+        assert_eq!(lines[1], "   ||| |");
+        assert_eq!(lines[2], "T: TACCG");
+    }
+
+    #[test]
+    fn render_marks_mismatches() {
+        let alpha = Alphabet::dna();
+        let q = alpha.encode_str("TA").unwrap();
+        let t = alpha.encode_str("TG").unwrap();
+        let a = Alignment {
+            score: 0,
+            q_start: 0,
+            q_end: 2,
+            t_start: 0,
+            t_end: 2,
+            ops: vec![AlignOp::Replace, AlignOp::Replace],
+        };
+        let text = a.render(&q, &t, &alpha);
+        assert!(text.lines().nth(1).unwrap().contains('.'));
+    }
+}

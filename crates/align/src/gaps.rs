@@ -1,0 +1,168 @@
+//! Gap-penalty models and the combined scoring configuration.
+
+use crate::matrix::SubstitutionMatrix;
+use crate::score::Score;
+
+/// How insertions and deletions are charged.
+///
+/// The paper's evaluation uses the fixed model throughout ("All search tools
+/// were configured to use a fixed gap penalty model. With this model, a
+/// series of k insertions or deletions contributes k·g to the alignment
+/// score", §4.2). The affine model is the paper's stated future work and is
+/// implemented here as an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapModel {
+    /// Every gapped symbol costs `per_symbol` (negative). A `k`-length gap
+    /// contributes `k * per_symbol`.
+    Linear {
+        /// Per-symbol gap score; must be negative.
+        per_symbol: Score,
+    },
+    /// Opening a gap costs `open`, every gapped symbol (including the first)
+    /// costs `extend`; a `k`-length gap contributes `open + k * extend`.
+    Affine {
+        /// One-time gap-open score; must be non-positive.
+        open: Score,
+        /// Per-symbol gap-extension score; must be negative.
+        extend: Score,
+    },
+}
+
+impl GapModel {
+    /// Fixed gap model with the given (negative) per-symbol score.
+    pub fn linear(per_symbol: Score) -> Self {
+        assert!(per_symbol < 0, "gap penalty must be negative");
+        GapModel::Linear { per_symbol }
+    }
+
+    /// Affine gap model `open + k * extend`.
+    pub fn affine(open: Score, extend: Score) -> Self {
+        assert!(open <= 0, "gap-open penalty must be non-positive");
+        assert!(extend < 0, "gap-extend penalty must be negative");
+        GapModel::Affine { open, extend }
+    }
+
+    /// Is this the fixed (linear) model?
+    pub fn is_linear(&self) -> bool {
+        matches!(self, GapModel::Linear { .. })
+    }
+
+    /// Total score of a `k`-symbol gap.
+    pub fn gap_score(&self, k: u32) -> Score {
+        match *self {
+            GapModel::Linear { per_symbol } => per_symbol * k as Score,
+            GapModel::Affine { open, extend } => {
+                if k == 0 {
+                    0
+                } else {
+                    open + extend * k as Score
+                }
+            }
+        }
+    }
+
+    /// The per-symbol score for the linear model.
+    ///
+    /// # Panics
+    /// Panics on the affine model; the linear-gap DP kernels call this after
+    /// dispatching on the model.
+    pub fn linear_per_symbol(&self) -> Score {
+        match *self {
+            GapModel::Linear { per_symbol } => per_symbol,
+            GapModel::Affine { .. } => panic!("affine gap model has no single per-symbol score"),
+        }
+    }
+}
+
+/// A complete scoring configuration: substitution matrix plus gap model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scoring {
+    /// Residue replacement scores.
+    pub matrix: SubstitutionMatrix,
+    /// Insertion/deletion scoring.
+    pub gap: GapModel,
+}
+
+impl Scoring {
+    /// Bundle a matrix with a gap model.
+    pub fn new(matrix: SubstitutionMatrix, gap: GapModel) -> Self {
+        Scoring { matrix, gap }
+    }
+
+    /// The paper's running-example configuration: Table 1 unit matrix with
+    /// −1 gaps (the `-` row/column of Table 1).
+    pub fn unit_dna() -> Self {
+        Scoring::new(
+            SubstitutionMatrix::unit(oasis_bioseq::AlphabetKind::Dna),
+            GapModel::linear(-1),
+        )
+    }
+
+    /// The paper's protein configuration: PAM30 with a fixed gap penalty.
+    /// The paper does not state its gap value; −10 is a conventional choice
+    /// for PAM30-scale scores.
+    pub fn pam30_protein() -> Self {
+        Scoring::new(SubstitutionMatrix::pam30(), GapModel::linear(-10))
+    }
+
+    /// BLOSUM62 with a conventional −8 fixed gap penalty.
+    pub fn blosum62_protein() -> Self {
+        Scoring::new(SubstitutionMatrix::blosum62(), GapModel::linear(-8))
+    }
+
+    /// Replacement score lookup.
+    #[inline]
+    pub fn sub(&self, a: u8, b: u8) -> Score {
+        self.matrix.score(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_gap_math() {
+        let g = GapModel::linear(-2);
+        assert_eq!(g.gap_score(0), 0);
+        assert_eq!(g.gap_score(1), -2);
+        assert_eq!(g.gap_score(5), -10);
+        assert_eq!(g.linear_per_symbol(), -2);
+        assert!(g.is_linear());
+    }
+
+    #[test]
+    fn affine_gap_math() {
+        let g = GapModel::affine(-10, -1);
+        assert_eq!(g.gap_score(0), 0);
+        assert_eq!(g.gap_score(1), -11);
+        assert_eq!(g.gap_score(4), -14);
+        assert!(!g.is_linear());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn linear_rejects_positive() {
+        GapModel::linear(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no single per-symbol score")]
+    fn affine_has_no_linear_score() {
+        GapModel::affine(-5, -1).linear_per_symbol();
+    }
+
+    #[test]
+    fn preset_scorings() {
+        let u = Scoring::unit_dna();
+        assert_eq!(u.sub(0, 0), 1);
+        assert_eq!(u.sub(0, 1), -1);
+        assert_eq!(u.gap.gap_score(1), -1);
+
+        let p = Scoring::pam30_protein();
+        assert_eq!(p.matrix.name(), "PAM30");
+
+        let b = Scoring::blosum62_protein();
+        assert_eq!(b.matrix.name(), "BLOSUM62");
+    }
+}

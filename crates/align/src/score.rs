@@ -1,0 +1,61 @@
+//! Alignment score arithmetic.
+
+/// Alignment scores are plain 32-bit integers, as in the paper's substitution
+/// matrices and DP recurrences.
+pub type Score = i32;
+
+/// The "pruned" sentinel (the paper's −∞).
+///
+/// Pruned entries of a search node's `C` vector take this value (§3: "`c_i`
+/// is set to −∞ if the alignment has been pruned"). The sentinel sits far
+/// enough below zero that adding any realistic score to it cannot overflow
+/// or climb back above real scores, which lets the DP recurrences add to it
+/// without branching.
+pub const NEG_INF: Score = i32::MIN / 4;
+
+/// Saturating-at-sentinel addition: once a value is pruned it stays pruned.
+///
+/// Both operands may be `NEG_INF`; the result never exceeds `NEG_INF + rhs`
+/// when pruned, which remains far below any reachable score.
+#[inline]
+pub fn add(a: Score, b: Score) -> Score {
+    // Plain addition is safe because NEG_INF + NEG_INF = i32::MIN / 2 which
+    // still cannot overflow when combined with matrix entries (|s| < 2^16).
+    a + b
+}
+
+/// Is the value the pruned sentinel (or the result of arithmetic on it)?
+#[inline]
+pub fn is_pruned(a: Score) -> bool {
+    a <= NEG_INF / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inf_absorbs_additions() {
+        let x = add(NEG_INF, 1000);
+        assert!(is_pruned(x));
+        let y = add(x, 1000);
+        assert!(is_pruned(y));
+    }
+
+    #[test]
+    fn double_neg_inf_does_not_overflow() {
+        let x = add(NEG_INF, NEG_INF);
+        assert!(x < NEG_INF);
+        assert!(is_pruned(x));
+        // Adding a matrix-scale score still cannot wrap.
+        let y = add(x, -(1 << 16));
+        assert!(y < 0);
+    }
+
+    #[test]
+    fn real_scores_not_pruned() {
+        assert!(!is_pruned(0));
+        assert!(!is_pruned(-1_000_000));
+        assert!(!is_pruned(1_000_000));
+    }
+}

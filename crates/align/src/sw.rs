@@ -1,0 +1,617 @@
+//! The Smith-Waterman baseline (§2.2 of the paper).
+//!
+//! Three entry points with different cost/feature trade-offs:
+//!
+//! * [`sw_best`] — score-only, O(query) memory, works with both gap models.
+//!   This is the kernel the paper's S-W timings correspond to.
+//! * [`sw_full_matrix`] / [`sw_align`] — full DP matrix with traceback, used
+//!   on bounded windows to recover operation-level alignments and in tests
+//!   (it reproduces the paper's Table 2 exactly).
+//! * [`SwScanner`] — scans a whole [`SequenceDatabase`], reporting "the
+//!   single strongest alignment for each sequence in the database", which is
+//!   the reporting behaviour OASIS duplicates (§3). It also counts
+//!   column-wise expansions, the filtering metric of the paper's Figure 4.
+
+use oasis_bioseq::{SeqId, SequenceDatabase};
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::gaps::{GapModel, Scoring};
+use crate::score::{Score, NEG_INF};
+
+/// Best local alignment endpoint: score plus half-open end coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalHit {
+    /// The maximum local-alignment score (0 if nothing positive exists).
+    pub score: Score,
+    /// One past the last aligned query position of the best cell.
+    pub q_end: usize,
+    /// One past the last aligned target position of the best cell.
+    pub t_end: usize,
+}
+
+/// Compute the maximum local-alignment score between `query` and `target`.
+///
+/// Linear memory in the query; both gap models supported. Returns the
+/// all-zero hit for empty inputs or when no positive-scoring alignment
+/// exists.
+pub fn sw_best(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalHit {
+    match scoring.gap {
+        GapModel::Linear { per_symbol } => sw_best_linear(query, target, scoring, per_symbol),
+        GapModel::Affine { open, extend } => sw_best_affine(query, target, scoring, open, extend),
+    }
+}
+
+fn sw_best_linear(query: &[u8], target: &[u8], scoring: &Scoring, gap: Score) -> LocalHit {
+    let n = query.len();
+    let mut col = vec![0 as Score; n + 1];
+    let mut best = LocalHit {
+        score: 0,
+        q_end: 0,
+        t_end: 0,
+    };
+    for (j, &t) in target.iter().enumerate() {
+        let mut diag = col[0]; // M[i-1][j-1]
+        for i in 1..=n {
+            // `col[i]` still holds the previous column's row i (M[i][j-1]);
+            // `col[i-1]` was already overwritten with the current column's
+            // row i-1 (M[i-1][j]).
+            let left = col[i];
+            let replace = diag + scoring.sub(query[i - 1], t);
+            let insert = col[i - 1] + gap; // gap in target: skip query symbol
+            let delete = left + gap; // gap in query: skip target symbol
+            let v = 0.max(replace).max(insert).max(delete);
+            diag = left;
+            col[i] = v;
+            if v > best.score {
+                best = LocalHit {
+                    score: v,
+                    q_end: i,
+                    t_end: j + 1,
+                };
+            }
+        }
+    }
+    best
+}
+
+fn sw_best_affine(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    open: Score,
+    extend: Score,
+) -> LocalHit {
+    let n = query.len();
+    // h[i]: best alignment ending at (i, j); e[i]: best ending with a gap in
+    // the query (target symbol consumed by a gap); f: gap in the target.
+    let mut h = vec![0 as Score; n + 1];
+    let mut e = vec![NEG_INF; n + 1];
+    let mut best = LocalHit {
+        score: 0,
+        q_end: 0,
+        t_end: 0,
+    };
+    for (j, &t) in target.iter().enumerate() {
+        let mut diag = h[0];
+        let mut f = NEG_INF;
+        for i in 1..=n {
+            e[i] = (h[i] + open + extend).max(e[i] + extend);
+            f = (h[i - 1] + open + extend).max(f + extend);
+            let replace = diag + scoring.sub(query[i - 1], t);
+            let v = 0.max(replace).max(e[i]).max(f);
+            diag = h[i];
+            h[i] = v;
+            if v > best.score {
+                best = LocalHit {
+                    score: v,
+                    q_end: i,
+                    t_end: j + 1,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Build the full `(n+1) x (m+1)` S-W matrix with linear gaps (Equation 1 of
+/// the paper). Row 0 and column 0 are zero. Intended for tests and for
+/// traceback over bounded windows; quadratic memory.
+pub fn sw_full_matrix(query: &[u8], target: &[u8], scoring: &Scoring) -> Vec<Vec<Score>> {
+    let gap = scoring.gap.linear_per_symbol();
+    let n = query.len();
+    let m = target.len();
+    let mut mat = vec![vec![0 as Score; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            let replace = mat[i - 1][j - 1] + scoring.sub(query[i - 1], target[j - 1]);
+            let insert = mat[i - 1][j] + gap;
+            let delete = mat[i][j - 1] + gap;
+            mat[i][j] = 0.max(replace).max(insert).max(delete);
+        }
+    }
+    mat
+}
+
+/// Full Smith-Waterman with traceback: returns the single best local
+/// alignment, or `None` when no positive-scoring alignment exists.
+///
+/// Supports both gap models (the affine variant builds the three Gotoh
+/// matrices). Quadratic memory — use on bounded windows.
+pub fn sw_align(query: &[u8], target: &[u8], scoring: &Scoring) -> Option<Alignment> {
+    match scoring.gap {
+        GapModel::Linear { per_symbol } => sw_align_linear(query, target, scoring, per_symbol),
+        GapModel::Affine { open, extend } => sw_align_affine(query, target, scoring, open, extend),
+    }
+}
+
+fn sw_align_linear(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gap: Score,
+) -> Option<Alignment> {
+    let mat = sw_full_matrix(query, target, scoring);
+    let n = query.len();
+    let m = target.len();
+    let mut bi = 0;
+    let mut bj = 0;
+    for i in 0..=n {
+        for j in 0..=m {
+            if mat[i][j] > mat[bi][bj] {
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    if mat[bi][bj] <= 0 {
+        return None;
+    }
+    let score = mat[bi][bj];
+    let (mut i, mut j) = (bi, bj);
+    let mut ops = Vec::new();
+    while mat[i][j] > 0 {
+        let v = mat[i][j];
+        if i > 0 && j > 0 && v == mat[i - 1][j - 1] + scoring.sub(query[i - 1], target[j - 1]) {
+            ops.push(AlignOp::Replace);
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && v == mat[i - 1][j] + gap {
+            ops.push(AlignOp::Insert);
+            i -= 1;
+        } else if j > 0 && v == mat[i][j - 1] + gap {
+            ops.push(AlignOp::Delete);
+            j -= 1;
+        } else {
+            break; // reached a fresh start (value produced by the 0 reset)
+        }
+    }
+    ops.reverse();
+    Some(Alignment {
+        score,
+        q_start: i,
+        q_end: bi,
+        t_start: j,
+        t_end: bj,
+        ops,
+    })
+}
+
+fn sw_align_affine(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    open: Score,
+    extend: Score,
+) -> Option<Alignment> {
+    let n = query.len();
+    let m = target.len();
+    let mut h = vec![vec![0 as Score; m + 1]; n + 1];
+    let mut e = vec![vec![NEG_INF; m + 1]; n + 1];
+    let mut f = vec![vec![NEG_INF; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            e[i][j] = (h[i][j - 1] + open + extend).max(e[i][j - 1] + extend);
+            f[i][j] = (h[i - 1][j] + open + extend).max(f[i - 1][j] + extend);
+            let replace = h[i - 1][j - 1] + scoring.sub(query[i - 1], target[j - 1]);
+            h[i][j] = 0.max(replace).max(e[i][j]).max(f[i][j]);
+        }
+    }
+    let mut bi = 0;
+    let mut bj = 0;
+    for i in 0..=n {
+        for j in 0..=m {
+            if h[i][j] > h[bi][bj] {
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    if h[bi][bj] <= 0 {
+        return None;
+    }
+    let score = h[bi][bj];
+    // Traceback with an explicit state machine over (H, E, F).
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        H,
+        E,
+        F,
+    }
+    let (mut i, mut j) = (bi, bj);
+    let mut st = St::H;
+    let mut ops = Vec::new();
+    loop {
+        match st {
+            St::H => {
+                let v = h[i][j];
+                if v == 0 {
+                    break;
+                }
+                if i > 0
+                    && j > 0
+                    && v == h[i - 1][j - 1] + scoring.sub(query[i - 1], target[j - 1])
+                {
+                    ops.push(AlignOp::Replace);
+                    i -= 1;
+                    j -= 1;
+                } else if v == e[i][j] {
+                    st = St::E;
+                } else if v == f[i][j] {
+                    st = St::F;
+                } else {
+                    break;
+                }
+            }
+            St::E => {
+                ops.push(AlignOp::Delete);
+                let from_open = h[i][j - 1] + open + extend;
+                if e[i][j] == from_open {
+                    st = St::H;
+                }
+                j -= 1;
+            }
+            St::F => {
+                ops.push(AlignOp::Insert);
+                let from_open = h[i - 1][j] + open + extend;
+                if f[i][j] == from_open {
+                    st = St::H;
+                }
+                i -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    Some(Alignment {
+        score,
+        q_start: i,
+        q_end: bi,
+        t_start: j,
+        t_end: bj,
+        ops,
+    })
+}
+
+/// Best alignment of one database sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqBest {
+    /// Which sequence.
+    pub seq: SeqId,
+    /// Best score and end coordinates; `t_end` is relative to the sequence.
+    pub hit: LocalHit,
+}
+
+/// Database scanner: Smith-Waterman over every sequence, keeping the single
+/// strongest alignment per sequence, with instrumentation.
+#[derive(Debug, Default)]
+pub struct SwScanner {
+    columns: u64,
+    cells: u64,
+}
+
+impl SwScanner {
+    /// New scanner with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Column-wise expansions performed so far: one per target symbol
+    /// processed, the metric of the paper's Figure 4.
+    pub fn columns_expanded(&self) -> u64 {
+        self.columns
+    }
+
+    /// Total DP cells computed (columns × query length).
+    pub fn cells_computed(&self) -> u64 {
+        self.cells
+    }
+
+    /// Scan the database, returning each sequence whose best local alignment
+    /// scores at least `min_score`, sorted by descending score (sequence id
+    /// breaks ties) to match OASIS's online output order.
+    pub fn scan(
+        &mut self,
+        db: &SequenceDatabase,
+        query: &[u8],
+        scoring: &Scoring,
+        min_score: Score,
+    ) -> Vec<SeqBest> {
+        assert!(min_score > 0, "min_score must be positive");
+        let mut out = Vec::new();
+        for seq in db.sequences() {
+            self.columns += seq.codes.len() as u64;
+            self.cells += seq.codes.len() as u64 * query.len() as u64;
+            let hit = sw_best(query, seq.codes, scoring);
+            if hit.score >= min_score {
+                out.push(SeqBest { seq: seq.id, hit });
+            }
+        }
+        out.sort_by(|a, b| b.hit.score.cmp(&a.hit.score).then(a.seq.cmp(&b.seq)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SubstitutionMatrix;
+    use oasis_bioseq::{Alphabet, AlphabetKind, DatabaseBuilder};
+
+    fn dna(s: &str) -> Vec<u8> {
+        Alphabet::dna().encode_str(s).unwrap()
+    }
+
+    /// The paper's Table 2: query TACG against target AGTACGCCTAG under the
+    /// unit matrix with −1 gaps. Values verified by hand against Equation 1
+    /// (two OCR-damaged cells in the paper's table are corrected: row C
+    /// column 11 is 1 and row G column 2 is 1).
+    #[test]
+    fn table2_matrix_reproduced() {
+        let scoring = Scoring::unit_dna();
+        let q = dna("TACG");
+        let t = dna("AGTACGCCTAG");
+        let mat = sw_full_matrix(&q, &t, &scoring);
+        let expect: [[Score; 11]; 4] = [
+            [0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0],
+            [1, 0, 0, 2, 1, 0, 0, 0, 0, 2, 1],
+            [0, 0, 0, 1, 3, 2, 1, 1, 0, 1, 1],
+            [0, 1, 0, 0, 2, 4, 3, 2, 1, 0, 2],
+        ];
+        for i in 0..4 {
+            for j in 0..11 {
+                assert_eq!(mat[i + 1][j + 1], expect[i][j], "cell ({},{})", i + 1, j + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_best_alignment() {
+        let scoring = Scoring::unit_dna();
+        let q = dna("TACG");
+        let t = dna("AGTACGCCTAG");
+        let hit = sw_best(&q, &t, &scoring);
+        assert_eq!(hit.score, 4);
+        assert_eq!(hit.q_end, 4);
+        assert_eq!(hit.t_end, 6); // TACG ends at target position 6
+
+        let aln = sw_align(&q, &t, &scoring).unwrap();
+        assert_eq!(aln.score, 4);
+        assert_eq!((aln.q_start, aln.q_end), (0, 4));
+        assert_eq!((aln.t_start, aln.t_end), (2, 6));
+        assert_eq!(aln.cigar(), "4R");
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn sw_best_matches_full_matrix_max() {
+        let scoring = Scoring::unit_dna();
+        let q = dna("GATTACA");
+        let t = dna("TTGACCAGATACATTG");
+        let mat = sw_full_matrix(&q, &t, &scoring);
+        let max = mat.iter().flatten().copied().max().unwrap();
+        assert_eq!(sw_best(&q, &t, &scoring).score, max);
+    }
+
+    #[test]
+    fn no_positive_alignment_returns_zero_and_none() {
+        let scoring = Scoring::unit_dna();
+        let q = dna("AAAA");
+        let t = dna("TTTT");
+        assert_eq!(sw_best(&q, &t, &scoring).score, 0);
+        assert!(sw_align(&q, &t, &scoring).is_none());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let scoring = Scoring::unit_dna();
+        assert_eq!(sw_best(&[], &dna("ACGT"), &scoring).score, 0);
+        assert_eq!(sw_best(&dna("ACGT"), &[], &scoring).score, 0);
+        assert_eq!(sw_best(&[], &[], &scoring).score, 0);
+    }
+
+    #[test]
+    fn gap_forced_alignment() {
+        // Query TTAA vs target TTCAA: best alignment deletes the C.
+        let scoring = Scoring::new(
+            SubstitutionMatrix::match_mismatch(AlphabetKind::Dna, 2, -3),
+            GapModel::linear(-1),
+        );
+        let q = dna("TTAA");
+        let t = dna("TTCAA");
+        let hit = sw_best(&q, &t, &scoring);
+        assert_eq!(hit.score, 2 * 4 - 1);
+        let aln = sw_align(&q, &t, &scoring).unwrap();
+        assert_eq!(aln.cigar(), "2R1D2R");
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn affine_matches_linear_when_open_is_zero() {
+        // With open = 0, affine(0, e) must equal linear(e) scores.
+        let q = dna("GATTACA");
+        let targets = ["TTGACCAGATACATTG", "GATCTACA", "CCCCCC", "GAATTACA"];
+        for t in targets {
+            let t = dna(t);
+            let lin = Scoring::new(SubstitutionMatrix::unit(AlphabetKind::Dna), GapModel::linear(-1));
+            let aff = Scoring::new(
+                SubstitutionMatrix::unit(AlphabetKind::Dna),
+                GapModel::affine(0, -1),
+            );
+            assert_eq!(
+                sw_best(&q, &t, &lin).score,
+                sw_best(&q, &t, &aff).score,
+                "target {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_penalizes_gap_opens() {
+        // One 2-gap should beat two 1-gaps under affine scoring.
+        // Query AATT vs target AAGGTT (one 2-gap) and AGAGTT-like shapes.
+        let aff = Scoring::new(
+            SubstitutionMatrix::match_mismatch(AlphabetKind::Dna, 5, -4),
+            GapModel::affine(-3, -1),
+        );
+        let q = dna("AATT");
+        let one_gap = dna("AAGGTT");
+        let hit = sw_best(&q, &one_gap, &aff);
+        // 4 matches (20) + open (-3) + 2 extends (-2) = 15.
+        assert_eq!(hit.score, 15);
+        let aln = sw_align(&q, &one_gap, &aff).unwrap();
+        assert_eq!(aln.score, 15);
+        assert_eq!(aln.cigar(), "2R2D2R");
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn affine_align_matches_affine_best() {
+        let aff = Scoring::new(SubstitutionMatrix::blosum62(), GapModel::affine(-11, -1));
+        let p = Alphabet::protein();
+        let q = p.encode_str("MKTAYIAK").unwrap();
+        let t = p.encode_str("GGMKTAWYIAKGG").unwrap();
+        let best = sw_best(&q, &t, &aff);
+        let aln = sw_align(&q, &t, &aff).unwrap();
+        assert_eq!(best.score, aln.score);
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn scanner_reports_per_sequence_best_sorted() {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        b.push_str("s0", "AGTACGCCTAG").unwrap(); // contains TACG: score 4
+        b.push_str("s1", "TTTTTTTT").unwrap(); // best score 1 (lone T match)
+        b.push_str("s2", "GGTACGG").unwrap(); // contains TACG: score 4
+        b.push_str("s3", "TACCG").unwrap(); // TAC.G: score 3 (gap)
+        let db = b.finish();
+        let scoring = Scoring::unit_dna();
+        let q = dna("TACG");
+        let mut scanner = SwScanner::new();
+        let hits = scanner.scan(&db, &q, &scoring, 2);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].seq, 0);
+        assert_eq!(hits[0].hit.score, 4);
+        assert_eq!(hits[1].seq, 2);
+        assert_eq!(hits[1].hit.score, 4);
+        assert_eq!(hits[2].seq, 3);
+        assert_eq!(hits[2].hit.score, 3);
+        // Columns = total residues.
+        assert_eq!(scanner.columns_expanded(), db.total_residues());
+        assert_eq!(scanner.cells_computed(), db.total_residues() * 4);
+    }
+
+    #[test]
+    fn scanner_min_score_filters() {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        b.push_str("s0", "AGTACGCCTAG").unwrap();
+        b.push_str("s3", "TACCG").unwrap();
+        let db = b.finish();
+        let scoring = Scoring::unit_dna();
+        let q = dna("TACG");
+        let hits = SwScanner::new().scan(&db, &q, &scoring, 4);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].seq, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_score must be positive")]
+    fn scanner_rejects_nonpositive_threshold() {
+        let db = DatabaseBuilder::new(Alphabet::dna()).finish();
+        SwScanner::new().scan(&db, &[], &Scoring::unit_dna(), 0);
+    }
+
+    /// Recompute an alignment's score from its operations — an independent
+    /// check that traceback and the DP agree.
+    fn score_of(aln: &Alignment, q: &[u8], t: &[u8], scoring: &Scoring) -> Score {
+        let mut qi = aln.q_start;
+        let mut ti = aln.t_start;
+        let mut total = 0;
+        // A gap run is a maximal stretch of the *same* gap direction; an
+        // Insert adjacent to a Delete opens a second gap.
+        let mut run_op: Option<AlignOp> = None;
+        let mut run_len = 0u32;
+        let close = |run_op: &mut Option<AlignOp>, run_len: &mut u32, total: &mut Score| {
+            if run_op.is_some() {
+                *total += scoring.gap.gap_score(*run_len);
+                *run_op = None;
+                *run_len = 0;
+            }
+        };
+        for &op in &aln.ops {
+            match op {
+                AlignOp::Replace => {
+                    close(&mut run_op, &mut run_len, &mut total);
+                    total += scoring.sub(q[qi], t[ti]);
+                    qi += 1;
+                    ti += 1;
+                }
+                AlignOp::Insert | AlignOp::Delete => {
+                    if run_op != Some(op) {
+                        close(&mut run_op, &mut run_len, &mut total);
+                        run_op = Some(op);
+                    }
+                    run_len += 1;
+                    if op == AlignOp::Insert {
+                        qi += 1;
+                    } else {
+                        ti += 1;
+                    }
+                }
+            }
+        }
+        close(&mut run_op, &mut run_len, &mut total);
+        total
+    }
+
+    #[test]
+    fn protein_blosum62_alignment() {
+        // Classic textbook pair (Durbin et al. §2.3), BLOSUM62 + linear -8:
+        // the optimum is AWGHE aligned to AW-HE.
+        let p = Alphabet::protein();
+        let scoring = Scoring::blosum62_protein();
+        let q = p.encode_str("HEAGAWGHEE").unwrap();
+        let t = p.encode_str("PAWHEAE").unwrap();
+        let hit = sw_best(&q, &t, &scoring);
+        // A-A(4) + W-W(11) + G-gap(-8) + H-H(8) + E-E(5) = 20.
+        assert_eq!(hit.score, 20);
+        let aln = sw_align(&q, &t, &scoring).unwrap();
+        assert_eq!(aln.score, 20);
+        assert_eq!(aln.cigar(), "2R1I2R");
+        assert_eq!(score_of(&aln, &q, &t, &scoring), aln.score);
+    }
+
+    #[test]
+    fn traceback_score_recomputes_linear_and_affine() {
+        let p = Alphabet::protein();
+        let q = p.encode_str("MKTAYIAKQR").unwrap();
+        let t = p.encode_str("LLMKTAGGYIAKQELL").unwrap();
+        for scoring in [
+            Scoring::blosum62_protein(),
+            Scoring::new(SubstitutionMatrix::blosum62(), GapModel::affine(-11, -1)),
+        ] {
+            let aln = sw_align(&q, &t, &scoring).unwrap();
+            assert!(aln.is_consistent());
+            assert_eq!(score_of(&aln, &q, &t, &scoring), aln.score, "{:?}", scoring.gap);
+            assert_eq!(sw_best(&q, &t, &scoring).score, aln.score);
+        }
+    }
+}

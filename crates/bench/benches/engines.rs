@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the three engines on one short and one
+//! long query — the per-query cost underlying Figure 3. Kept tiny so
+//! `cargo bench --workspace` completes quickly; run the `fig3_time` binary
+//! for the full sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oasis_bench::{Scale, Testbed};
+
+fn bench_engines(c: &mut Criterion) {
+    let tb = Testbed::protein(Scale::Tiny);
+    let evalue = 20_000.0;
+    let short = tb
+        .queries
+        .iter()
+        .find(|q| q.len() <= 10)
+        .expect("short query exists")
+        .clone();
+    let long = tb
+        .queries
+        .iter()
+        .max_by_key(|q| q.len())
+        .expect("long query exists")
+        .clone();
+
+    let mut group = c.benchmark_group("engines");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for (label, query) in [("short", &short), ("long", &long)] {
+        group.bench_function(format!("oasis/{label}_{}", query.len()), |b| {
+            b.iter(|| black_box(tb.run_oasis(black_box(query), evalue).0.len()))
+        });
+        group.bench_function(format!("sw/{label}_{}", query.len()), |b| {
+            b.iter(|| black_box(tb.run_sw(black_box(query), evalue).0.len()))
+        });
+        group.bench_function(format!("blast/{label}_{}", query.len()), |b| {
+            b.iter(|| black_box(tb.run_blast(black_box(query), evalue).0.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Ablation: the contribution of each §3.2 pruning rule.
+//!
+//! Runs the same workload with each rule disabled in turn and reports the
+//! column-expansion blow-up. Result sets are asserted identical — the rules
+//! trade work, never accuracy.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use oasis_bench::{banner, fmt_duration, print_table, Scale, Testbed};
+use oasis_core::node::QueueEntry;
+use oasis_core::{
+    expand_with_rules, heuristic_vector, root_node, ExpandScratch, PruneRules, Status,
+};
+use oasis_suffix::SuffixTreeAccess;
+
+/// A minimal best-first driver with pluggable pruning rules; mirrors
+/// `OasisSearch` (first-report-wins per sequence).
+fn drive(tb: &Testbed, query: &[u8], min_score: i32, rules: PruneRules) -> (Vec<(u32, i32)>, u64) {
+    let h = heuristic_vector(query, &tb.scoring);
+    let mut heap = BinaryHeap::new();
+    if let Some(root) = root_node(query, &h, min_score) {
+        heap.push(QueueEntry(root));
+    }
+    let mut columns = 0u64;
+    let mut scratch = ExpandScratch::default();
+    let mut kids = Vec::new();
+    let mut seq_no = 1u64;
+    let mut reported = vec![false; tb.workload.db.num_sequences() as usize];
+    let mut results = Vec::new();
+    while let Some(QueueEntry(node)) = heap.pop() {
+        match node.status {
+            Status::Accepted => {
+                let mut leaves = Vec::new();
+                tb.tree.leaves_under(node.handle, &mut |p| leaves.push(p));
+                leaves.sort_unstable();
+                for p in leaves {
+                    let s = tb.workload.db.seq_of_position(p);
+                    if !reported[s as usize] {
+                        reported[s as usize] = true;
+                        results.push((s, node.gmax));
+                    }
+                }
+            }
+            Status::Viable => {
+                tb.tree.children_into(node.handle, &mut kids);
+                for &child in &kids {
+                    let new = expand_with_rules(
+                        &tb.tree,
+                        &node,
+                        child,
+                        query,
+                        &tb.scoring,
+                        &h,
+                        min_score,
+                        seq_no,
+                        &mut scratch,
+                        &mut columns,
+                        rules,
+                    );
+                    seq_no += 1;
+                    if new.status != Status::Unviable {
+                        heap.push(QueueEntry(new));
+                    }
+                }
+            }
+            Status::Unviable => unreachable!(),
+        }
+    }
+    results.sort_unstable();
+    (results, columns)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Ablation: pruning rules",
+        "columns expanded with each §3.2 rule disabled (E=20000)",
+        scale,
+    );
+    let tb = Testbed::protein(scale);
+    let evalue = 20_000.0;
+
+    let variants: [(&str, PruneRules); 4] = [
+        ("all rules (OASIS)", PruneRules::default()),
+        (
+            "no rule 1 (non-positive)",
+            PruneRules {
+                non_positive: false,
+                ..PruneRules::default()
+            },
+        ),
+        (
+            "no rule 2 (no-improvement)",
+            PruneRules {
+                no_improvement: false,
+                ..PruneRules::default()
+            },
+        ),
+        (
+            "no rule 3 (threshold)",
+            PruneRules {
+                threshold: false,
+                ..PruneRules::default()
+            },
+        ),
+    ];
+
+    // Use a slice of the workload to keep the no-rule variants tractable.
+    let queries: Vec<&Vec<u8>> = tb.queries.iter().take(scale.query_count().min(16)).collect();
+
+    // Run the sweep at both selectivity extremes: rule 3 (threshold) is
+    // nearly free at E=20000 but dominant at E=1.
+    for evalue in [evalue, 1.0] {
+        println!("\n--- E = {evalue} ---");
+        let mut baseline: Vec<Vec<(u32, i32)>> = Vec::new();
+        let mut rows = Vec::new();
+        for (name, rules) in variants {
+            let mut columns = 0u64;
+            let start = Instant::now();
+            for (qi, q) in queries.iter().enumerate() {
+                let min = tb.min_score(q.len(), evalue);
+                let (results, cols) = drive(&tb, q, min, rules);
+                columns += cols;
+                if rules == PruneRules::default() {
+                    baseline.push(results);
+                } else {
+                    assert_eq!(
+                        results, baseline[qi],
+                        "{name}: results changed for query {qi}"
+                    );
+                }
+            }
+            let elapsed = start.elapsed();
+            rows.push(vec![
+                name.to_string(),
+                columns.to_string(),
+                fmt_duration(elapsed),
+            ]);
+        }
+        print_table(&["variant", "columns expanded", "total time"], &rows);
+    }
+    println!("\nall variants returned identical result sets (asserted).");
+    println!("expected: rule 1 dominates at relaxed thresholds (it stops work");
+    println!("duplicated across tree paths); rule 3 dominates at E=1.");
+}

@@ -1,0 +1,52 @@
+//! Figure 4: filtering efficiency — number of column-wise expansions
+//! performed by OASIS vs S-W, by query length.
+//!
+//! Paper's finding: "In the worst case, OASIS expands 18.5% of the columns.
+//! On average, OASIS expands only 3.9% as many columns as S-W."
+
+use oasis_bench::{banner, print_table, Scale, Testbed};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 4",
+        "columns expanded vs query length (OASIS vs S-W, E=20000)",
+        scale,
+    );
+    let tb = Testbed::protein(scale);
+    let evalue = 20_000.0;
+    let sw_columns = tb.workload.db.total_residues(); // one column per residue
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    let mut worst: f64 = 0.0;
+    for (len, idxs) in tb.queries_by_length() {
+        let mut oasis_cols = Vec::new();
+        for &i in &idxs {
+            let (_, stats, _) = tb.run_oasis(&tb.queries[i], evalue);
+            oasis_cols.push(stats.columns_expanded);
+        }
+        let mean_cols =
+            oasis_cols.iter().sum::<u64>() as f64 / oasis_cols.len() as f64;
+        let pct = 100.0 * mean_cols / sw_columns as f64;
+        for &c in &oasis_cols {
+            let r = 100.0 * c as f64 / sw_columns as f64;
+            ratios.push(r);
+            worst = worst.max(r);
+        }
+        rows.push(vec![
+            len.to_string(),
+            idxs.len().to_string(),
+            format!("{mean_cols:.0}"),
+            sw_columns.to_string(),
+            format!("{pct:.2}%"),
+        ]);
+    }
+    print_table(
+        &["qlen", "n", "OASIS cols", "S-W cols", "OASIS/S-W"],
+        &rows,
+    );
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\naverage columns ratio: {avg:.2}% (paper: 3.9%)");
+    println!("worst-case columns ratio: {worst:.2}% (paper: 18.5%)");
+}

@@ -1,0 +1,41 @@
+//! The §4.2 space-utilization table: on-disk index size in bytes per
+//! database symbol (the paper reports 12.5 B/symbol for 40M symbols,
+//! "comparable to the most compact suffix tree representations").
+
+use oasis_bench::{banner, print_table, Scale, Testbed};
+use oasis_storage::DiskTreeBuilder;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Space table (§4.2)", "index size and bytes per symbol", scale);
+    let tb = Testbed::protein(scale);
+
+    let mut rows = Vec::new();
+    for block_size in [512usize, 2048, 8192] {
+        let (_, stats) = DiskTreeBuilder::with_block_size(block_size).build_image(&tb.tree);
+        rows.push(vec![
+            block_size.to_string(),
+            stats.residues.to_string(),
+            format!("{:.2}", stats.total_bytes as f64 / 1e6),
+            format!("{:.2}", stats.symbol_bytes as f64 / 1e6),
+            format!("{:.2}", stats.internal_bytes as f64 / 1e6),
+            format!("{:.2}", stats.leaf_bytes as f64 / 1e6),
+            format!("{:.1}", stats.bytes_per_symbol()),
+        ]);
+    }
+    print_table(
+        &[
+            "block",
+            "symbols",
+            "total MB",
+            "text MB",
+            "internal MB",
+            "leaf MB",
+            "B/symbol",
+        ],
+        &rows,
+    );
+    println!("\npaper: 40M symbols -> 500MB index = 12.5 bytes/symbol (2K blocks).");
+    println!("our records: 16B internal, 4B leaf, 1B symbol; ratios land in the");
+    println!("same regime, dominated by internal-node count per symbol.");
+}

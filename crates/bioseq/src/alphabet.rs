@@ -1,0 +1,242 @@
+//! Symbol alphabets.
+//!
+//! An [`Alphabet`] is an ordered set of residue letters with a dense code
+//! assignment (`letter -> code in 0..len`). The two alphabets the paper uses
+//! are provided: the 4-letter nucleotide alphabet (Drosophila experiments)
+//! and the 20-letter amino-acid alphabet (SWISS-PROT experiments).
+
+use crate::error::BioseqError;
+
+/// Sentinel code marking the end of a sequence inside a
+/// [`crate::SequenceDatabase`] text.
+///
+/// This is the `$` "terminal symbol" of the paper's Figure 2. It is not a
+/// member of any alphabet; alignment code must never score it and suffix-tree
+/// paths terminate on it. The value is far outside any alphabet's code range
+/// so accidental use as an index fails loudly in debug builds.
+pub const TERMINATOR: u8 = 0xFF;
+
+/// Which built-in alphabet a database was encoded with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlphabetKind {
+    /// 4-letter nucleotide alphabet `ACGT`.
+    Dna,
+    /// 20-letter amino-acid alphabet `ARNDCQEGHILKMFPSTWYV`.
+    Protein,
+}
+
+/// An ordered residue alphabet with dense `u8` codes.
+///
+/// ```
+/// use oasis_bioseq::Alphabet;
+/// let aa = Alphabet::protein();
+/// assert_eq!(aa.len(), 20);
+/// let code = aa.encode_char('W').unwrap();
+/// assert_eq!(aa.decode(code), 'W');
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    kind: AlphabetKind,
+    /// Residue letters in code order (uppercase ASCII).
+    letters: &'static [u8],
+    /// ASCII byte -> code lookup; `NONE_CODE` marks unmapped bytes.
+    code_of: [u8; 256],
+}
+
+const NONE_CODE: u8 = 0xFF;
+
+/// The 20 canonical amino acids in the conventional NCBI matrix row order.
+/// Substitution-matrix constants in `oasis-align` are laid out in exactly
+/// this order, so the two crates must agree.
+pub const PROTEIN_LETTERS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// Nucleotides in alphabetical order.
+pub const DNA_LETTERS: &[u8; 4] = b"ACGT";
+
+impl Alphabet {
+    fn build(kind: AlphabetKind, letters: &'static [u8]) -> Self {
+        let mut code_of = [NONE_CODE; 256];
+        for (i, &b) in letters.iter().enumerate() {
+            code_of[b as usize] = i as u8;
+            code_of[b.to_ascii_lowercase() as usize] = i as u8;
+        }
+        Alphabet {
+            kind,
+            letters,
+            code_of,
+        }
+    }
+
+    /// The 4-letter DNA alphabet `ACGT`.
+    pub fn dna() -> Self {
+        Self::build(AlphabetKind::Dna, DNA_LETTERS)
+    }
+
+    /// The 20-letter protein alphabet in NCBI order `ARNDCQEGHILKMFPSTWYV`.
+    pub fn protein() -> Self {
+        Self::build(AlphabetKind::Protein, PROTEIN_LETTERS)
+    }
+
+    /// Construct the alphabet for a [`AlphabetKind`].
+    pub fn of_kind(kind: AlphabetKind) -> Self {
+        match kind {
+            AlphabetKind::Dna => Self::dna(),
+            AlphabetKind::Protein => Self::protein(),
+        }
+    }
+
+    /// Which built-in alphabet this is.
+    pub fn kind(&self) -> AlphabetKind {
+        self.kind
+    }
+
+    /// Number of residues in the alphabet.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Alphabets are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The residue letters in code order.
+    pub fn letters(&self) -> &'static [u8] {
+        self.letters
+    }
+
+    /// Encode one ASCII character (case-insensitive).
+    pub fn encode_char(&self, ch: char) -> Option<u8> {
+        if !ch.is_ascii() {
+            return None;
+        }
+        let c = self.code_of[ch as usize];
+        (c != NONE_CODE).then_some(c)
+    }
+
+    /// Encode one ASCII byte (case-insensitive).
+    pub fn encode_byte(&self, b: u8) -> Option<u8> {
+        let c = self.code_of[b as usize];
+        (c != NONE_CODE).then_some(c)
+    }
+
+    /// Encode a string into fresh code vector, failing on the first unknown
+    /// residue.
+    pub fn encode_str(&self, s: &str) -> Result<Vec<u8>, BioseqError> {
+        let mut out = Vec::with_capacity(s.len());
+        for (offset, ch) in s.chars().enumerate() {
+            match self.encode_char(ch) {
+                Some(c) => out.push(c),
+                None => return Err(BioseqError::UnknownResidue { ch, offset }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode one code back to its uppercase letter.
+    ///
+    /// The terminator decodes to `'$'` to match the paper's figures.
+    ///
+    /// # Panics
+    /// Panics if `code` is neither a valid residue code nor [`TERMINATOR`].
+    pub fn decode(&self, code: u8) -> char {
+        if code == TERMINATOR {
+            return '$';
+        }
+        assert!(
+            (code as usize) < self.letters.len(),
+            "code {code} out of range for {:?} alphabet",
+            self.kind
+        );
+        self.letters[code as usize] as char
+    }
+
+    /// Decode a code slice to a `String` (terminators render as `$`).
+    pub fn decode_all(&self, codes: &[u8]) -> String {
+        codes.iter().map(|&c| self.decode(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_roundtrip() {
+        let a = Alphabet::dna();
+        assert_eq!(a.len(), 4);
+        for (i, ch) in "ACGT".chars().enumerate() {
+            assert_eq!(a.encode_char(ch), Some(i as u8));
+            assert_eq!(a.decode(i as u8), ch);
+        }
+    }
+
+    #[test]
+    fn protein_roundtrip() {
+        let a = Alphabet::protein();
+        assert_eq!(a.len(), 20);
+        for (i, &b) in PROTEIN_LETTERS.iter().enumerate() {
+            assert_eq!(a.encode_byte(b), Some(i as u8));
+            assert_eq!(a.decode(i as u8), b as char);
+        }
+    }
+
+    #[test]
+    fn case_insensitive_encoding() {
+        let a = Alphabet::protein();
+        assert_eq!(a.encode_char('w'), a.encode_char('W'));
+        let d = Alphabet::dna();
+        assert_eq!(d.encode_char('a'), Some(0));
+    }
+
+    #[test]
+    fn unknown_residues_rejected() {
+        let d = Alphabet::dna();
+        assert_eq!(d.encode_char('N'), None);
+        assert_eq!(d.encode_char('$'), None);
+        assert_eq!(d.encode_char('€'), None);
+        let p = Alphabet::protein();
+        // B, J, O, U, X, Z are not canonical residues.
+        for ch in "BJOUXZ".chars() {
+            assert_eq!(p.encode_char(ch), None, "{ch} should be unmapped");
+        }
+    }
+
+    #[test]
+    fn encode_str_reports_offset() {
+        let d = Alphabet::dna();
+        let err = d.encode_str("ACGTN").unwrap_err();
+        assert_eq!(
+            err,
+            BioseqError::UnknownResidue {
+                ch: 'N',
+                offset: 4
+            }
+        );
+    }
+
+    #[test]
+    fn terminator_decodes_as_dollar() {
+        let d = Alphabet::dna();
+        assert_eq!(d.decode(TERMINATOR), '$');
+        assert_eq!(d.decode_all(&[0, 2, TERMINATOR]), "AG$");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_out_of_range_panics() {
+        Alphabet::dna().decode(4);
+    }
+
+    #[test]
+    fn of_kind_matches_constructors() {
+        assert_eq!(Alphabet::of_kind(AlphabetKind::Dna), Alphabet::dna());
+        assert_eq!(Alphabet::of_kind(AlphabetKind::Protein), Alphabet::protein());
+    }
+
+    #[test]
+    fn terminator_outside_all_code_ranges() {
+        assert!(TERMINATOR as usize >= Alphabet::protein().len());
+        assert!(TERMINATOR as usize >= Alphabet::dna().len());
+    }
+}

@@ -1,0 +1,341 @@
+//! The multi-sequence database.
+//!
+//! All sequences are concatenated into a single code text with a
+//! [`TERMINATOR`] after each sequence:
+//!
+//! ```text
+//!   s0[0] s0[1] ... s0[l0-1] $ s1[0] ... $ ... s{k-1}[..] $
+//! ```
+//!
+//! This is the layout the paper's generalized suffix tree indexes (§2.3) and
+//! the layout its disk representation stores verbatim in the "symbols" array
+//! (§3.4). Every search-side structure addresses residues by their *global*
+//! position in this text; [`SequenceDatabase::seq_of_position`] maps a global
+//! position back to its sequence.
+
+use crate::alphabet::{Alphabet, AlphabetKind, TERMINATOR};
+use crate::error::BioseqError;
+use crate::sequence::Sequence;
+
+/// Index of a sequence within a database.
+pub type SeqId = u32;
+
+/// Maximum total text length (symbols + terminators).
+///
+/// One bit of the 32-bit position space is reserved for tagging leaf vs
+/// internal suffix-tree handles downstream.
+pub const MAX_TEXT_LEN: u64 = (1 << 31) - 1;
+
+/// An immutable multi-sequence database over one alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceDatabase {
+    alphabet: Alphabet,
+    /// Concatenated codes, one TERMINATOR after each sequence.
+    text: Vec<u8>,
+    /// Start offset of each sequence in `text`; an extra sentinel entry at
+    /// the end equals `text.len()` so `starts[i+1] - 1` is sequence `i`'s
+    /// terminator position.
+    starts: Vec<u32>,
+    names: Vec<String>,
+}
+
+/// A borrowed view of one sequence inside a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceView<'a> {
+    /// The sequence's id.
+    pub id: SeqId,
+    /// The sequence's name.
+    pub name: &'a str,
+    /// Residue codes (terminator excluded).
+    pub codes: &'a [u8],
+    /// Global position of the first residue.
+    pub start: u32,
+}
+
+impl SequenceDatabase {
+    /// Build a database from sequences. Empty sequences are permitted (they
+    /// contribute just a terminator) but are unusual; FASTA parsing rejects
+    /// them earlier.
+    pub fn new(alphabet: Alphabet, sequences: Vec<Sequence>) -> Result<Self, BioseqError> {
+        let mut builder = DatabaseBuilder::new(alphabet);
+        for s in sequences {
+            builder.push(s)?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// The database's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Convenience: the alphabet's kind.
+    pub fn alphabet_kind(&self) -> AlphabetKind {
+        self.alphabet.kind()
+    }
+
+    /// The full concatenated text, terminators included.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Total text length including terminators.
+    pub fn text_len(&self) -> u32 {
+        self.text.len() as u32
+    }
+
+    /// Total number of residues (terminators excluded).
+    pub fn total_residues(&self) -> u64 {
+        (self.text.len() - self.names.len()) as u64
+    }
+
+    /// Number of sequences.
+    pub fn num_sequences(&self) -> u32 {
+        self.names.len() as u32
+    }
+
+    /// Name of sequence `id`.
+    pub fn name(&self, id: SeqId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Global start position of sequence `id`.
+    pub fn seq_start(&self, id: SeqId) -> u32 {
+        self.starts[id as usize]
+    }
+
+    /// Global position of sequence `id`'s terminator (one past its last
+    /// residue).
+    pub fn seq_terminator(&self, id: SeqId) -> u32 {
+        self.starts[id as usize + 1] - 1
+    }
+
+    /// Residue count of sequence `id`.
+    pub fn seq_len(&self, id: SeqId) -> u32 {
+        self.seq_terminator(id) - self.seq_start(id)
+    }
+
+    /// Borrow sequence `id`.
+    pub fn sequence(&self, id: SeqId) -> SequenceView<'_> {
+        let start = self.seq_start(id);
+        let term = self.seq_terminator(id);
+        SequenceView {
+            id,
+            name: &self.names[id as usize],
+            codes: &self.text[start as usize..term as usize],
+            start,
+        }
+    }
+
+    /// Iterate over all sequences.
+    pub fn sequences(&self) -> impl Iterator<Item = SequenceView<'_>> + '_ {
+        (0..self.num_sequences()).map(move |id| self.sequence(id))
+    }
+
+    /// Map a global text position to the sequence containing it.
+    ///
+    /// Positions holding a terminator belong to the sequence they terminate.
+    ///
+    /// # Panics
+    /// Panics if `pos >= text_len()`.
+    pub fn seq_of_position(&self, pos: u32) -> SeqId {
+        assert!((pos as usize) < self.text.len(), "position out of range");
+        // partition_point returns the first sequence whose start is > pos;
+        // the containing sequence is the one before it.
+        let idx = self.starts.partition_point(|&s| s <= pos);
+        (idx - 1) as SeqId
+    }
+
+    /// The terminator position of the sequence containing `pos` — i.e. where
+    /// a suffix beginning at `pos` ends (inclusive of the terminator).
+    pub fn suffix_end(&self, pos: u32) -> u32 {
+        self.seq_terminator(self.seq_of_position(pos))
+    }
+
+    /// Replace all sequence names (used by binary deserialization).
+    /// Fails if the count does not match.
+    pub(crate) fn set_names(&mut self, names: Vec<String>) -> Result<(), ()> {
+        if names.len() != self.names.len() {
+            return Err(());
+        }
+        self.names = names;
+        Ok(())
+    }
+
+    /// Decode an arbitrary global range to text (`$` for terminators).
+    pub fn decode_range(&self, start: u32, end: u32) -> String {
+        self.alphabet
+            .decode_all(&self.text[start as usize..end as usize])
+    }
+}
+
+/// Incremental builder for a [`SequenceDatabase`].
+#[derive(Debug)]
+pub struct DatabaseBuilder {
+    alphabet: Alphabet,
+    text: Vec<u8>,
+    starts: Vec<u32>,
+    names: Vec<String>,
+}
+
+impl DatabaseBuilder {
+    /// Start an empty database over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Self {
+        DatabaseBuilder {
+            alphabet,
+            text: Vec::new(),
+            starts: vec![0],
+            names: Vec::new(),
+        }
+    }
+
+    /// Append one sequence.
+    pub fn push(&mut self, seq: Sequence) -> Result<SeqId, BioseqError> {
+        let (name, codes) = seq.into_parts();
+        debug_assert!(
+            codes.iter().all(|&c| (c as usize) < self.alphabet.len()),
+            "sequence {name:?} contains codes outside the alphabet"
+        );
+        let attempted = self.text.len() as u64 + codes.len() as u64 + 1;
+        if attempted > MAX_TEXT_LEN {
+            return Err(BioseqError::TooLarge { attempted });
+        }
+        let id = self.names.len() as SeqId;
+        self.text.extend_from_slice(&codes);
+        self.text.push(TERMINATOR);
+        self.starts.push(self.text.len() as u32);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// Encode and append one text sequence.
+    pub fn push_str(&mut self, name: impl Into<String>, residues: &str) -> Result<SeqId, BioseqError> {
+        let seq = Sequence::from_str(name, residues, &self.alphabet)?;
+        self.push(seq)
+    }
+
+    /// Number of sequences added so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no sequences were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> SequenceDatabase {
+        SequenceDatabase {
+            alphabet: self.alphabet,
+            text: self.text,
+            starts: self.starts,
+            names: self.names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(seqs: &[&str]) -> SequenceDatabase {
+        let a = Alphabet::dna();
+        let mut b = DatabaseBuilder::new(a);
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("seq{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn layout_matches_paper_example() {
+        // The paper's running example sequence (Figure 2).
+        let d = db(&["AGTACGCCTAG"]);
+        assert_eq!(d.text_len(), 12); // 11 residues + terminator
+        assert_eq!(d.total_residues(), 11);
+        assert_eq!(d.text()[11], TERMINATOR);
+        assert_eq!(d.decode_range(0, 12), "AGTACGCCTAG$");
+    }
+
+    #[test]
+    fn multi_sequence_layout() {
+        let d = db(&["ACGT", "GG", "T"]);
+        assert_eq!(d.num_sequences(), 3);
+        assert_eq!(d.text_len(), 4 + 1 + 2 + 1 + 1 + 1);
+        assert_eq!(d.seq_start(0), 0);
+        assert_eq!(d.seq_terminator(0), 4);
+        assert_eq!(d.seq_start(1), 5);
+        assert_eq!(d.seq_terminator(1), 7);
+        assert_eq!(d.seq_start(2), 8);
+        assert_eq!(d.seq_terminator(2), 9);
+        assert_eq!(d.seq_len(1), 2);
+        assert_eq!(d.name(2), "seq2");
+    }
+
+    #[test]
+    fn seq_of_position_covers_every_position() {
+        let d = db(&["ACGT", "GG", "T"]);
+        let expect = [0, 0, 0, 0, 0, 1, 1, 1, 2, 2];
+        for (pos, &want) in expect.iter().enumerate() {
+            assert_eq!(d.seq_of_position(pos as u32), want, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn suffix_end_is_own_terminator() {
+        let d = db(&["ACGT", "GG"]);
+        assert_eq!(d.suffix_end(0), 4);
+        assert_eq!(d.suffix_end(3), 4);
+        assert_eq!(d.suffix_end(5), 7);
+        assert_eq!(d.suffix_end(6), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of range")]
+    fn seq_of_position_out_of_range_panics() {
+        db(&["A"]).seq_of_position(2);
+    }
+
+    #[test]
+    fn sequence_views() {
+        let d = db(&["ACGT", "GG"]);
+        let v: Vec<_> = d.sequences().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].name, "seq0");
+        assert_eq!(v[0].codes, &[0, 1, 2, 3]);
+        assert_eq!(v[1].start, 5);
+        assert_eq!(v[1].codes, &[2, 2]);
+    }
+
+    #[test]
+    fn builder_len_tracking() {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        assert!(b.is_empty());
+        b.push_str("a", "ACG").unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_sequence_permitted_in_database() {
+        let d = SequenceDatabase::new(
+            Alphabet::dna(),
+            vec![
+                Sequence::from_codes("empty", vec![]),
+                Sequence::from_codes("one", vec![0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.seq_len(0), 0);
+        assert_eq!(d.seq_len(1), 1);
+        assert_eq!(d.seq_of_position(0), 0); // the terminator of seq 0
+        assert_eq!(d.seq_of_position(1), 1);
+    }
+
+    #[test]
+    fn decode_range_crosses_boundaries() {
+        let d = db(&["AC", "GT"]);
+        assert_eq!(d.decode_range(0, 6), "AC$GT$");
+    }
+}

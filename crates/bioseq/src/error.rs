@@ -1,0 +1,86 @@
+//! Error types for sequence encoding and parsing.
+
+use std::fmt;
+
+/// Errors raised while encoding residues or parsing sequence files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BioseqError {
+    /// A character could not be mapped onto the active alphabet.
+    UnknownResidue {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the input where it was seen (best effort).
+        offset: usize,
+    },
+    /// A FASTA record had no header line.
+    MissingHeader {
+        /// Line number (1-based) where sequence data appeared before any `>`.
+        line: usize,
+    },
+    /// A FASTA record had a header but no residues.
+    EmptySequence {
+        /// The record's name.
+        name: String,
+    },
+    /// The database would exceed the 2^31-1 symbol addressing limit.
+    ///
+    /// Positions are stored as `u32` with the high bit reserved for
+    /// leaf/internal tagging in the suffix-tree node handles, so a single
+    /// database is limited to 2 GiB of symbols (the paper's largest data set
+    /// is 120M symbols).
+    TooLarge {
+        /// The attempted total size in symbols (including terminators).
+        attempted: u64,
+    },
+}
+
+impl fmt::Display for BioseqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BioseqError::UnknownResidue { ch, offset } => {
+                write!(f, "unknown residue {ch:?} at byte offset {offset}")
+            }
+            BioseqError::MissingHeader { line } => {
+                write!(f, "FASTA sequence data before any '>' header at line {line}")
+            }
+            BioseqError::EmptySequence { name } => {
+                write!(f, "FASTA record {name:?} contains no residues")
+            }
+            BioseqError::TooLarge { attempted } => {
+                write!(
+                    f,
+                    "database of {attempted} symbols exceeds the 2^31-1 addressing limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BioseqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BioseqError::UnknownResidue { ch: '!', offset: 7 };
+        assert!(e.to_string().contains('!'));
+        assert!(e.to_string().contains('7'));
+
+        let e = BioseqError::MissingHeader { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = BioseqError::EmptySequence { name: "sp|P1".into() };
+        assert!(e.to_string().contains("sp|P1"));
+
+        let e = BioseqError::TooLarge { attempted: 1 << 40 };
+        assert!(e.to_string().contains("addressing limit"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<BioseqError>();
+    }
+}

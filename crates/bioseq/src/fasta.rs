@@ -1,0 +1,236 @@
+//! Minimal, strict FASTA reading and writing.
+//!
+//! SWISS-PROT and genome releases ship as FASTA; this module lets the
+//! examples and the benchmark harness ingest real files when available while
+//! the synthetic workloads remain the default.
+
+use std::io::{self, BufRead, Write};
+
+use crate::alphabet::Alphabet;
+use crate::error::BioseqError;
+use crate::sequence::Sequence;
+
+/// How to treat residue letters outside the target alphabet (FASTA ambiguity
+/// codes such as `N`, `X`, `B`, `Z`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownResiduePolicy {
+    /// Fail parsing with [`BioseqError::UnknownResidue`].
+    Reject,
+    /// Silently drop the residue.
+    Skip,
+    /// Substitute a fixed residue (e.g. map everything unknown to `A`).
+    Replace(char),
+}
+
+/// Parse FASTA text into sequences encoded with `alphabet`.
+///
+/// * Lines starting with `>` begin a new record; the rest of the line is the
+///   record name.
+/// * `;` comment lines and blank lines are ignored.
+/// * Residue characters are encoded per `policy`.
+///
+/// ```
+/// use oasis_bioseq::{parse_fasta, Alphabet, UnknownResiduePolicy};
+/// let fasta = ">s1 demo\nACGT\nAC\n>s2\nGGGG\n";
+/// let seqs = parse_fasta(
+///     fasta.as_bytes(),
+///     &Alphabet::dna(),
+///     UnknownResiduePolicy::Reject,
+/// ).unwrap();
+/// assert_eq!(seqs.len(), 2);
+/// assert_eq!(seqs[0].name(), "s1 demo");
+/// assert_eq!(seqs[0].len(), 6);
+/// ```
+pub fn parse_fasta<R: BufRead>(
+    mut reader: R,
+    alphabet: &Alphabet,
+    policy: UnknownResiduePolicy,
+) -> Result<Vec<Sequence>, BioseqError> {
+    let mut out: Vec<Sequence> = Vec::new();
+    let mut name: Option<String> = None;
+    let mut codes: Vec<u8> = Vec::new();
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut global_offset = 0usize;
+
+    let mut flush = |name: &mut Option<String>, codes: &mut Vec<u8>| -> Result<(), BioseqError> {
+        if let Some(n) = name.take() {
+            if codes.is_empty() {
+                return Err(BioseqError::EmptySequence { name: n });
+            }
+            out.push(Sequence::from_codes(n, std::mem::take(codes)));
+        }
+        Ok(())
+    };
+
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|_| BioseqError::MissingHeader { line: line_no + 1 })?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            global_offset += line.len();
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            flush(&mut name, &mut codes)?;
+            name = Some(header.trim().to_string());
+        } else {
+            if name.is_none() {
+                return Err(BioseqError::MissingHeader { line: line_no });
+            }
+            for (i, ch) in trimmed.chars().enumerate() {
+                match alphabet.encode_char(ch) {
+                    Some(c) => codes.push(c),
+                    None => match policy {
+                        UnknownResiduePolicy::Reject => {
+                            return Err(BioseqError::UnknownResidue {
+                                ch,
+                                offset: global_offset + i,
+                            })
+                        }
+                        UnknownResiduePolicy::Skip => {}
+                        UnknownResiduePolicy::Replace(r) => {
+                            let c = alphabet.encode_char(r).expect(
+                                "UnknownResiduePolicy::Replace character must be in the alphabet",
+                            );
+                            codes.push(c);
+                        }
+                    },
+                }
+            }
+        }
+        global_offset += line.len();
+    }
+    flush(&mut name, &mut codes)?;
+    // `flush` moved `out` in; rebuild the return path explicitly.
+    Ok(out)
+}
+
+/// Write sequences as FASTA with 60-column wrapping.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    alphabet: &Alphabet,
+    sequences: &[Sequence],
+) -> io::Result<()> {
+    for seq in sequences {
+        writeln!(writer, ">{}", seq.name())?;
+        let text = seq.to_text(alphabet);
+        for chunk in text.as_bytes().chunks(60) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Vec<Sequence>, BioseqError> {
+        parse_fasta(s.as_bytes(), &Alphabet::dna(), UnknownResiduePolicy::Reject)
+    }
+
+    #[test]
+    fn basic_two_records() {
+        let seqs = parse(">a\nACGT\n>b\nGG\nTT\n").unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].name(), "a");
+        assert_eq!(seqs[0].codes(), &[0, 1, 2, 3]);
+        assert_eq!(seqs[1].name(), "b");
+        assert_eq!(seqs[1].len(), 4);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_ignored() {
+        let seqs = parse(">a\n;comment\n\nAC\n\nGT\n").unwrap();
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].len(), 4);
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        assert!(matches!(
+            parse("ACGT\n"),
+            Err(BioseqError::MissingHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_record_is_error() {
+        assert!(matches!(
+            parse(">a\n>b\nAC\n"),
+            Err(BioseqError::EmptySequence { .. })
+        ));
+        assert!(matches!(
+            parse(">only\n"),
+            Err(BioseqError::EmptySequence { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_policy_reject() {
+        assert!(matches!(
+            parse(">a\nACNG\n"),
+            Err(BioseqError::UnknownResidue { ch: 'N', .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_policy_skip() {
+        let seqs = parse_fasta(
+            ">a\nACNNGT\n".as_bytes(),
+            &Alphabet::dna(),
+            UnknownResiduePolicy::Skip,
+        )
+        .unwrap();
+        assert_eq!(seqs[0].codes(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_policy_replace() {
+        let seqs = parse_fasta(
+            ">a\nACNGT\n".as_bytes(),
+            &Alphabet::dna(),
+            UnknownResiduePolicy::Replace('A'),
+        )
+        .unwrap();
+        assert_eq!(seqs[0].codes(), &[0, 1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let a = Alphabet::protein();
+        let long: String = "ARNDCQEGHILKMFPSTWYV".repeat(7); // 140 residues
+        let seqs = vec![
+            Sequence::from_str("long protein", &long, &a).unwrap(),
+            Sequence::from_str("short", "WW", &a).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &a, &seqs).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        // 140 residues wrap to 60+60+20.
+        assert!(text.contains("\n>short\n"));
+        assert!(text.lines().all(|l| l.len() <= 60 || l.starts_with('>')));
+        let back = parse_fasta(&buf[..], &a, UnknownResiduePolicy::Reject).unwrap();
+        assert_eq!(back, seqs);
+    }
+
+    #[test]
+    fn header_whitespace_trimmed() {
+        let seqs = parse(">  padded name \nAC\n").unwrap();
+        assert_eq!(seqs[0].name(), "padded name");
+    }
+
+    #[test]
+    fn case_insensitive_residues() {
+        let seqs = parse(">a\nacgt\n").unwrap();
+        assert_eq!(seqs[0].codes(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,105 @@
+//! A single named, encoded sequence.
+
+use crate::alphabet::Alphabet;
+use crate::error::BioseqError;
+
+/// One biological sequence: a name plus residues encoded as alphabet codes.
+///
+/// `Sequence` is the unit of FASTA parsing and of database construction; the
+/// search algorithms themselves work on [`crate::SequenceDatabase`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    name: String,
+    codes: Vec<u8>,
+}
+
+impl Sequence {
+    /// Create a sequence from pre-encoded codes.
+    ///
+    /// Codes are not validated against any alphabet here; use
+    /// [`Sequence::from_str`] for checked construction from text.
+    pub fn from_codes(name: impl Into<String>, codes: Vec<u8>) -> Self {
+        Sequence {
+            name: name.into(),
+            codes,
+        }
+    }
+
+    /// Create a sequence by encoding `residues` with `alphabet`.
+    pub fn from_str(
+        name: impl Into<String>,
+        residues: &str,
+        alphabet: &Alphabet,
+    ) -> Result<Self, BioseqError> {
+        Ok(Sequence {
+            name: name.into(),
+            codes: alphabet.encode_str(residues)?,
+        })
+    }
+
+    /// The sequence's name (FASTA header without the `>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The encoded residues.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the sequence has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Render the residues back to text using `alphabet`.
+    pub fn to_text(&self, alphabet: &Alphabet) -> String {
+        alphabet.decode_all(&self.codes)
+    }
+
+    /// Consume the sequence, returning `(name, codes)`.
+    pub fn into_parts(self) -> (String, Vec<u8>) {
+        (self.name, self.codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_str_roundtrip() {
+        let a = Alphabet::dna();
+        let s = Sequence::from_str("chr1", "ACGTAC", &a).unwrap();
+        assert_eq!(s.name(), "chr1");
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert_eq!(s.to_text(&a), "ACGTAC");
+    }
+
+    #[test]
+    fn from_str_rejects_bad_residue() {
+        let a = Alphabet::dna();
+        assert!(Sequence::from_str("x", "ACGU", &a).is_err());
+    }
+
+    #[test]
+    fn into_parts() {
+        let s = Sequence::from_codes("n", vec![1, 2, 3]);
+        let (name, codes) = s.into_parts();
+        assert_eq!(name, "n");
+        assert_eq!(codes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_sequence_is_empty() {
+        let s = Sequence::from_codes("e", vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! BLAST tuning parameters.
+
+use oasis_align::Score;
+
+/// One-hit (BLAST 1.4) or two-hit (BLAST 2.0) seeding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Every neighborhood word hit triggers an extension.
+    OneHit,
+    /// Extension requires two non-overlapping hits on the same diagonal
+    /// within `window` positions (faster, slightly less sensitive).
+    TwoHit {
+        /// The diagonal window `A`.
+        window: u32,
+    },
+}
+
+/// Heuristic-search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlastParams {
+    /// Word length `w` (3 for proteins, 11 for nucleotides).
+    pub word_size: usize,
+    /// Neighborhood threshold `T`: a database word seeds a query word when
+    /// their pairwise score is at least `T`.
+    pub threshold: Score,
+    /// Ungapped X-drop: extension stops once the running score falls this
+    /// far below the best seen.
+    pub x_drop: Score,
+    /// Ungapped score that triggers a gapped extension.
+    pub gap_trigger: Score,
+    /// Seeding mode.
+    pub seed_mode: SeedMode,
+    /// Report alignments with E-value at most this.
+    pub evalue: f64,
+}
+
+impl BlastParams {
+    /// blastp-style defaults (word 3, T 11, two-hit window 40).
+    pub fn protein() -> Self {
+        BlastParams {
+            word_size: 3,
+            threshold: 11,
+            x_drop: 16,
+            gap_trigger: 22,
+            seed_mode: SeedMode::TwoHit { window: 40 },
+            evalue: 10.0,
+        }
+    }
+
+    /// Short-query protein settings, as the BLAST program-selection guide
+    /// recommends (§1 of the paper cites it): smaller words, lower
+    /// threshold, one-hit seeding, and a relaxed E-value.
+    pub fn short_protein() -> Self {
+        BlastParams {
+            word_size: 2,
+            threshold: 16,
+            x_drop: 16,
+            gap_trigger: 18,
+            seed_mode: SeedMode::OneHit,
+            evalue: 20_000.0,
+        }
+    }
+
+    /// blastn-style defaults: long exact words.
+    pub fn dna() -> Self {
+        BlastParams {
+            word_size: 11,
+            // With the unit matrix an 11-mer scores 11 only when identical.
+            threshold: 11,
+            x_drop: 10,
+            gap_trigger: 14,
+            seed_mode: SeedMode::OneHit,
+            evalue: 10.0,
+        }
+    }
+
+    /// Replace the E-value threshold.
+    pub fn with_evalue(mut self, evalue: f64) -> Self {
+        assert!(evalue > 0.0, "E-value threshold must be positive");
+        self.evalue = evalue;
+        self
+    }
+
+    /// Replace the word size.
+    pub fn with_word_size(mut self, w: usize) -> Self {
+        assert!(w >= 1, "word size must be at least 1");
+        self.word_size = w;
+        self
+    }
+
+    /// Replace the neighborhood threshold.
+    pub fn with_threshold(mut self, t: Score) -> Self {
+        self.threshold = t;
+        self
+    }
+
+    /// Replace the seeding mode.
+    pub fn with_seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = BlastParams::protein();
+        assert_eq!(p.word_size, 3);
+        assert!(matches!(p.seed_mode, SeedMode::TwoHit { window: 40 }));
+
+        let s = BlastParams::short_protein();
+        assert_eq!(s.word_size, 2);
+        assert!(matches!(s.seed_mode, SeedMode::OneHit));
+        assert!(s.evalue > 1000.0);
+
+        let d = BlastParams::dna();
+        assert_eq!(d.word_size, 11);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let p = BlastParams::protein()
+            .with_evalue(1.0)
+            .with_word_size(4)
+            .with_threshold(15)
+            .with_seed_mode(SeedMode::OneHit);
+        assert_eq!(p.evalue, 1.0);
+        assert_eq!(p.word_size, 4);
+        assert_eq!(p.threshold, 15);
+        assert_eq!(p.seed_mode, SeedMode::OneHit);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_evalue_rejected() {
+        BlastParams::protein().with_evalue(0.0);
+    }
+}

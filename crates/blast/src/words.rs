@@ -1,0 +1,211 @@
+//! Query word list and neighborhood generation.
+//!
+//! For a query of length `n` and word size `w`, every window `q[p..p+w]`
+//! contributes its *neighborhood*: all words `x ∈ Σ^w` with
+//! `Σ_k S(x_k, q[p+k]) ≥ T`. The index maps each neighborhood word (encoded
+//! as a radix-|Σ| integer) to the query offsets it seeds.
+
+use std::collections::HashMap;
+
+use oasis_align::{Score, SubstitutionMatrix};
+
+/// Lookup table from database words to seeding query offsets.
+#[derive(Debug, Clone)]
+pub struct WordIndex {
+    word_size: usize,
+    alphabet_len: u32,
+    /// word code -> query offsets whose neighborhood contains the word.
+    map: HashMap<u32, Vec<u32>>,
+}
+
+impl WordIndex {
+    /// Build the neighborhood index for `query`.
+    ///
+    /// Cost is bounded by branch-and-bound enumeration: a partial word is
+    /// abandoned as soon as even perfect completion cannot reach `T`.
+    pub fn build(
+        query: &[u8],
+        matrix: &SubstitutionMatrix,
+        word_size: usize,
+        threshold: Score,
+    ) -> Self {
+        assert!(word_size >= 1, "word size must be at least 1");
+        let sigma = matrix.alphabet_len() as u32;
+        assert!(
+            (sigma as u64).pow(word_size as u32) < u32::MAX as u64,
+            "word space must fit in u32"
+        );
+        let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+        if query.len() < word_size {
+            return WordIndex {
+                word_size,
+                alphabet_len: sigma,
+                map,
+            };
+        }
+        // Suffix maxima of per-position best scores, for the bound.
+        for p in 0..=query.len() - word_size {
+            let window = &query[p..p + word_size];
+            let mut suffix_max = vec![0 as Score; word_size + 1];
+            for k in (0..word_size).rev() {
+                suffix_max[k] = suffix_max[k + 1] + matrix.row_max(window[k]);
+            }
+            // DFS over Σ^w with pruning.
+            let mut stack: Vec<(usize, u32, Score)> = vec![(0, 0, 0)];
+            while let Some((k, code, score)) = stack.pop() {
+                if k == word_size {
+                    if score >= threshold {
+                        map.entry(code).or_default().push(p as u32);
+                    }
+                    continue;
+                }
+                for b in 0..sigma {
+                    let s = score + matrix.score(window[k], b as u8);
+                    if s + suffix_max[k + 1] >= threshold {
+                        stack.push((k + 1, code * sigma + b, s));
+                    }
+                }
+            }
+        }
+        WordIndex {
+            word_size,
+            alphabet_len: sigma,
+            map,
+        }
+    }
+
+    /// Word length.
+    pub fn word_size(&self) -> usize {
+        self.word_size
+    }
+
+    /// Number of distinct neighborhood words.
+    pub fn num_words(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The query offsets seeded by `word_code`, if any.
+    pub fn lookup(&self, word_code: u32) -> Option<&[u32]> {
+        self.map.get(&word_code).map(|v| v.as_slice())
+    }
+
+    /// Encode a word (slice of `word_size` codes) into its radix code.
+    pub fn encode(&self, word: &[u8]) -> u32 {
+        debug_assert_eq!(word.len(), self.word_size);
+        word.iter()
+            .fold(0u32, |acc, &c| acc * self.alphabet_len + c as u32)
+    }
+
+    /// Rolling encoder over a code sequence: yields `(end_offset, code)` for
+    /// every window.
+    pub fn scan<'s>(&self, seq: &'s [u8]) -> impl Iterator<Item = (usize, u32)> + 's {
+        let w = self.word_size;
+        let sigma = self.alphabet_len;
+        let modulus = sigma.pow(w as u32 - 1);
+        let mut code = 0u32;
+        seq.iter().enumerate().filter_map(move |(i, &c)| {
+            code = (code % modulus) * sigma + c as u32;
+            if i + 1 >= w {
+                Some((i + 1 - w, code))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_align::SubstitutionMatrix;
+    use oasis_bioseq::{Alphabet, AlphabetKind};
+
+    fn protein(s: &str) -> Vec<u8> {
+        Alphabet::protein().encode_str(s).unwrap()
+    }
+
+    fn dna(s: &str) -> Vec<u8> {
+        Alphabet::dna().encode_str(s).unwrap()
+    }
+
+    #[test]
+    fn exact_words_always_in_neighborhood() {
+        // With a high threshold equal to the self-score, only the exact
+        // word survives.
+        let q = dna("ACGT");
+        let m = SubstitutionMatrix::unit(AlphabetKind::Dna);
+        let idx = WordIndex::build(&q, &m, 2, 2);
+        // Self-score of every 2-mer under the unit matrix is 2.
+        assert_eq!(idx.num_words(), 3); // AC, CG, GT
+        assert_eq!(idx.lookup(idx.encode(&dna("AC"))), Some(&[0u32][..]));
+        assert_eq!(idx.lookup(idx.encode(&dna("CG"))), Some(&[1u32][..]));
+        assert_eq!(idx.lookup(idx.encode(&dna("GT"))), Some(&[2u32][..]));
+        assert!(idx.lookup(idx.encode(&dna("AA"))).is_none());
+    }
+
+    #[test]
+    fn neighborhood_grows_as_threshold_drops() {
+        let q = protein("WCW");
+        let m = SubstitutionMatrix::blosum62();
+        let strict = WordIndex::build(&q, &m, 3, 25);
+        let loose = WordIndex::build(&q, &m, 3, 15);
+        assert!(loose.num_words() > strict.num_words());
+        // The exact word is present in both (self-score 11+9+11 = 31).
+        let code = strict.encode(&protein("WCW"));
+        assert!(strict.lookup(code).is_some());
+        assert!(loose.lookup(code).is_some());
+    }
+
+    #[test]
+    fn neighborhood_matches_brute_force() {
+        let q = protein("AWK");
+        let m = SubstitutionMatrix::blosum62();
+        let t = 14;
+        let idx = WordIndex::build(&q, &m, 3, t);
+        // Brute force over all 20^3 words.
+        let mut count = 0usize;
+        for a in 0..20u8 {
+            for b in 0..20u8 {
+                for c in 0..20u8 {
+                    let score = m.score(q[0], a) + m.score(q[1], b) + m.score(q[2], c);
+                    let code = idx.encode(&[a, b, c]);
+                    let hit = idx.lookup(code).is_some();
+                    assert_eq!(hit, score >= t, "word {a},{b},{c}");
+                    if hit {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(idx.num_words(), count);
+    }
+
+    #[test]
+    fn query_shorter_than_word_has_empty_index() {
+        let q = dna("AC");
+        let m = SubstitutionMatrix::unit(AlphabetKind::Dna);
+        let idx = WordIndex::build(&q, &m, 3, 3);
+        assert_eq!(idx.num_words(), 0);
+    }
+
+    #[test]
+    fn rolling_scan_matches_direct_encoding() {
+        let m = SubstitutionMatrix::unit(AlphabetKind::Dna);
+        let q = dna("ACGT");
+        let idx = WordIndex::build(&q, &m, 2, 2);
+        let seq = dna("ACGTTGCA");
+        let rolled: Vec<(usize, u32)> = idx.scan(&seq).collect();
+        assert_eq!(rolled.len(), seq.len() - 1);
+        for &(start, code) in &rolled {
+            assert_eq!(code, idx.encode(&seq[start..start + 2]), "at {start}");
+        }
+    }
+
+    #[test]
+    fn multiple_query_positions_share_a_word() {
+        let q = dna("ACAC");
+        let m = SubstitutionMatrix::unit(AlphabetKind::Dna);
+        let idx = WordIndex::build(&q, &m, 2, 2);
+        assert_eq!(idx.lookup(idx.encode(&dna("AC"))), Some(&[0u32, 2][..]));
+    }
+}

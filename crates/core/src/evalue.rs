@@ -1,0 +1,233 @@
+//! E-value-ordered online reporting — the §4.3 refinement.
+//!
+//! "BLAST performs additional statistical adjustments to the E value based
+//! both on the length of the query and on the lengths of individual
+//! sequences in the database. […] OASIS can however perform the same
+//! adjustments: […] To strictly maintain online properties, OASIS must also
+//! sort the queue based on an optimistic estimate of E-value, as it relates
+//! to alignment score. When a particular sequence is accepted, it must then
+//! be pushed back on the priority queue with a non-optimistic E value
+//! (adjusted for the actual sequence length)."
+//!
+//! [`EvalueOrderedSearch`] realizes exactly that scheme: it drives the
+//! score-ordered [`OasisSearch`] and holds each accepted hit in a reorder
+//! buffer keyed by its *length-adjusted* E-value
+//! (`E = K · m · L_seq · e^(−λ·S)`). A held hit is released once the
+//! optimistic E-value of anything the underlying search can still produce —
+//! its score bound combined with the *shortest* sequence length — can no
+//! longer undercut it. Output is therefore in non-decreasing adjusted
+//! E-value order, still online.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use oasis_align::KarlinParams;
+use oasis_suffix::SuffixTreeAccess;
+
+use crate::search::{Hit, OasisSearch};
+
+/// A hit paired with its length-adjusted E-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluedHit {
+    /// The underlying hit.
+    pub hit: Hit,
+    /// Its E-value adjusted for the containing sequence's length.
+    pub evalue: f64,
+}
+
+/// Min-heap entry ordered by E-value (then deterministic tie-breakers).
+struct Held(EvaluedHit);
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on E-value; ties by score desc, seq asc.
+        other
+            .0
+            .evalue
+            .total_cmp(&self.0.evalue)
+            .then_with(|| self.0.hit.score.cmp(&other.0.hit.score))
+            .then_with(|| other.0.hit.seq.cmp(&self.0.hit.seq))
+    }
+}
+
+/// Online search emitting hits in non-decreasing *adjusted* E-value order.
+pub struct EvalueOrderedSearch<'a, T: SuffixTreeAccess + ?Sized> {
+    inner: OasisSearch<'a, T>,
+    karlin: KarlinParams,
+    query_len: u64,
+    /// Length of the shortest database sequence — the most optimistic
+    /// length adjustment any future hit could enjoy.
+    min_seq_len: u64,
+    seq_lens: Vec<u64>,
+    held: BinaryHeap<Held>,
+}
+
+impl<'a, T: SuffixTreeAccess + ?Sized> EvalueOrderedSearch<'a, T> {
+    /// Wrap a configured [`OasisSearch`]; `karlin` must describe the same
+    /// scoring system.
+    pub fn new(
+        inner: OasisSearch<'a, T>,
+        db: &oasis_bioseq::SequenceDatabase,
+        query_len: usize,
+        karlin: KarlinParams,
+    ) -> Self {
+        let seq_lens: Vec<u64> = (0..db.num_sequences())
+            .map(|i| db.seq_len(i).max(1) as u64)
+            .collect();
+        let min_seq_len = seq_lens.iter().copied().min().unwrap_or(1);
+        EvalueOrderedSearch {
+            inner,
+            karlin,
+            query_len: query_len as u64,
+            min_seq_len,
+            seq_lens,
+            held: BinaryHeap::new(),
+        }
+    }
+
+    fn adjusted(&self, hit: &Hit) -> f64 {
+        self.karlin
+            .evalue(self.query_len, self.seq_lens[hit.seq as usize], hit.score)
+    }
+
+    fn optimistic_bound(&self) -> Option<f64> {
+        self.inner
+            .score_bound()
+            .map(|s| self.karlin.evalue(self.query_len, self.min_seq_len, s))
+    }
+}
+
+impl<T: SuffixTreeAccess + ?Sized> Iterator for EvalueOrderedSearch<'_, T> {
+    type Item = EvaluedHit;
+
+    fn next(&mut self) -> Option<EvaluedHit> {
+        loop {
+            // Release the cheapest held hit once nothing in the future can
+            // undercut it.
+            if let Some(top) = self.held.peek() {
+                match self.optimistic_bound() {
+                    None => return self.held.pop().map(|h| h.0),
+                    Some(bound) if top.0.evalue <= bound => {
+                        return self.held.pop().map(|h| h.0)
+                    }
+                    Some(_) => {}
+                }
+            }
+            match self.inner.next() {
+                Some(hit) => {
+                    let evalue = self.adjusted(&hit);
+                    self.held.push(Held(EvaluedHit { hit, evalue }));
+                }
+                None => return self.held.pop().map(|h| h.0),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::OasisParams;
+    use oasis_align::{background_dna, Scoring, SubstitutionMatrix};
+    use oasis_bioseq::{Alphabet, AlphabetKind, DatabaseBuilder, SequenceDatabase};
+    use oasis_suffix::SuffixTree;
+
+    fn db() -> SequenceDatabase {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        // Long sequence with a good match, short sequence with a slightly
+        // weaker match: length adjustment can reorder them.
+        b.push_str("long", &format!("{}TACGT{}", "A".repeat(200), "C".repeat(200)))
+            .unwrap();
+        b.push_str("short", "GTACG").unwrap();
+        b.push_str("medium", &format!("{}TAGG{}", "G".repeat(30), "A".repeat(30)))
+            .unwrap();
+        b.finish()
+    }
+
+    fn karlin() -> KarlinParams {
+        KarlinParams::estimate(
+            &SubstitutionMatrix::unit(AlphabetKind::Dna),
+            &background_dna(),
+        )
+        .unwrap()
+    }
+
+    fn run_evalue_ordered(database: &SequenceDatabase, min: i32) -> Vec<EvaluedHit> {
+        let tree = SuffixTree::build(database);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let params = OasisParams::with_min_score(min);
+        let inner = OasisSearch::new(&tree, database, &query, &scoring, &params);
+        EvalueOrderedSearch::new(inner, database, query.len(), karlin()).collect()
+    }
+
+    #[test]
+    fn evalues_non_decreasing() {
+        let database = db();
+        let hits = run_evalue_ordered(&database, 1);
+        assert!(!hits.is_empty());
+        assert!(
+            hits.windows(2).all(|w| w[0].evalue <= w[1].evalue),
+            "{:?}",
+            hits.iter().map(|h| h.evalue).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn same_hit_set_as_score_ordered() {
+        let database = db();
+        let evalue_hits = run_evalue_ordered(&database, 1);
+
+        let tree = SuffixTree::build(&database);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let params = OasisParams::with_min_score(1);
+        let (score_hits, _) =
+            OasisSearch::new(&tree, &database, &query, &scoring, &params).run();
+
+        let mut a: Vec<_> = evalue_hits.iter().map(|h| (h.hit.seq, h.hit.score)).collect();
+        a.sort_unstable();
+        let mut b: Vec<_> = score_hits.iter().map(|h| (h.seq, h.score)).collect();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_offline_sort() {
+        // Online ordering must equal sorting all hits by adjusted E-value.
+        let database = db();
+        let online: Vec<f64> = run_evalue_ordered(&database, 1)
+            .iter()
+            .map(|h| h.evalue)
+            .collect();
+        let mut offline = online.clone();
+        offline.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn length_adjustment_can_reorder_equal_scores() {
+        // Two sequences with the same best score: the shorter one has the
+        // smaller adjusted E-value and must come first.
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        b.push_str("long", &format!("TACG{}", "A".repeat(300))).unwrap();
+        b.push_str("short", "TACG").unwrap();
+        let database = b.finish();
+        let hits = run_evalue_ordered(&database, 4);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].hit.score, hits[1].hit.score);
+        assert_eq!(database.name(hits[0].hit.seq), "short");
+        assert!(hits[0].evalue < hits[1].evalue);
+    }
+}

@@ -1,0 +1,469 @@
+//! Algorithm 3: the `Expand` function — "the core of the OASIS algorithm".
+//!
+//! Expanding a suffix-tree arc fills the corresponding columns of the
+//! (never-resetting) Smith-Waterman matrix, seeded with the parent node's
+//! final column. After each column three pruning rules fire (§3.2):
+//!
+//! 1. **Non-positive alignment scores** (`M[i][j] ≤ 0`) — such alignments
+//!    are covered by other suffix-tree paths, because every subsequence of
+//!    the target is the prefix of some path.
+//! 2. **Existing alignment is as good** (`M[i][j] + h_i ≤ Gmax(path)`) —
+//!    the optimistic completion cannot beat the strongest alignment already
+//!    found along this path.
+//! 3. **Threshold failure** (`M[i][j] + h_i < minScore`) — no extension can
+//!    reach the score threshold.
+//!
+//! Expansion also stops early: if the column's upper bound `f` drops to
+//! `Gmax` the node is *accepted* (or *unviable* if `Gmax < minScore`); if
+//! `f` falls below `minScore` the node is *unviable*. A terminator symbol
+//! ends a leaf arc the same way ("we simply set f and g to the maximum
+//! value seen along the path", §3.3).
+
+use oasis_align::{Score, Scoring, NEG_INF};
+use oasis_bioseq::TERMINATOR;
+use oasis_suffix::{NodeHandle, SuffixTreeAccess};
+
+use crate::node::{SearchNode, Status};
+
+/// Reusable buffers for [`expand`], so the hot loop performs no allocation
+/// except for the `C` vector of nodes that stay viable.
+#[derive(Debug, Default)]
+pub struct ExpandScratch {
+    prev: Vec<Score>,
+    cur: Vec<Score>,
+    chunk: Vec<u8>,
+}
+
+/// How many arc symbols are pulled from the tree per `arc_fill` call.
+/// Chunking keeps disk-backed trees efficient without materializing whole
+/// leaf arcs (expansion usually terminates after a handful of columns).
+const ARC_CHUNK: usize = 64;
+
+/// Which of §3.2's pruning rules are active. All three are on in normal
+/// operation; the ablation benches disable them individually to quantify
+/// each rule's contribution. Disabling rules never changes the reported
+/// result set — only the amount of work (and, for `threshold`, whether
+/// hopeless subtrees are abandoned at the node level too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneRules {
+    /// Rule 1: prune non-positive alignment scores.
+    pub non_positive: bool,
+    /// Rule 2: prune cells whose optimistic completion cannot beat
+    /// `Gmax(path)`.
+    pub no_improvement: bool,
+    /// Rule 3: prune cells (and abandon nodes) that cannot reach `minScore`.
+    pub threshold: bool,
+}
+
+impl Default for PruneRules {
+    fn default() -> Self {
+        PruneRules {
+            non_positive: true,
+            no_improvement: true,
+            threshold: true,
+        }
+    }
+}
+
+/// Expand `child` (an arc of the suffix tree) from `parent`, producing the
+/// child's search node. `parent` must be a viable node whose `c` vector is
+/// populated; `h` is the heuristic vector; `seq` is the new node's
+/// deterministic tie-breaking sequence number. Each computed DP column
+/// increments `columns`, the filtering metric of the paper's Figure 4.
+#[allow(clippy::too_many_arguments)]
+pub fn expand<T: SuffixTreeAccess + ?Sized>(
+    tree: &T,
+    parent: &SearchNode,
+    child: NodeHandle,
+    query: &[u8],
+    scoring: &Scoring,
+    h: &[Score],
+    min_score: Score,
+    seq: u64,
+    scratch: &mut ExpandScratch,
+    columns: &mut u64,
+) -> SearchNode {
+    expand_with_rules(
+        tree,
+        parent,
+        child,
+        query,
+        scoring,
+        h,
+        min_score,
+        seq,
+        scratch,
+        columns,
+        PruneRules::default(),
+    )
+}
+
+/// [`expand`] with explicit pruning-rule control (ablation entry point).
+#[allow(clippy::too_many_arguments)]
+pub fn expand_with_rules<T: SuffixTreeAccess + ?Sized>(
+    tree: &T,
+    parent: &SearchNode,
+    child: NodeHandle,
+    query: &[u8],
+    scoring: &Scoring,
+    h: &[Score],
+    min_score: Score,
+    seq: u64,
+    scratch: &mut ExpandScratch,
+    columns: &mut u64,
+    rules: PruneRules,
+) -> SearchNode {
+    debug_assert_eq!(parent.status, Status::Viable);
+    debug_assert_eq!(parent.c.len(), query.len() + 1);
+    let n = query.len();
+    let gap = scoring.gap.linear_per_symbol();
+    let parent_depth = parent.depth;
+    let arc_total = tree.arc_len(parent_depth, child);
+
+    let mut gmax = parent.gmax;
+    let mut gmax_depth = parent.gmax_depth;
+    let mut gmax_qend = parent.gmax_qend;
+
+    scratch.prev.clear();
+    scratch.prev.extend_from_slice(&parent.c);
+    scratch.cur.resize(n + 1, NEG_INF);
+    scratch.chunk.resize(ARC_CHUNK, 0);
+
+    let mut depth = parent_depth;
+    let mut consumed = 0u32;
+    let mut f_col = NEG_INF;
+    let mut g_col = NEG_INF;
+
+    let terminal = |gmax: Score, gmax_depth: u32, gmax_qend: u32, depth: u32| SearchNode {
+        handle: child,
+        depth,
+        f: gmax,
+        g: gmax,
+        gmax,
+        gmax_depth,
+        gmax_qend,
+        status: if gmax >= min_score {
+            Status::Accepted
+        } else {
+            Status::Unviable
+        },
+        c: Box::new([]),
+        e: Box::new([]),
+        seq,
+    };
+
+    while consumed < arc_total {
+        let got = tree.arc_fill(parent_depth, child, consumed, &mut scratch.chunk);
+        debug_assert!(got > 0, "arc_fill must make progress");
+        for k in 0..got {
+            let t = scratch.chunk[k];
+            if t == TERMINATOR {
+                // End of a leaf arc: "no further expansion is possible".
+                return terminal(gmax, gmax_depth, gmax_qend, depth);
+            }
+            *columns += 1;
+            depth += 1;
+            let prev = &scratch.prev;
+            let cur = &mut scratch.cur;
+
+            let pruned = |v: Score, hi: Score, gmax: Score| -> bool {
+                (rules.non_positive && v <= 0)
+                    || (rules.no_improvement && v + hi <= gmax)
+                    || (rules.threshold && v + hi < min_score)
+            };
+
+            // Row 0: the empty query prefix can only extend by a deletion;
+            // resets to zero are "not permitted outside of the seed entry".
+            let v0 = prev[0] + gap;
+            cur[0] = if pruned(v0, h[0], gmax) { NEG_INF } else { v0 };
+            f_col = if cur[0] == NEG_INF { NEG_INF } else { cur[0] + h[0] };
+            g_col = cur[0];
+
+            for i in 1..=n {
+                let replace = prev[i - 1] + scoring.sub(query[i - 1], t);
+                let insert = cur[i - 1] + gap; // skip a query symbol
+                let delete = prev[i] + gap; // skip a target symbol
+                let best = replace.max(insert).max(delete);
+                if pruned(best, h[i], gmax) {
+                    cur[i] = NEG_INF;
+                } else {
+                    cur[i] = best;
+                    if best > gmax {
+                        gmax = best;
+                        gmax_depth = depth;
+                        gmax_qend = i as u32;
+                    }
+                    f_col = f_col.max(best + h[i]);
+                    g_col = g_col.max(best);
+                }
+            }
+
+            // Early exits (§3.2): no improvement possible along this path…
+            if f_col <= gmax {
+                return terminal(gmax, gmax_depth, gmax_qend, depth);
+            }
+            // …or the threshold is out of reach.
+            if rules.threshold && f_col < min_score {
+                return SearchNode {
+                    handle: child,
+                    depth,
+                    f: f_col,
+                    g: g_col,
+                    gmax,
+                    gmax_depth,
+                    gmax_qend,
+                    status: Status::Unviable,
+                    c: Box::new([]),
+                    e: Box::new([]),
+                    seq,
+                };
+            }
+            std::mem::swap(&mut scratch.prev, &mut scratch.cur);
+        }
+        consumed += got as u32;
+    }
+
+    // Whole arc consumed without a terminator: an internal node, still
+    // promising — keep its final column for the children.
+    debug_assert!(!child.is_leaf(), "leaf arcs end with a terminator");
+    SearchNode {
+        handle: child,
+        depth,
+        f: f_col,
+        g: g_col,
+        gmax,
+        gmax_depth,
+        gmax_qend,
+        status: Status::Viable,
+        c: scratch.prev.clone().into_boxed_slice(),
+        e: Box::new([]),
+        seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::heuristic_vector;
+    use crate::search::root_node;
+    use oasis_align::Scoring;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder, SequenceDatabase};
+    use oasis_suffix::SuffixTree;
+
+    fn figure2_db() -> SequenceDatabase {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        b.push_str("s0", "AGTACGCCTAG").unwrap();
+        b.finish()
+    }
+
+    /// Find the internal node whose path label is `label`.
+    fn node_by_label(tree: &SuffixTree, label: &str) -> NodeHandle {
+        let alpha = Alphabet::dna();
+        (0..SuffixTreeAccess::num_internal(tree))
+            .map(NodeHandle::internal)
+            .find(|&h| alpha.decode_all(&tree.path_label(h)) == label)
+            .unwrap_or_else(|| panic!("no internal node with path {label}"))
+    }
+
+    /// Drive one expansion of the §3.3 walkthrough: query TACG, unit
+    /// matrix, minScore 1.
+    fn walkthrough_expand(label: &str) -> SearchNode {
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let root = root_node(&query, &h, 1).expect("root viable");
+        let child = node_by_label(&tree, label);
+        let mut scratch = ExpandScratch::default();
+        let mut columns = 0;
+        expand(
+            &tree, &root, child, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+        )
+    }
+
+    #[test]
+    fn root_node_matches_paper() {
+        // §3.3: the root entry has C = [0,0,0,0,−∞], f = 4, g = 0.
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let root = root_node(&query, &h, 1).unwrap();
+        assert_eq!(root.f, 4);
+        assert_eq!(root.g, 0);
+        assert_eq!(root.gmax, 0);
+        assert_eq!(&root.c[..4], &[0, 0, 0, 0]);
+        assert_eq!(root.c[4], NEG_INF); // h_4 = 0 < minScore prunes it
+        assert_eq!(root.status, Status::Viable);
+    }
+
+    #[test]
+    fn expand_node_1n_path_a() {
+        // Paper: expanding 1N (path "A") gives a VIABLE node with f=3, and
+        // the only surviving C entry is c_2 = 1.
+        let node = walkthrough_expand("A");
+        assert_eq!(node.status, Status::Viable);
+        assert_eq!(node.f, 3);
+        assert_eq!(node.g, 1);
+        assert_eq!(node.gmax, 1);
+        assert_eq!(node.c[2], 1);
+        for i in [0usize, 1, 3, 4] {
+            assert_eq!(node.c[i], NEG_INF, "c[{i}] should be pruned");
+        }
+    }
+
+    #[test]
+    fn expand_node_2n_path_c() {
+        // Paper: 2N expansion results in f = 2 and g = 1.
+        let node = walkthrough_expand("C");
+        assert_eq!(node.status, Status::Viable);
+        assert_eq!(node.f, 2);
+        assert_eq!(node.g, 1);
+    }
+
+    #[test]
+    fn expand_node_3n_path_g_accepted() {
+        // Paper: "The expansion of node 3N results in f and g values of 1,
+        // so this node is tagged as ACCEPTED."
+        let node = walkthrough_expand("G");
+        assert_eq!(node.status, Status::Accepted);
+        assert_eq!(node.f, 1);
+        assert_eq!(node.g, 1);
+        assert_eq!(node.gmax, 1);
+    }
+
+    #[test]
+    fn expand_node_4n_path_ta() {
+        // Paper: 4N (path "TA") expands two columns to a VIABLE node with
+        // f = 4; the strongest alignment so far is TA/TA with score 2.
+        let node = walkthrough_expand("TA");
+        assert_eq!(node.status, Status::Viable);
+        assert_eq!(node.f, 4);
+        assert_eq!(node.g, 2);
+        assert_eq!(node.gmax, 2);
+        assert_eq!(node.gmax_depth, 2);
+        assert_eq!(node.gmax_qend, 2);
+        assert_eq!(node.c[2], 2);
+    }
+
+    #[test]
+    fn expand_leaf_2l_accepts_with_score_4() {
+        // Paper: expanding 2L from 4N reaches an accept state in the second
+        // column with f = g = 4.
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let root = root_node(&query, &h, 1).unwrap();
+        let ta = node_by_label(&tree, "TA");
+        let mut scratch = ExpandScratch::default();
+        let mut columns = 0;
+        let ta_node = expand(
+            &tree, &root, ta, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+        );
+        let leaf2 = NodeHandle::leaf(2);
+        let node = expand(
+            &tree, &ta_node, leaf2, &query, &scoring, &h, 1, 2, &mut scratch, &mut columns,
+        );
+        assert_eq!(node.status, Status::Accepted);
+        assert_eq!(node.f, 4);
+        assert_eq!(node.g, 4);
+        assert_eq!(node.gmax_depth, 4); // TACG: whole 4-symbol path
+        assert_eq!(node.gmax_qend, 4);
+    }
+
+    #[test]
+    fn expand_leaf_8l_accepts_with_score_2() {
+        // Paper: 8L's expansion results in f and g values of 2.
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let root = root_node(&query, &h, 1).unwrap();
+        let ta = node_by_label(&tree, "TA");
+        let mut scratch = ExpandScratch::default();
+        let mut columns = 0;
+        let ta_node = expand(
+            &tree, &root, ta, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+        );
+        let leaf8 = NodeHandle::leaf(8);
+        let node = expand(
+            &tree, &ta_node, leaf8, &query, &scoring, &h, 1, 2, &mut scratch, &mut columns,
+        );
+        assert_eq!(node.status, Status::Accepted);
+        assert_eq!(node.f, 2);
+        assert_eq!(node.g, 2);
+        assert_eq!(node.gmax, 2);
+    }
+
+    #[test]
+    fn columns_counter_counts_dp_columns() {
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let root = root_node(&query, &h, 1).unwrap();
+        let mut scratch = ExpandScratch::default();
+        let mut columns = 0;
+        let ta = node_by_label(&tree, "TA");
+        expand(
+            &tree, &root, ta, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+        );
+        assert_eq!(columns, 2); // "TA" = two columns
+    }
+
+    #[test]
+    fn disabled_rules_change_work_not_results() {
+        // Rules off keeps more cells alive: the node is still viable with
+        // the same f/g/gmax, only the C vector retains extra entries.
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let root = root_node(&query, &h, 1).unwrap();
+        let a = node_by_label(&tree, "A");
+        let mut scratch = ExpandScratch::default();
+        let mut cols = 0;
+        let strict = expand(
+            &tree, &root, a, &query, &scoring, &h, 1, 1, &mut scratch, &mut cols,
+        );
+        let rules_off = PruneRules {
+            non_positive: false,
+            no_improvement: false,
+            threshold: false,
+        };
+        let loose = expand_with_rules(
+            &tree, &root, a, &query, &scoring, &h, 1, 1, &mut scratch, &mut cols, rules_off,
+        );
+        assert_eq!(strict.f, loose.f);
+        assert_eq!(strict.g, loose.g);
+        assert_eq!(strict.gmax, loose.gmax);
+        assert_eq!(strict.status, loose.status);
+        // The loose expansion keeps at least as many live C entries.
+        let live = |n: &SearchNode| n.c.iter().filter(|&&v| v > NEG_INF / 2).count();
+        assert!(live(&loose) >= live(&strict));
+    }
+
+    #[test]
+    fn unviable_when_threshold_unreachable() {
+        // minScore 5 > best possible along "G" (f_col = 1): unviable.
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        // Root with minScore 4 still viable (f = 4).
+        let root = root_node(&query, &h, 4).unwrap();
+        let g = node_by_label(&tree, "G");
+        let mut scratch = ExpandScratch::default();
+        let mut columns = 0;
+        let node = expand(
+            &tree, &root, g, &query, &scoring, &h, 4, 1, &mut scratch, &mut columns,
+        );
+        assert_eq!(node.status, Status::Unviable);
+    }
+}

@@ -1,0 +1,121 @@
+//! The heuristic vector `h` (Algorithm 2, §3.1 of the paper).
+//!
+//! "Each entry `h_i` in the vector `h` represents the maximum possible
+//! alignment score of `q_{i+1} … q_n` with any arbitrary target. […] `h_n`
+//! is set to zero, since the leftover portion of the query is the empty
+//! string. We can then inductively calculate the remaining values:
+//! `h_i = h_{i+1} +` the maximum score for the replacement of `q_{i+1}`."
+//!
+//! Two refinements keep the bound *admissible* for arbitrary matrices (the
+//! paper assumes every residue has a positive best replacement and
+//! non-positive gap scores):
+//!
+//! * a local alignment may end anywhere, so the best completion from
+//!   position `i` is the best **prefix sum** of future per-position maxima:
+//!   `h_i = max(0, best_i+1 + h_{i+1})`;
+//! * a completion may also *skip* a query residue with a gap, so the
+//!   per-position contribution is `max(row_max(q_k), gap_per_symbol)` (for
+//!   affine gaps, `extend` bounds every gapped symbol's contribution since
+//!   `open ≤ 0`).
+//!
+//! For PAM30/BLOSUM62/unit matrices both refinements coincide with the
+//! paper's plain sum.
+
+use oasis_align::{GapModel, Score, Scoring};
+
+/// Compute the heuristic vector for `query` (length `n`); `h[i]` bounds the
+/// score obtainable by extending an alignment that currently ends at query
+/// position `i` (0-based prefix length). `h[n] = 0`, and `h` is
+/// non-increasing... strictly: `h[i] >= h[i+1]` never holds in general, but
+/// `h[i] >= 0` always.
+pub fn heuristic_vector(query: &[u8], scoring: &Scoring) -> Vec<Score> {
+    let n = query.len();
+    let per_gap = match scoring.gap {
+        GapModel::Linear { per_symbol } => per_symbol,
+        // `open <= 0`, so `extend` upper-bounds every gapped symbol's score.
+        GapModel::Affine { extend, .. } => extend,
+    };
+    let mut h = vec![0 as Score; n + 1];
+    for i in (0..n).rev() {
+        let contribution = scoring.matrix.row_max(query[i]).max(per_gap);
+        h[i] = (contribution + h[i + 1]).max(0);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_align::{SubstitutionMatrix, Scoring};
+    use oasis_bioseq::{Alphabet, AlphabetKind};
+
+    fn dna(s: &str) -> Vec<u8> {
+        Alphabet::dna().encode_str(s).unwrap()
+    }
+
+    #[test]
+    fn paper_example_tacg() {
+        // §3.3: query TACG, unit matrix: h = [4, 3, 2, 1, 0].
+        let h = heuristic_vector(&dna("TACG"), &Scoring::unit_dna());
+        assert_eq!(h, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_query() {
+        assert_eq!(heuristic_vector(&[], &Scoring::unit_dna()), vec![0]);
+    }
+
+    #[test]
+    fn blosum62_uses_diagonal_maxima() {
+        // For BLOSUM62 the row max is the diagonal; h[0] is the sum of
+        // self-scores.
+        let p = Alphabet::protein();
+        let q = p.encode_str("WWC").unwrap();
+        let h = heuristic_vector(&q, &Scoring::blosum62_protein());
+        assert_eq!(h, vec![11 + 11 + 9, 11 + 9, 9, 0]);
+    }
+
+    #[test]
+    fn admissible_with_all_negative_rows() {
+        // A matrix where one residue can never score positively: the bound
+        // must clamp at the max-prefix-sum, not go negative.
+        let m = SubstitutionMatrix::from_fn("neg-row", AlphabetKind::Dna, |a, b| {
+            if a == 0 {
+                -5 // residue A never matches anything
+            } else if a == b {
+                2
+            } else {
+                -1
+            }
+        });
+        let scoring = Scoring::new(m, oasis_align::GapModel::linear(-1));
+        // query = A C: best completion from 0 can skip A with a gap (-1)
+        // then match C (+2) = +1, or just stop (0) → max(0, -1 + 2) = 1.
+        let h = heuristic_vector(&dna("AC"), &scoring);
+        assert_eq!(h[2], 0);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[0], 1); // max(0, max(-5, -1) + 2)
+    }
+
+    #[test]
+    fn h_is_nonnegative_and_bounds_suffix_sums() {
+        let q = dna("TACGTTGACA");
+        let scoring = Scoring::unit_dna();
+        let h = heuristic_vector(&q, &scoring);
+        for (i, &v) in h.iter().enumerate() {
+            assert!(v >= 0);
+            // For the unit matrix, h[i] = n - i exactly.
+            assert_eq!(v, (q.len() - i) as i32);
+        }
+    }
+
+    #[test]
+    fn affine_gap_uses_extend_bound() {
+        let scoring = Scoring::new(
+            SubstitutionMatrix::unit(AlphabetKind::Dna),
+            oasis_align::GapModel::affine(-3, -1),
+        );
+        let h = heuristic_vector(&dna("AC"), &scoring);
+        assert_eq!(h, vec![2, 1, 0]);
+    }
+}

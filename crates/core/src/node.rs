@@ -1,0 +1,153 @@
+//! Search-node representation and priority-queue ordering (§3 of the paper).
+
+use std::cmp::Ordering;
+
+use oasis_align::Score;
+use oasis_suffix::NodeHandle;
+
+/// "Indicates the status of the search node" (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// "A stronger alignment other than that already found along this path
+    /// is possible, and the minScore threshold can be reached."
+    Viable,
+    /// "The strongest possible alignment of the query with this node or any
+    /// of its descendants has been found, and it passes the minScore
+    /// threshold." When an accepted node reaches the top of the queue its
+    /// alignment is reported online.
+    Accepted,
+    /// "No possible extension of this node can result in an alignment with
+    /// the necessary strength." Unviable nodes are pruned from the search.
+    Unviable,
+}
+
+/// One node of the OASIS search tree. Field names follow §3 of the paper.
+#[derive(Debug, Clone)]
+pub struct SearchNode {
+    /// `pt`: the corresponding suffix-tree node.
+    pub handle: NodeHandle,
+    /// Depth (symbols from the root) of the last DP column this node
+    /// computed. Equals the suffix-tree depth of `handle` for viable nodes;
+    /// may be smaller when expansion stopped early (accepted/unviable).
+    pub depth: u32,
+    /// `f`: "the maximum possible score that can be achieved by further
+    /// expanding this node". For accepted nodes, `f == g == gmax`.
+    pub f: Score,
+    /// `g`: "the maximum score in C, or the best score ending at node pt".
+    pub g: Score,
+    /// `Gmax(path)`: "the maximum score alignment found along this path".
+    pub gmax: Score,
+    /// Path depth at which `gmax` was achieved (target window length).
+    pub gmax_depth: u32,
+    /// Query prefix length at which `gmax` was achieved.
+    pub gmax_qend: u32,
+    /// Node status.
+    pub status: Status,
+    /// `C`: per-query-position alignment scores ending at `depth`
+    /// (length `n + 1`, `NEG_INF` = pruned). Empty for accepted/unviable
+    /// nodes — "we need not maintain an alignment column-vector for this
+    /// node" (§3.3).
+    pub c: Box<[Score]>,
+    /// Affine-gap mode only: the Gotoh `E` column (alignments ending in a
+    /// target-consuming gap run). Empty in linear-gap mode and at the root
+    /// (meaning "all −∞": no gap is open).
+    pub e: Box<[Score]>,
+    /// Insertion sequence number: the deterministic final tie-breaker.
+    pub seq: u64,
+}
+
+impl SearchNode {
+    /// Is this node accepted?
+    pub fn is_accepted(&self) -> bool {
+        self.status == Status::Accepted
+    }
+}
+
+/// Max-heap ordering for the priority queue: highest `f` first; ties prefer
+/// accepted nodes (report as soon as correctness allows), then deeper nodes
+/// (tends to finish paths, keeping the queue small), then insertion order
+/// (full determinism).
+#[derive(Debug)]
+pub struct QueueEntry(pub SearchNode);
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .f
+            .cmp(&other.0.f)
+            .then_with(|| self.0.is_accepted().cmp(&other.0.is_accepted()))
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn node(f: Score, status: Status, depth: u32, seq: u64) -> QueueEntry {
+        QueueEntry(SearchNode {
+            handle: NodeHandle::internal(0),
+            depth,
+            f,
+            g: 0,
+            gmax: 0,
+            gmax_depth: 0,
+            gmax_qend: 0,
+            status,
+            c: Box::new([]),
+            e: Box::new([]),
+            seq,
+        })
+    }
+
+    #[test]
+    fn highest_f_pops_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(node(3, Status::Viable, 1, 0));
+        heap.push(node(7, Status::Viable, 1, 1));
+        heap.push(node(5, Status::Viable, 1, 2));
+        assert_eq!(heap.pop().unwrap().0.f, 7);
+        assert_eq!(heap.pop().unwrap().0.f, 5);
+        assert_eq!(heap.pop().unwrap().0.f, 3);
+    }
+
+    #[test]
+    fn accepted_beats_viable_on_tie() {
+        let mut heap = BinaryHeap::new();
+        heap.push(node(4, Status::Viable, 9, 0));
+        heap.push(node(4, Status::Accepted, 1, 1));
+        assert!(heap.pop().unwrap().0.is_accepted());
+    }
+
+    #[test]
+    fn deeper_pops_first_on_tie() {
+        let mut heap = BinaryHeap::new();
+        heap.push(node(4, Status::Viable, 2, 0));
+        heap.push(node(4, Status::Viable, 5, 1));
+        assert_eq!(heap.pop().unwrap().0.depth, 5);
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut heap = BinaryHeap::new();
+        heap.push(node(4, Status::Viable, 2, 7));
+        heap.push(node(4, Status::Viable, 2, 3));
+        assert_eq!(heap.pop().unwrap().0.seq, 3);
+        assert_eq!(heap.pop().unwrap().0.seq, 7);
+    }
+}

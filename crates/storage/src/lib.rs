@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # oasis-storage
+//!
+//! Disk infrastructure for the OASIS reproduction (§3.4 of the paper):
+//!
+//! * [`device`] — block devices: in-memory, file-backed, and a
+//!   simulated-latency wrapper that models the paper's 2003-era SCSI disk so
+//!   the buffer-pool experiments (Figures 7–8) retain their shape on modern
+//!   hardware.
+//! * [`pool`] — a buffer pool with the clock replacement policy the paper's
+//!   implementation uses ("reads disk pages from a buffer pool, which uses a
+//!   simple clock replacement policy", §4.2), with per-component hit/miss
+//!   statistics (Figure 8 plots these per symbols/internal/leaf region).
+//! * [`layout`] — the paper's three-array on-disk representation: a blocked
+//!   symbol array, internal nodes in level-first order with siblings stored
+//!   contiguously, and a leaf array indexed by symbol offset with explicit
+//!   right-sibling pointers.
+//! * [`partitioned`] — bounded-memory index construction in the spirit of
+//!   Hunt et al. (the paper's §3.4.1): suffixes are partitioned into
+//!   adaptive lexical ranges, each sorted in its own pass.
+
+pub mod device;
+pub mod layout;
+pub mod partitioned;
+pub mod pool;
+
+pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
+pub use layout::{DiskSuffixTree, DiskTreeBuilder, ImageStats};
+pub use partitioned::partitioned_suffix_array;
+pub use pool::{BufferPool, BufferPoolStats, PoolStatsSnapshot, Region};

@@ -1,0 +1,93 @@
+//! Kasai's linear-time LCP array construction.
+
+/// Compute the LCP array for `text` and its suffix array `sa`.
+///
+/// `lcp[i]` is the length of the longest common prefix of the suffixes at
+/// `sa[i-1]` and `sa[i]`; `lcp[0] = 0`. Runs in O(n) (Kasai et al. 2001).
+pub fn lcp_kasai(text: &[u32], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array must cover the whole text");
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    // rank[p] = index of suffix p within sa.
+    let mut rank = vec![0u32; n];
+    for (i, &p) in sa.iter().enumerate() {
+        rank[p as usize] = i as u32;
+    }
+    let mut h = 0usize;
+    for p in 0..n {
+        let r = rank[p] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let q = sa[r - 1] as usize;
+        while p + h < n && q + h < n && text[p + h] == text[q + h] {
+            h += 1;
+        }
+        lcp[r] = h as u32;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::suffix_array_naive;
+    use crate::sais::suffix_array;
+
+    fn lcp_naive(text: &[u32], sa: &[u32]) -> Vec<u32> {
+        let mut lcp = vec![0u32; sa.len()];
+        for i in 1..sa.len() {
+            let a = &text[sa[i - 1] as usize..];
+            let b = &text[sa[i] as usize..];
+            lcp[i] = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count() as u32;
+        }
+        lcp
+    }
+
+    #[test]
+    fn banana_lcp() {
+        let text = [1u32, 0, 2, 0, 2, 0]; // banana
+        let sa = suffix_array(&text);
+        // sorted: a, ana, anana, banana, na, nana → lcp 0,1,3,0,0,2
+        assert_eq!(lcp_kasai(&text, &sa), vec![0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(lcp_kasai(&[], &[]), Vec::<u32>::new());
+        assert_eq!(lcp_kasai(&[3], &[0]), vec![0]);
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom() {
+        let mut state = 0xC0FFEE123456789u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [2usize, 5, 16, 64, 200] {
+            for alpha in [1u64, 2, 4, 20] {
+                let text: Vec<u32> = (0..len).map(|_| (next() % alpha) as u32).collect();
+                let sa = suffix_array_naive(&text);
+                assert_eq!(
+                    lcp_kasai(&text, &sa),
+                    lcp_naive(&text, &sa),
+                    "len={len} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole text")]
+    fn rejects_partial_sa() {
+        lcp_kasai(&[1, 2, 3], &[0, 1]);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # oasis-suffix
+//!
+//! The suffix-tree index substrate of the OASIS reproduction (§2.3 of the
+//! paper), built from first principles:
+//!
+//! * [`text`] — the ranked text: the database's concatenated codes with each
+//!   terminator given a *unique* rank so that no suffix-tree path crosses a
+//!   sequence boundary (the generalized-suffix-tree property).
+//! * [`sais`] — linear-time SA-IS suffix-array construction.
+//! * [`doubling`] — an O(n log² n) prefix-doubling builder kept as an
+//!   independently implemented cross-check.
+//! * [`naive`] — the obvious quadratic builder, for tests only.
+//! * [`lcp`] — Kasai's linear-time LCP array.
+//! * [`tree`] — the compact (PATRICIA) generalized suffix tree assembled
+//!   from SA + LCP with a stack in one pass.
+//! * [`access`] — [`SuffixTreeAccess`], the traversal trait both the
+//!   in-memory tree and the disk-resident tree (in `oasis-storage`)
+//!   implement; OASIS itself is generic over it.
+//! * [`search`] — exact-match lookup (§2.3.1), used by tests and by the
+//!   highly selective fast path.
+
+pub mod access;
+pub mod doubling;
+pub mod lcp;
+pub mod naive;
+pub mod sais;
+pub mod search;
+pub mod text;
+pub mod tree;
+pub mod ukkonen;
+
+pub use access::{NodeHandle, SuffixTreeAccess};
+pub use lcp::lcp_kasai;
+pub use sais::suffix_array;
+pub use search::{find_exact, occurrences, ExactMatch};
+pub use text::RankedText;
+pub use tree::SuffixTree;
+pub use ukkonen::build_ukkonen;

@@ -1,0 +1,197 @@
+//! Exact-match search over any suffix tree (§2.3.1 of the paper).
+//!
+//! "It is simply a matter of tracing a path, defined by the query, from the
+//! root of the tree until either the query is consumed, or no match is
+//! found." Works over any [`SuffixTreeAccess`], so the same code serves the
+//! in-memory tree and the disk-resident tree.
+
+use oasis_bioseq::TERMINATOR;
+
+use crate::access::{NodeHandle, SuffixTreeAccess};
+
+/// A successful exact match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactMatch {
+    /// The node whose arc contains (or ends at) the final matched symbol;
+    /// every leaf below it is an occurrence.
+    pub handle: NodeHandle,
+    /// Number of query symbols matched (== query length).
+    pub matched: u32,
+}
+
+/// Trace `query` from the root. Returns the match node, or `None` if the
+/// query does not occur in the indexed text. The empty query matches at the
+/// root.
+pub fn find_exact<T: SuffixTreeAccess + ?Sized>(tree: &T, query: &[u8]) -> Option<ExactMatch> {
+    if query.is_empty() {
+        return Some(ExactMatch {
+            handle: tree.root(),
+            matched: 0,
+        });
+    }
+    let mut node = tree.root();
+    let mut node_depth = 0u32;
+    let mut matched = 0usize;
+    let mut kids = Vec::new();
+    let mut chunk = [0u8; 64];
+    'descend: loop {
+        tree.children_into(node, &mut kids);
+        for &child in &kids {
+            let mut first = [0u8];
+            let got = tree.arc_fill(node_depth, child, 0, &mut first);
+            debug_assert_eq!(got, 1);
+            if first[0] != query[matched] {
+                continue;
+            }
+            // Walk down this arc.
+            let arc_len = tree.arc_len(node_depth, child);
+            let mut off = 0u32;
+            while off < arc_len {
+                let got = tree.arc_fill(node_depth, child, off, &mut chunk);
+                debug_assert!(got > 0);
+                for &sym in &chunk[..got] {
+                    if sym == TERMINATOR || sym != query[matched] {
+                        return None;
+                    }
+                    matched += 1;
+                    if matched == query.len() {
+                        return Some(ExactMatch {
+                            handle: child,
+                            matched: matched as u32,
+                        });
+                    }
+                }
+                off += got as u32;
+            }
+            if child.is_leaf() {
+                // Arc consumed without finishing the query (terminator would
+                // have been hit above, so this is unreachable in practice).
+                return None;
+            }
+            node_depth = tree.depth(child);
+            node = child;
+            continue 'descend;
+        }
+        return None;
+    }
+}
+
+/// All start positions (in the concatenated text) where `query` occurs,
+/// sorted ascending. "Once a match has been found, its location(s) in the
+/// target sequence can be identified by descending to all leaf descendants
+/// of the matching node."
+pub fn occurrences<T: SuffixTreeAccess + ?Sized>(tree: &T, query: &[u8]) -> Vec<u32> {
+    match find_exact(tree, query) {
+        None => Vec::new(),
+        Some(m) => tree.collect_leaves(m.handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SuffixTree;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder, SequenceDatabase};
+
+    fn db(seqs: &[&str]) -> SequenceDatabase {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    fn q(s: &str) -> Vec<u8> {
+        Alphabet::dna().encode_str(s).unwrap()
+    }
+
+    /// Reference: scan the database text directly.
+    fn naive_occurrences(d: &SequenceDatabase, query: &[u8]) -> Vec<u32> {
+        let text = d.text();
+        (0..text.len())
+            .filter(|&p| {
+                p + query.len() <= text.len() && &text[p..p + query.len()] == query
+            })
+            .map(|p| p as u32)
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_tacg() {
+        // §2.3.1: query TACG against AGTACGCCTAG matches at position 2.
+        let d = db(&["AGTACGCCTAG"]);
+        let tree = SuffixTree::build(&d);
+        assert_eq!(occurrences(&tree, &q("TACG")), vec![2]);
+    }
+
+    #[test]
+    fn multiple_occurrences() {
+        let d = db(&["ACGACGACG"]);
+        let tree = SuffixTree::build(&d);
+        assert_eq!(occurrences(&tree, &q("ACG")), vec![0, 3, 6]);
+        assert_eq!(occurrences(&tree, &q("CGA")), vec![1, 4]);
+    }
+
+    #[test]
+    fn absent_queries() {
+        let d = db(&["AGTACGCCTAG"]);
+        let tree = SuffixTree::build(&d);
+        assert!(find_exact(&tree, &q("TT")).is_none());
+        assert!(occurrences(&tree, &q("CGG")).is_empty());
+        // Longer than any suffix.
+        assert!(find_exact(&tree, &q("AGTACGCCTAGA")).is_none());
+    }
+
+    #[test]
+    fn empty_query_matches_root() {
+        let d = db(&["ACGT"]);
+        let tree = SuffixTree::build(&d);
+        let m = find_exact(&tree, &[]).unwrap();
+        assert_eq!(m.handle, tree.root());
+        assert_eq!(m.matched, 0);
+    }
+
+    #[test]
+    fn full_sequence_match() {
+        let d = db(&["AGTACGCCTAG"]);
+        let tree = SuffixTree::build(&d);
+        assert_eq!(occurrences(&tree, &q("AGTACGCCTAG")), vec![0]);
+    }
+
+    #[test]
+    fn matches_do_not_cross_sequences() {
+        // "AC" + "GT": the string ACGT spans the boundary and must NOT match.
+        let d = db(&["AC", "GT"]);
+        let tree = SuffixTree::build(&d);
+        assert!(occurrences(&tree, &q("ACGT")).is_empty());
+        assert_eq!(occurrences(&tree, &q("AC")), vec![0]);
+        assert_eq!(occurrences(&tree, &q("GT")), vec![3]);
+    }
+
+    #[test]
+    fn agrees_with_naive_scan() {
+        let d = db(&["ACGTACGTTGCAGT", "GTACCA", "TTTT", "ACACACAC"]);
+        let tree = SuffixTree::build(&d);
+        let queries = [
+            "A", "C", "G", "T", "AC", "CA", "GT", "TT", "ACG", "CAC", "GTA", "TTT", "ACGT",
+            "ACAC", "TACC", "GGGG", "ACGTACGT",
+        ];
+        for s in queries {
+            let query = q(s);
+            assert_eq!(
+                occurrences(&tree, &query),
+                naive_occurrences(&d, &query),
+                "query {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_symbol_queries_cover_alphabet() {
+        let d = db(&["AGTACGCCTAG"]);
+        let tree = SuffixTree::build(&d);
+        for (sym, count) in [("A", 3), ("C", 3), ("G", 3), ("T", 2)] {
+            assert_eq!(occurrences(&tree, &q(sym)).len(), count, "{sym}");
+        }
+    }
+}

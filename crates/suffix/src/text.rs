@@ -1,0 +1,144 @@
+//! The ranked text: database codes with unique separator ranks.
+//!
+//! A generalized suffix tree must not let any path span two sequences. The
+//! classical construction appends a distinct terminator `$ᵢ` to every
+//! sequence; we realize this by re-ranking the database's concatenated text:
+//!
+//! * the *i*-th terminator occurrence gets rank `i` (so terminators are
+//!   pairwise distinct and sort before every residue), and
+//! * residue code `c` gets rank `num_seqs + c`.
+//!
+//! With unique terminator ranks, no two distinct suffixes share a prefix
+//! that reaches a terminator, so every LCP (and hence every internal
+//! suffix-tree edge) stays within one sequence, and leaf edges end exactly
+//! at their own sequence's terminator.
+
+use oasis_bioseq::{SequenceDatabase, TERMINATOR};
+
+/// The database text re-ranked for suffix-array construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedText {
+    ranks: Vec<u32>,
+    num_seps: u32,
+}
+
+impl RankedText {
+    /// Rank a database's text.
+    pub fn from_database(db: &SequenceDatabase) -> Self {
+        let num_seps = db.num_sequences();
+        let mut seen = 0u32;
+        let ranks = db
+            .text()
+            .iter()
+            .map(|&c| {
+                if c == TERMINATOR {
+                    let r = seen;
+                    seen += 1;
+                    r
+                } else {
+                    num_seps + c as u32
+                }
+            })
+            .collect();
+        debug_assert_eq!(seen, num_seps);
+        RankedText { ranks, num_seps }
+    }
+
+    /// The ranked symbols.
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// Number of separators (== number of sequences).
+    pub fn num_separators(&self) -> u32 {
+        self.num_seps
+    }
+
+    /// Does this rank value denote a separator?
+    pub fn is_separator_rank(&self, rank: u32) -> bool {
+        rank < self.num_seps
+    }
+
+    /// Is the symbol at `pos` a separator?
+    pub fn is_separator_at(&self, pos: u32) -> bool {
+        self.is_separator_rank(self.ranks[pos as usize])
+    }
+
+    /// Text length.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder};
+
+    fn db(seqs: &[&str]) -> SequenceDatabase {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn separators_get_unique_low_ranks() {
+        let d = db(&["AC", "GT"]);
+        let r = RankedText::from_database(&d);
+        // text: A C $ G T $  → ranks: 2+0, 2+1, 0, 2+2, 2+3, 1
+        assert_eq!(r.ranks(), &[2, 3, 0, 4, 5, 1]);
+        assert_eq!(r.num_separators(), 2);
+        assert!(r.is_separator_at(2));
+        assert!(r.is_separator_at(5));
+        assert!(!r.is_separator_at(0));
+        assert!(r.is_separator_rank(1));
+        assert!(!r.is_separator_rank(2));
+        assert_eq!(r.len(), 6);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn identical_sequences_get_distinct_terminator_ranks() {
+        let d = db(&["AA", "AA"]);
+        let r = RankedText::from_database(&d);
+        assert_eq!(r.ranks(), &[2, 2, 0, 2, 2, 1]);
+        // The two suffixes "AA$" differ at the terminator, so no suffix is a
+        // duplicate of another.
+        let sa = crate::sais::suffix_array(r.ranks());
+        let mut suffixes: Vec<&[u32]> = sa.iter().map(|&p| &r.ranks()[p as usize..]).collect();
+        suffixes.dedup();
+        assert_eq!(suffixes.len(), sa.len(), "all suffixes distinct");
+    }
+
+    #[test]
+    fn empty_database() {
+        let d = DatabaseBuilder::new(Alphabet::dna()).finish();
+        let r = RankedText::from_database(&d);
+        assert!(r.is_empty());
+        assert_eq!(r.num_separators(), 0);
+    }
+
+    #[test]
+    fn lcp_never_reaches_a_separator() {
+        let d = db(&["ACGACG", "ACGT", "ACG"]);
+        let r = RankedText::from_database(&d);
+        let sa = crate::sais::suffix_array(r.ranks());
+        let lcp = crate::lcp::lcp_kasai(r.ranks(), &sa);
+        for i in 1..sa.len() {
+            let start = sa[i] as usize;
+            for off in 0..lcp[i] as usize {
+                assert!(
+                    !r.is_separator_at((start + off) as u32),
+                    "LCP at sa[{i}] covers separator"
+                );
+            }
+        }
+    }
+}

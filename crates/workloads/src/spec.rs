@@ -1,0 +1,233 @@
+//! Workload specifications.
+
+/// Parameters for a synthetic SWISS-PROT-like protein database.
+///
+/// Defaults are a laptop-scale model of SWISS-PROT (the paper's 40M-residue
+/// database scaled down ~100×): shapes, not absolute sizes, are what the
+/// reproduction compares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProteinDbSpec {
+    /// Number of sequences.
+    pub num_sequences: u32,
+    /// Minimum sequence length (SWISS-PROT's shortest entry is 7).
+    pub len_min: u32,
+    /// Maximum sequence length (SWISS-PROT's longest entry is 2048).
+    pub len_max: u32,
+    /// Skew exponent for the length distribution: lengths are
+    /// `len_min + (len_max-len_min) · u^skew` for uniform `u`, so larger
+    /// skews produce more short sequences (SWISS-PROT is right-skewed).
+    pub len_skew: f64,
+    /// Number of homologous families to plant.
+    pub num_families: u32,
+    /// Sequences carrying a (mutated) copy of each family motif.
+    pub family_members: u32,
+    /// Family motif length range, inclusive.
+    pub motif_len: (u32, u32),
+    /// Per-residue substitution probability when planting a copy.
+    pub plant_substitution: f64,
+    /// Per-position probability of a single-residue indel when planting.
+    pub plant_indel: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProteinDbSpec {
+    fn default() -> Self {
+        ProteinDbSpec {
+            num_sequences: 1000,
+            len_min: 7,
+            len_max: 2048,
+            len_skew: 2.0,
+            num_families: 40,
+            family_members: 12,
+            motif_len: (20, 80),
+            plant_substitution: 0.15,
+            plant_indel: 0.02,
+            seed: 0x0A515,
+        }
+    }
+}
+
+impl ProteinDbSpec {
+    /// Scale the sequence count (families scale with it).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.num_sequences = ((self.num_sequences as f64 * factor).round() as u32).max(1);
+        self.num_families = ((self.num_families as f64 * factor).round() as u32).max(1);
+        self
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        ProteinDbSpec {
+            num_sequences: 40,
+            len_min: 7,
+            len_max: 120,
+            len_skew: 1.5,
+            num_families: 4,
+            family_members: 5,
+            motif_len: (12, 30),
+            plant_substitution: 0.1,
+            plant_indel: 0.02,
+            seed: 7,
+        }
+    }
+}
+
+/// Parameters for a synthetic Drosophila-like nucleotide database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DnaDbSpec {
+    /// Number of sequences (the fly genome ships as ~1K scaffolds).
+    pub num_sequences: u32,
+    /// Minimum sequence length.
+    pub len_min: u32,
+    /// Maximum sequence length.
+    pub len_max: u32,
+    /// Number of repeat families to plant.
+    pub num_families: u32,
+    /// Copies per repeat family.
+    pub family_members: u32,
+    /// Repeat length range.
+    pub motif_len: (u32, u32),
+    /// Per-base substitution probability when planting.
+    pub plant_substitution: f64,
+    /// Per-position indel probability when planting.
+    pub plant_indel: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for DnaDbSpec {
+    fn default() -> Self {
+        DnaDbSpec {
+            num_sequences: 64,
+            len_min: 2_000,
+            len_max: 20_000,
+            num_families: 20,
+            family_members: 10,
+            motif_len: (40, 200),
+            plant_substitution: 0.1,
+            plant_indel: 0.02,
+            seed: 0xD05,
+        }
+    }
+}
+
+impl DnaDbSpec {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        DnaDbSpec {
+            num_sequences: 8,
+            len_min: 100,
+            len_max: 500,
+            num_families: 3,
+            family_members: 4,
+            motif_len: (20, 60),
+            plant_substitution: 0.08,
+            plant_indel: 0.02,
+            seed: 11,
+        }
+    }
+}
+
+/// Parameters for a ProClass-like motif query workload.
+///
+/// The paper's workload: "a hundred queries … range in length from 6 to 56
+/// symbols and have an average length of 16 symbols" (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Exact query lengths to generate (one query per entry).
+    pub lengths: Vec<u32>,
+    /// Per-residue substitution probability applied to the sampled motif
+    /// fragment (models remote homology between query and database).
+    pub mutation: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl QuerySpec {
+    /// The paper's ProClass-style distribution: `count` lengths skewed
+    /// towards short queries within `[min, max]`, mean ≈ 16 for the default
+    /// range.
+    pub fn proclass_like(count: usize, seed: u64) -> Self {
+        // Deterministic skewed lengths in [6, 56]: u^3 concentrates near 6,
+        // producing a mean around 16 like the paper's sample.
+        let mut lengths = Vec::with_capacity(count);
+        let mut state = seed | 1;
+        for _ in 0..count {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let len = 6.0 + (56.0 - 6.0) * u.powi(3);
+            lengths.push(len.round() as u32);
+        }
+        QuerySpec {
+            lengths,
+            mutation: 0.1,
+            seed,
+        }
+    }
+
+    /// Queries of one fixed length.
+    pub fn fixed(length: u32, count: usize, seed: u64) -> Self {
+        QuerySpec {
+            lengths: vec![length; count],
+            mutation: 0.1,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let p = ProteinDbSpec::default();
+        assert!(p.len_min <= p.len_max);
+        assert!(p.motif_len.0 <= p.motif_len.1);
+        let d = DnaDbSpec::default();
+        assert!(d.len_min <= d.len_max);
+    }
+
+    #[test]
+    fn scaled_changes_counts() {
+        let p = ProteinDbSpec::default().scaled(0.1);
+        assert_eq!(p.num_sequences, 100);
+        assert_eq!(p.num_families, 4);
+        let min = ProteinDbSpec::default().scaled(0.000001);
+        assert_eq!(min.num_sequences, 1);
+    }
+
+    #[test]
+    fn proclass_lengths_in_range_with_short_mean() {
+        let spec = QuerySpec::proclass_like(100, 42);
+        assert_eq!(spec.lengths.len(), 100);
+        assert!(spec.lengths.iter().all(|&l| (6..=56).contains(&l)));
+        let mean: f64 =
+            spec.lengths.iter().map(|&l| l as f64).sum::<f64>() / spec.lengths.len() as f64;
+        assert!(
+            (10.0..25.0).contains(&mean),
+            "mean {mean} should be near the paper's 16"
+        );
+    }
+
+    #[test]
+    fn proclass_is_deterministic() {
+        assert_eq!(
+            QuerySpec::proclass_like(20, 9).lengths,
+            QuerySpec::proclass_like(20, 9).lengths
+        );
+        assert_ne!(
+            QuerySpec::proclass_like(20, 9).lengths,
+            QuerySpec::proclass_like(20, 10).lengths
+        );
+    }
+
+    #[test]
+    fn fixed_lengths() {
+        let s = QuerySpec::fixed(13, 5, 1);
+        assert_eq!(s.lengths, vec![13; 5]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Convenience re-exports of the most commonly used types.
+
+pub use oasis_bioseq::{
+    parse_fasta, write_fasta, Alphabet, AlphabetKind, DatabaseBuilder, SeqId, Sequence,
+    SequenceDatabase, UnknownResiduePolicy, TERMINATOR,
+};
+
+pub use oasis_align::{
+    Alignment, GapModel, KarlinParams, Score, Scoring, SubstitutionMatrix, SwScanner, NEG_INF,
+};
+
+pub use oasis_suffix::{build_ukkonen, NodeHandle, SuffixTree, SuffixTreeAccess};
+
+pub use oasis_storage::{
+    BufferPool, BufferPoolStats, DiskSuffixTree, DiskTreeBuilder, MemDevice, Region,
+    SimulatedDisk,
+};
+
+pub use oasis_core::{
+    EvalueOrderedSearch, EvaluedHit, Hit, OasisParams, OasisSearch, ReportMode, SearchStats,
+};
+
+pub use oasis_blast::{BlastParams, BlastSearch};
+
+pub use oasis_workloads::{
+    generate_dna, generate_protein, generate_queries, DnaDbSpec, ProteinDbSpec, QuerySpec,
+    Workload,
+};

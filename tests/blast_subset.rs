@@ -1,0 +1,107 @@
+//! The heuristic/exact relationship the paper's Figure 5 quantifies: every
+//! sequence BLAST reports is also reported by OASIS (at the corresponding
+//! threshold), BLAST's per-sequence score never exceeds Smith-Waterman's,
+//! and the heuristic genuinely misses some remote homologs.
+
+use oasis::prelude::*;
+use oasis::blast::SeedMode;
+
+fn testbed() -> (Workload, SuffixTree, Scoring, KarlinParams) {
+    let workload = generate_protein(&ProteinDbSpec::tiny());
+    let tree = SuffixTree::build(&workload.db);
+    let scoring = Scoring::pam30_protein();
+    let karlin = KarlinParams::estimate(
+        &scoring.matrix,
+        &oasis::align::stats::background_protein(),
+    )
+    .unwrap();
+    (workload, tree, scoring, karlin)
+}
+
+#[test]
+fn blast_sequences_subset_of_oasis() {
+    let (workload, tree, scoring, karlin) = testbed();
+    let db = &workload.db;
+    let evalue = 20_000.0;
+    let queries = generate_queries(&workload, &QuerySpec::proclass_like(20, 5));
+    let blast = BlastSearch::new(db, &scoring, BlastParams::short_protein().with_evalue(evalue))
+        .unwrap();
+    for (qi, q) in queries.iter().enumerate() {
+        let min = karlin.min_score_for_evalue(q.len() as u64, db.total_residues(), evalue);
+        let params = OasisParams::with_min_score(min);
+        let (oasis_hits, _) = OasisSearch::new(&tree, db, q, &scoring, &params).run();
+        let (blast_hits, _) = blast.search(q);
+        let oasis_seqs: Vec<SeqId> = oasis_hits.iter().map(|h| h.seq).collect();
+        for bh in &blast_hits {
+            // A BLAST hit passed the same E-value cutoff, so its sequence
+            // must appear in the exact result set…
+            assert!(
+                oasis_seqs.contains(&bh.seq),
+                "query {qi}: BLAST-only sequence {}",
+                bh.seq
+            );
+            // …and the heuristic score cannot exceed the exact score.
+            let exact = oasis_hits.iter().find(|h| h.seq == bh.seq).unwrap();
+            assert!(
+                bh.score <= exact.score,
+                "query {qi}: heuristic {} > exact {}",
+                bh.score,
+                exact.score
+            );
+        }
+    }
+}
+
+#[test]
+fn blast_misses_some_matches_overall() {
+    // Across a workload the heuristic finds strictly fewer matches — the
+    // effect Figure 5 plots (~60% additional matches for OASIS).
+    let (workload, tree, scoring, karlin) = testbed();
+    let db = &workload.db;
+    let evalue = 20_000.0;
+    let queries = generate_queries(&workload, &QuerySpec::proclass_like(30, 6));
+    let blast = BlastSearch::new(db, &scoring, BlastParams::short_protein().with_evalue(evalue))
+        .unwrap();
+    let mut oasis_total = 0usize;
+    let mut blast_total = 0usize;
+    for q in &queries {
+        let min = karlin.min_score_for_evalue(q.len() as u64, db.total_residues(), evalue);
+        let params = OasisParams::with_min_score(min);
+        oasis_total += OasisSearch::new(&tree, db, q, &scoring, &params).count();
+        blast_total += blast.search(q).0.len();
+    }
+    assert!(
+        blast_total < oasis_total,
+        "heuristic should miss matches: blast {blast_total} vs oasis {oasis_total}"
+    );
+}
+
+#[test]
+fn two_hit_mode_is_no_more_sensitive_than_one_hit() {
+    let (workload, _, scoring, _) = testbed();
+    let db = &workload.db;
+    let queries = generate_queries(&workload, &QuerySpec::proclass_like(15, 7));
+    let one = BlastSearch::new(
+        db,
+        &scoring,
+        BlastParams::short_protein()
+            .with_evalue(20_000.0)
+            .with_seed_mode(SeedMode::OneHit),
+    )
+    .unwrap();
+    let two = BlastSearch::new(
+        db,
+        &scoring,
+        BlastParams::short_protein()
+            .with_evalue(20_000.0)
+            .with_seed_mode(SeedMode::TwoHit { window: 40 }),
+    )
+    .unwrap();
+    let mut one_total = 0usize;
+    let mut two_total = 0usize;
+    for q in &queries {
+        one_total += one.search(q).0.len();
+        two_total += two.search(q).0.len();
+    }
+    assert!(two_total <= one_total, "two-hit {two_total} vs one-hit {one_total}");
+}

@@ -1,0 +1,116 @@
+//! End-to-end reproduction of every worked example in the paper:
+//! Table 1 (unit matrix), Table 2 (the S-W matrix), Figure 2 (the suffix
+//! tree of AGTACGCCTAG), §2.3.1 (exact matching), and the §3.3 OASIS
+//! walkthrough (query TACG, minScore 1).
+
+use oasis::prelude::*;
+
+fn figure2_db() -> SequenceDatabase {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    b.push_str("paper", "AGTACGCCTAG").unwrap();
+    b.finish()
+}
+
+fn dna(s: &str) -> Vec<u8> {
+    Alphabet::dna().encode_str(s).unwrap()
+}
+
+#[test]
+fn table1_unit_matrix() {
+    let m = SubstitutionMatrix::unit(oasis::bioseq::AlphabetKind::Dna);
+    // "scores of 1 for exact matches, and -1 otherwise"
+    for a in 0..4u8 {
+        for b in 0..4u8 {
+            assert_eq!(m.score(a, b), if a == b { 1 } else { -1 });
+        }
+    }
+}
+
+#[test]
+fn table2_smith_waterman() {
+    // "consider a query q = TACG against a target t = AGTACGCCTAG …
+    //  the bold score entry indicates the maximum score alignment …
+    //  TACG -> TACG, which has a score of 4."
+    let scoring = Scoring::unit_dna();
+    let q = dna("TACG");
+    let t = dna("AGTACGCCTAG");
+    let mat = oasis::align::sw::sw_full_matrix(&q, &t, &scoring);
+    assert_eq!(mat[4][6], 4, "the bold maximum cell");
+    let aln = oasis::align::sw_align(&q, &t, &scoring).unwrap();
+    assert_eq!(aln.score, 4);
+    assert_eq!((aln.t_start, aln.t_end), (2, 6));
+    assert_eq!(aln.cigar(), "4R");
+}
+
+#[test]
+fn figure2_suffix_tree() {
+    let db = figure2_db();
+    let tree = SuffixTree::build(&db);
+    // 11 leaves, root + 5 branching nodes (paper labels them 0N-5N).
+    assert_eq!(tree.num_leaves(), 11);
+    assert_eq!(SuffixTreeAccess::num_internal(&tree), 6);
+    // path(8L) = TAG$ (the paper's example path).
+    let alpha = Alphabet::dna();
+    assert_eq!(
+        alpha.decode_all(&tree.path_label(NodeHandle::leaf(8))),
+        "TAG$"
+    );
+}
+
+#[test]
+fn section_231_exact_match() {
+    // "consider the query TACG … this substring is present in the target
+    //  sequence, beginning at position 2."
+    let db = figure2_db();
+    let tree = SuffixTree::build(&db);
+    assert_eq!(oasis::suffix::occurrences(&tree, &dna("TACG")), vec![2]);
+    assert!(oasis::suffix::find_exact(&tree, &dna("TACT")).is_none());
+}
+
+#[test]
+fn section_33_walkthrough_end_to_end() {
+    // Full OASIS run: query TACG, minScore 1 — the strongest alignment is
+    // TACG at position 2 with score 4, reported first.
+    let db = figure2_db();
+    let tree = SuffixTree::build(&db);
+    let scoring = Scoring::unit_dna();
+    let q = dna("TACG");
+    let params = OasisParams::with_min_score(1);
+    let (hits, stats) = OasisSearch::new(&tree, &db, &q, &scoring, &params).run();
+    assert_eq!(hits.len(), 1, "single-sequence database: one best hit");
+    assert_eq!(hits[0].score, 4);
+    assert_eq!(hits[0].t_start, 2);
+    assert_eq!(hits[0].t_len, 4);
+    assert!(stats.columns_expanded < 11 * 4, "fewer columns than full S-W");
+}
+
+#[test]
+fn section_33_heuristic_vector() {
+    // The walkthrough's h vector: [4, 3, 2, 1, 0].
+    let scoring = Scoring::unit_dna();
+    let h = oasis::core::heuristic_vector(&dna("TACG"), &scoring);
+    assert_eq!(h, vec![4, 3, 2, 1, 0]);
+}
+
+#[test]
+fn figure9_query_encodable() {
+    // The online-behaviour experiment's query must encode cleanly.
+    let q = Alphabet::protein().encode_str("DKDGDGCITTKEL").unwrap();
+    assert_eq!(q.len(), 13);
+}
+
+#[test]
+fn walkthrough_on_disk_tree_matches() {
+    // The same §3.3 walkthrough must hold against the disk representation.
+    let db = figure2_db();
+    let tree = SuffixTree::build(&db);
+    let (image, _) = DiskTreeBuilder::with_block_size(64).build_image(&tree);
+    let disk = DiskSuffixTree::open_image(image, 64, 1 << 20).unwrap();
+    let scoring = Scoring::unit_dna();
+    let q = dna("TACG");
+    let params = OasisParams::with_min_score(1);
+    let (hits, _) = OasisSearch::new(&disk, &db, &q, &scoring, &params).run();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].score, 4);
+    assert_eq!(hits[0].t_start, 2);
+}

@@ -1,0 +1,95 @@
+//! Property tests on Karlin-Altschul statistics and the E-value ⇔ minScore
+//! conversions (the paper's Equations 2–3), over randomized match/mismatch
+//! scoring systems.
+
+use proptest::prelude::*;
+
+use oasis::align::{background_dna, KarlinParams, SubstitutionMatrix};
+use oasis::bioseq::AlphabetKind;
+
+fn params(matched: i32, mismatched: i32) -> Option<KarlinParams> {
+    let m = SubstitutionMatrix::match_mismatch(AlphabetKind::Dna, matched, mismatched);
+    KarlinParams::estimate(&m, &background_dna()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lambda_positive_and_finite(matched in 1i32..8, mismatched in -12i32..-1) {
+        // Negative drift requires E[s] = p*m + (1-p)*x < 0 with p = 1/4.
+        prop_assume!(0.25 * matched as f64 + 0.75 * mismatched as f64 + 1e-9 < 0.0);
+        let p = params(matched, mismatched).expect("drift is negative");
+        prop_assert!(p.lambda > 0.0 && p.lambda.is_finite());
+        prop_assert!(p.h > 0.0 && p.h.is_finite());
+        prop_assert!(p.k > 0.0 && p.k <= 10.0);
+    }
+
+    #[test]
+    fn lambda_satisfies_its_equation(matched in 1i32..6, mismatched in -9i32..-2) {
+        prop_assume!(0.25 * matched as f64 + 0.75 * mismatched as f64 + 1e-9 < 0.0);
+        let p = params(matched, mismatched).expect("drift is negative");
+        // Σ pᵢpⱼ e^{λ·sᵢⱼ} over the match/mismatch distribution:
+        let sum = 0.25 * (p.lambda * matched as f64).exp()
+            + 0.75 * (p.lambda * mismatched as f64).exp();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+    }
+
+    #[test]
+    fn equation_3_inverts_equation_2(
+        matched in 1i32..6,
+        mismatched in -9i32..-2,
+        m in 4u64..200,
+        n in 1_000u64..100_000_000,
+        e_exp in -3i32..5,
+    ) {
+        prop_assume!(0.25 * matched as f64 + 0.75 * mismatched as f64 + 1e-9 < 0.0);
+        let p = params(matched, mismatched).expect("drift is negative");
+        let e = 10f64.powi(e_exp);
+        let s = p.min_score_for_evalue(m, n, e);
+        prop_assert!(s >= 1);
+        // The chosen score satisfies the E-value bound…
+        prop_assert!(p.evalue(m, n, s) <= e * (1.0 + 1e-9));
+        // …minimally (unless clamped at 1).
+        if s > 1 {
+            prop_assert!(p.evalue(m, n, s - 1) > e);
+        }
+    }
+
+    #[test]
+    fn evalue_monotonic_in_all_arguments(
+        matched in 1i32..6,
+        mismatched in -9i32..-2,
+    ) {
+        prop_assume!(0.25 * matched as f64 + 0.75 * mismatched as f64 + 1e-9 < 0.0);
+        let p = params(matched, mismatched).expect("drift is negative");
+        prop_assert!(p.evalue(16, 1_000_000, 20) < p.evalue(16, 1_000_000, 10));
+        prop_assert!(p.evalue(32, 1_000_000, 10) > p.evalue(16, 1_000_000, 10));
+        prop_assert!(p.evalue(16, 2_000_000, 10) > p.evalue(16, 1_000_000, 10));
+    }
+
+    #[test]
+    fn stricter_matrices_have_larger_lambda(mismatched in -9i32..-2) {
+        // For fixed match score, a harsher mismatch penalty increases λ
+        // (each score point carries more information).
+        let relaxed = params(1, mismatched).expect("drift");
+        let stricter = params(1, mismatched - 1).expect("drift");
+        prop_assert!(stricter.lambda > relaxed.lambda);
+    }
+}
+
+#[test]
+fn paper_scale_thresholds_are_sensible() {
+    // With PAM30 on a SWISS-PROT-sized database (m=16, n=40M), E=20000 and
+    // E=1 must produce thresholds in a plausible band, with E=1 stricter.
+    let p = KarlinParams::estimate(
+        &SubstitutionMatrix::pam30(),
+        &oasis::align::background_protein(),
+    )
+    .unwrap();
+    let relaxed = p.min_score_for_evalue(16, 40_000_000, 20_000.0);
+    let strict = p.min_score_for_evalue(16, 40_000_000, 1.0);
+    assert!(relaxed < strict);
+    assert!((5..60).contains(&relaxed), "relaxed = {relaxed}");
+    assert!((20..120).contains(&strict), "strict = {strict}");
+}

@@ -1,0 +1,235 @@
+//! Deeper property tests over the substrates: the three suffix-tree
+//! builders agree; alignments recompute their own scores; FASTA round-trips
+//! arbitrary sequences; BLAST word neighborhoods match brute force; the
+//! E-value-ordered search agrees with an offline sort.
+
+use proptest::prelude::*;
+
+use oasis::align::sw_align;
+use oasis::storage::BlockDevice;
+use oasis::blast::WordIndex;
+use oasis::prelude::*;
+
+fn build_db(seqs: &[Vec<u8>]) -> SequenceDatabase {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    for (i, codes) in seqs.iter().enumerate() {
+        b.push(Sequence::from_codes(format!("s{i}"), codes.clone()))
+            .unwrap();
+    }
+    b.finish()
+}
+
+/// Canonical structural form of a suffix tree.
+fn canon(tree: &SuffixTree) -> Vec<(Vec<u8>, bool)> {
+    let mut out = Vec::new();
+    let mut stack = vec![(tree.root(), Vec::new())];
+    let mut kids = Vec::new();
+    while let Some((h, prefix)) = stack.pop() {
+        if h.is_leaf() {
+            out.push((prefix, true));
+            continue;
+        }
+        if h != tree.root() {
+            out.push((prefix.clone(), false));
+        }
+        tree.children_into(h, &mut kids);
+        let depth = tree.depth(h);
+        for &c in kids.iter() {
+            let mut p = prefix.clone();
+            p.extend(tree.arc_label(depth, c));
+            stack.push((c, p));
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ukkonen_equals_sa_builder(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..4, 1..40), 1..8),
+    ) {
+        let db = build_db(&seqs);
+        let sa_tree = SuffixTree::build(&db);
+        let uk_tree = build_ukkonen(&db);
+        prop_assert_eq!(canon(&sa_tree), canon(&uk_tree));
+        prop_assert_eq!(sa_tree.num_leaves(), uk_tree.num_leaves());
+    }
+
+    #[test]
+    fn oasis_identical_over_ukkonen_tree(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..4, 1..40), 1..8),
+        query in prop::collection::vec(0u8..4, 1..10),
+        min in 1i32..6,
+    ) {
+        let db = build_db(&seqs);
+        let sa_tree = SuffixTree::build(&db);
+        let uk_tree = build_ukkonen(&db);
+        let scoring = Scoring::unit_dna();
+        let params = OasisParams::with_min_score(min);
+        let (a, sa_stats) = OasisSearch::new(&sa_tree, &db, &query, &scoring, &params).run();
+        let (b, uk_stats) = OasisSearch::new(&uk_tree, &db, &query, &scoring, &params).run();
+        let mut a: Vec<_> = a.iter().map(|h| (h.seq, h.score)).collect();
+        let mut b: Vec<_> = b.iter().map(|h| (h.seq, h.score)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa_stats.columns_expanded, uk_stats.columns_expanded);
+    }
+
+    #[test]
+    fn alignments_recompute_their_scores(
+        q in prop::collection::vec(0u8..4, 1..15),
+        t in prop::collection::vec(0u8..4, 1..25),
+        matched in 1i32..5,
+        mismatched in -5i32..-1,
+        gap in -4i32..-1,
+    ) {
+        let scoring = Scoring::new(
+            SubstitutionMatrix::match_mismatch(AlphabetKind::Dna, matched, mismatched),
+            GapModel::linear(gap),
+        );
+        if let Some(aln) = sw_align(&q, &t, &scoring) {
+            prop_assert!(aln.is_consistent());
+            // Walk the ops, recomputing the score independently.
+            let mut qi = aln.q_start;
+            let mut ti = aln.t_start;
+            let mut total = 0i32;
+            for op in &aln.ops {
+                match op {
+                    oasis::align::AlignOp::Replace => {
+                        total += scoring.sub(q[qi], t[ti]);
+                        qi += 1;
+                        ti += 1;
+                    }
+                    oasis::align::AlignOp::Insert => {
+                        total += gap;
+                        qi += 1;
+                    }
+                    oasis::align::AlignOp::Delete => {
+                        total += gap;
+                        ti += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(total, aln.score);
+            // A local alignment never starts or ends with a gap.
+            if let (Some(first), Some(last)) = (aln.ops.first(), aln.ops.last()) {
+                prop_assert_eq!(*first, oasis::align::AlignOp::Replace);
+                prop_assert_eq!(*last, oasis::align::AlignOp::Replace);
+            }
+        }
+    }
+
+    #[test]
+    fn fasta_roundtrip_arbitrary(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..20, 1..80), 1..6),
+    ) {
+        let alphabet = Alphabet::protein();
+        let originals: Vec<Sequence> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, codes)| Sequence::from_codes(format!("seq {i}"), codes.clone()))
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &alphabet, &originals).unwrap();
+        let parsed = parse_fasta(&buf[..], &alphabet, UnknownResiduePolicy::Reject).unwrap();
+        prop_assert_eq!(parsed, originals);
+    }
+
+    #[test]
+    fn word_neighborhood_matches_brute_force(
+        query in prop::collection::vec(0u8..4, 2..8),
+        threshold in -2i32..5,
+    ) {
+        let matrix = SubstitutionMatrix::unit(AlphabetKind::Dna);
+        let w = 2usize;
+        prop_assume!(query.len() >= w);
+        let idx = WordIndex::build(&query, &matrix, w, threshold);
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let code = idx.encode(&[a, b]);
+                let want: Vec<u32> = (0..=query.len() - w)
+                    .filter(|&p| {
+                        matrix.score(query[p], a) + matrix.score(query[p + 1], b) >= threshold
+                    })
+                    .map(|p| p as u32)
+                    .collect();
+                let got = idx.lookup(code).unwrap_or(&[]).to_vec();
+                prop_assert_eq!(got, want, "word ({}, {})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn evalue_order_is_offline_sort(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..4, 1..60), 2..8),
+        query in prop::collection::vec(0u8..4, 2..10),
+    ) {
+        let db = build_db(&seqs);
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let karlin = KarlinParams::estimate(
+            &SubstitutionMatrix::unit(AlphabetKind::Dna),
+            &oasis::align::background_dna(),
+        )
+        .unwrap();
+        let params = OasisParams::with_min_score(1);
+        let inner = OasisSearch::new(&tree, &db, &query, &scoring, &params);
+        let hits: Vec<EvaluedHit> =
+            EvalueOrderedSearch::new(inner, &db, query.len(), karlin).collect();
+        let online: Vec<f64> = hits.iter().map(|h| h.evalue).collect();
+        let mut offline = online.clone();
+        offline.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(online, offline);
+        // Same hit multiset as the score-ordered search.
+        let (score_hits, _) =
+            OasisSearch::new(&tree, &db, &query, &scoring, &params).run();
+        let mut a: Vec<_> = hits.iter().map(|h| (h.hit.seq, h.hit.score)).collect();
+        let mut b: Vec<_> = score_hits.iter().map(|h| (h.seq, h.score)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_device_equivalence(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        frames in 1usize..8,
+        reads in prop::collection::vec(0u64..16, 1..40),
+    ) {
+        // Reading through the pool must always return exactly the device
+        // bytes, whatever the eviction pattern.
+        let block_size = 32usize;
+        let device = MemDevice::new(data.clone(), block_size);
+        let num_blocks = device.num_blocks();
+        let pool = BufferPool::with_frames(device, frames);
+        let mut padded = data.clone();
+        padded.resize(padded.len().div_ceil(block_size) * block_size, 0);
+        for r in reads {
+            let block = r % num_blocks;
+            let want = &padded[block as usize * block_size..(block as usize + 1) * block_size];
+            pool.read(block, Region::Symbols, |buf| {
+                prop_assert_eq!(buf, want, "block {}", block);
+                Ok(())
+            })?;
+        }
+        let s = pool.stats().total();
+        prop_assert_eq!(s.requests as usize, {
+            // every read counted
+            s.hits as usize + s.misses() as usize
+        });
+    }
+}
+
+#[test]
+fn ukkonen_on_paper_example() {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    b.push_str("paper", "AGTACGCCTAG").unwrap();
+    let db = b.finish();
+    let uk = build_ukkonen(&db);
+    assert_eq!(uk.num_leaves(), 11);
+    assert_eq!(SuffixTreeAccess::num_internal(&uk), 6);
+}
