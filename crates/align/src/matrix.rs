@@ -144,7 +144,9 @@ impl SubstitutionMatrix {
     /// Whether `S[a][b] == S[b][a]` for all pairs. All standard biological
     /// matrices are symmetric.
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n).all(|a| (0..self.n).all(|b| self.scores[a * self.n + b] == self.scores[b * self.n + a]))
+        (0..self.n).all(|a| {
+            (0..self.n).all(|b| self.scores[a * self.n + b] == self.scores[b * self.n + a])
+        })
     }
 }
 
@@ -295,9 +297,8 @@ mod tests {
 
     #[test]
     fn from_fn_and_from_table_agree() {
-        let f = SubstitutionMatrix::from_fn("t", AlphabetKind::Dna, |a, b| {
-            (a as Score) - (b as Score)
-        });
+        let f =
+            SubstitutionMatrix::from_fn("t", AlphabetKind::Dna, |a, b| (a as Score) - (b as Score));
         let mut table = [0; 16];
         for a in 0..4usize {
             for b in 0..4usize {

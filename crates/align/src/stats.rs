@@ -286,8 +286,8 @@ mod tests {
     fn blosum62_parameters_near_published_values() {
         // NCBI publishes λ ≈ 0.3176, K ≈ 0.134, H ≈ 0.40 for ungapped
         // BLOSUM62 with Robinson frequencies.
-        let p = KarlinParams::estimate(&SubstitutionMatrix::blosum62(), &background_protein())
-            .unwrap();
+        let p =
+            KarlinParams::estimate(&SubstitutionMatrix::blosum62(), &background_protein()).unwrap();
         assert!((p.lambda - 0.3176).abs() < 0.01, "lambda = {}", p.lambda);
         assert!((p.h - 0.40).abs() < 0.05, "h = {}", p.h);
         assert!((p.k - 0.134).abs() < 0.05, "k = {}", p.k);
@@ -438,7 +438,7 @@ mod tests {
         let n = 300usize;
         let pairs = 600usize;
         // Deterministic xorshift residues.
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;
@@ -456,8 +456,7 @@ mod tests {
             let observed: usize = counts.range(s..).map(|(_, c)| c).sum();
             let expected = p.evalue(m as u64, n as u64, s) * pairs as f64;
             assert!(
-                observed as f64 <= expected * 4.0 + 4.0
-                    && observed as f64 >= expected / 4.0 - 1.0,
+                observed as f64 <= expected * 4.0 + 4.0 && observed as f64 >= expected / 4.0 - 1.0,
                 "score {s}: observed {observed}, K-A expected {expected:.1}"
             );
         }

@@ -247,9 +247,7 @@ fn sw_align_affine(
                 if v == 0 {
                     break;
                 }
-                if i > 0
-                    && j > 0
-                    && v == h[i - 1][j - 1] + scoring.sub(query[i - 1], target[j - 1])
+                if i > 0 && j > 0 && v == h[i - 1][j - 1] + scoring.sub(query[i - 1], target[j - 1])
                 {
                     ops.push(AlignOp::Replace);
                     i -= 1;
@@ -378,7 +376,13 @@ mod tests {
         ];
         for i in 0..4 {
             for j in 0..11 {
-                assert_eq!(mat[i + 1][j + 1], expect[i][j], "cell ({},{})", i + 1, j + 1);
+                assert_eq!(
+                    mat[i + 1][j + 1],
+                    expect[i][j],
+                    "cell ({},{})",
+                    i + 1,
+                    j + 1
+                );
             }
         }
     }
@@ -451,7 +455,10 @@ mod tests {
         let targets = ["TTGACCAGATACATTG", "GATCTACA", "CCCCCC", "GAATTACA"];
         for t in targets {
             let t = dna(t);
-            let lin = Scoring::new(SubstitutionMatrix::unit(AlphabetKind::Dna), GapModel::linear(-1));
+            let lin = Scoring::new(
+                SubstitutionMatrix::unit(AlphabetKind::Dna),
+                GapModel::linear(-1),
+            );
             let aff = Scoring::new(
                 SubstitutionMatrix::unit(AlphabetKind::Dna),
                 GapModel::affine(0, -1),
@@ -610,7 +617,12 @@ mod tests {
         ] {
             let aln = sw_align(&q, &t, &scoring).unwrap();
             assert!(aln.is_consistent());
-            assert_eq!(score_of(&aln, &q, &t, &scoring), aln.score, "{:?}", scoring.gap);
+            assert_eq!(
+                score_of(&aln, &q, &t, &scoring),
+                aln.score,
+                "{:?}",
+                scoring.gap
+            );
             assert_eq!(sw_best(&q, &t, &scoring).score, aln.score);
         }
     }

@@ -57,12 +57,9 @@ fn bench_disk_query(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     for (label, divisor) in [("full_pool", 1usize), ("eighth_pool", 8)] {
-        let tree = DiskSuffixTree::open_image(
-            image.clone(),
-            2048,
-            (image.len() / divisor).max(4096),
-        )
-        .expect("valid image");
+        let tree =
+            DiskSuffixTree::open_image(image.clone(), 2048, (image.len() / divisor).max(4096))
+                .expect("valid image");
         group.bench_function(label, |b| {
             b.iter(|| {
                 let (hits, _) = OasisSearch::new(

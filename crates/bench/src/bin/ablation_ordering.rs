@@ -134,7 +134,11 @@ fn main() {
     );
     let tb = Testbed::protein(scale);
     let evalue = 20_000.0;
-    let queries: Vec<&Vec<u8>> = tb.queries.iter().take(scale.query_count().min(24)).collect();
+    let queries: Vec<&Vec<u8>> = tb
+        .queries
+        .iter()
+        .take(scale.query_count().min(24))
+        .collect();
 
     let mut rows = Vec::new();
     for (name, order) in [
@@ -170,7 +174,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["strategy", "columns to best hit", "columns total", "peak frontier"],
+        &[
+            "strategy",
+            "columns to best hit",
+            "columns total",
+            "peak frontier",
+        ],
         &rows,
     );
     println!("\nexpected: total columns are nearly identical (pruning is per-path),");

@@ -107,7 +107,11 @@ fn main() {
     ];
 
     // Use a slice of the workload to keep the no-rule variants tractable.
-    let queries: Vec<&Vec<u8>> = tb.queries.iter().take(scale.query_count().min(16)).collect();
+    let queries: Vec<&Vec<u8>> = tb
+        .queries
+        .iter()
+        .take(scale.query_count().min(16))
+        .collect();
 
     // Run the sweep at both selectivity extremes: rule 3 (threshold) is
     // nearly free at E=20000 but dominant at E=1.

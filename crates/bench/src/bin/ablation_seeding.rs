@@ -64,7 +64,14 @@ fn main() {
         "-".into(),
     ]);
     print_table(
-        &["seeding", "matches", "of exact", "seeds", "ungapped ext", "time"],
+        &[
+            "seeding",
+            "matches",
+            "of exact",
+            "seeds",
+            "ungapped ext",
+            "time",
+        ],
         &rows,
     );
     println!("\nexpected: two-hit triggers far fewer extensions but recovers fewer");

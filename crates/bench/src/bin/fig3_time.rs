@@ -46,10 +46,7 @@ fn main() {
             format!("{:.1}x", s.as_secs_f64() / o.as_secs_f64().max(1e-9)),
         ]);
     }
-    print_table(
-        &["qlen", "n", "OASIS", "BLAST", "S-W", "S-W/OASIS"],
-        &rows,
-    );
+    print_table(&["qlen", "n", "OASIS", "BLAST", "S-W", "S-W/OASIS"], &rows);
     println!("\npaper shape: OASIS >= 10x faster than S-W on short queries,");
     println!("comparable to BLAST; gap narrows as query length grows.");
 }

@@ -26,8 +26,7 @@ fn main() {
             let (_, stats, _) = tb.run_oasis(&tb.queries[i], evalue);
             oasis_cols.push(stats.columns_expanded);
         }
-        let mean_cols =
-            oasis_cols.iter().sum::<u64>() as f64 / oasis_cols.len() as f64;
+        let mean_cols = oasis_cols.iter().sum::<u64>() as f64 / oasis_cols.len() as f64;
         let pct = 100.0 * mean_cols / sw_columns as f64;
         for &c in &oasis_cols {
             let r = 100.0 * c as f64 / sw_columns as f64;
@@ -42,10 +41,7 @@ fn main() {
             format!("{pct:.2}%"),
         ]);
     }
-    print_table(
-        &["qlen", "n", "OASIS cols", "S-W cols", "OASIS/S-W"],
-        &rows,
-    );
+    print_table(&["qlen", "n", "OASIS cols", "S-W cols", "OASIS/S-W"], &rows);
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("\naverage columns ratio: {avg:.2}% (paper: 3.9%)");
     println!("worst-case columns ratio: {worst:.2}% (paper: 18.5%)");

@@ -33,7 +33,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["pool MB", "of index", "mean query", "cpu", "modelled I/O", "hit ratio"],
+        &[
+            "pool MB",
+            "of index",
+            "mean query",
+            "cpu",
+            "modelled I/O",
+            "hit ratio",
+        ],
         &rows,
     );
     println!("\npaper shape: steep degradation for very small pools, rapid improvement");

@@ -7,7 +7,11 @@ use oasis_storage::DiskTreeBuilder;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Space table (§4.2)", "index size and bytes per symbol", scale);
+    banner(
+        "Space table (§4.2)",
+        "index size and bytes per symbol",
+        scale,
+    );
     let tb = Testbed::protein(scale);
 
     let mut rows = Vec::new();

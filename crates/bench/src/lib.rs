@@ -15,16 +15,12 @@
 
 use std::time::{Duration, Instant};
 
-use oasis_align::{
-    background_protein, KarlinParams, Score, Scoring, SwScanner,
-};
+use oasis_align::{background_protein, KarlinParams, Score, Scoring, SwScanner};
 use oasis_bioseq::Alphabet;
 use oasis_blast::{BlastParams, BlastSearch};
 use oasis_core::{Hit, OasisParams, OasisSearch, SearchStats};
 use oasis_suffix::SuffixTree;
-use oasis_workloads::{
-    generate_protein, generate_queries, ProteinDbSpec, QuerySpec, Workload,
-};
+use oasis_workloads::{generate_protein, generate_queries, ProteinDbSpec, QuerySpec, Workload};
 
 /// Experiment scale, from the `OASIS_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,11 +211,7 @@ impl Testbed {
     }
 
     /// Run the Smith-Waterman scan for one query at `evalue`.
-    pub fn run_sw(
-        &self,
-        query: &[u8],
-        evalue: f64,
-    ) -> (Vec<oasis_align::SeqBest>, u64, Duration) {
+    pub fn run_sw(&self, query: &[u8], evalue: f64) -> (Vec<oasis_align::SeqBest>, u64, Duration) {
         let min = self.min_score(query.len(), evalue);
         let mut scanner = SwScanner::new();
         let start = Instant::now();
@@ -228,11 +220,7 @@ impl Testbed {
     }
 
     /// Run the BLAST baseline for one query at `evalue`.
-    pub fn run_blast(
-        &self,
-        query: &[u8],
-        evalue: f64,
-    ) -> (Vec<oasis_blast::BlastHit>, Duration) {
+    pub fn run_blast(&self, query: &[u8], evalue: f64) -> (Vec<oasis_blast::BlastHit>, Duration) {
         let params = BlastParams::short_protein().with_evalue(evalue);
         let search = BlastSearch::new(&self.workload.db, &self.scoring, params)
             .expect("statistics well-defined");
@@ -375,8 +363,7 @@ mod tests {
         // Exactness: same per-sequence scores as S-W.
         let mut got: Vec<(u32, Score)> = hits.iter().map(|h| (h.seq, h.score)).collect();
         got.sort_unstable();
-        let mut want: Vec<(u32, Score)> =
-            sw_hits.iter().map(|h| (h.seq, h.hit.score)).collect();
+        let mut want: Vec<(u32, Score)> = sw_hits.iter().map(|h| (h.seq, h.hit.score)).collect();
         want.sort_unstable();
         assert_eq!(got, want);
         assert!(stats.columns_expanded > 0);

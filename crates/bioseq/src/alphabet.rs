@@ -206,13 +206,7 @@ mod tests {
     fn encode_str_reports_offset() {
         let d = Alphabet::dna();
         let err = d.encode_str("ACGTN").unwrap_err();
-        assert_eq!(
-            err,
-            BioseqError::UnknownResidue {
-                ch: 'N',
-                offset: 4
-            }
-        );
+        assert_eq!(err, BioseqError::UnknownResidue { ch: 'N', offset: 4 });
     }
 
     #[test]
@@ -231,7 +225,10 @@ mod tests {
     #[test]
     fn of_kind_matches_constructors() {
         assert_eq!(Alphabet::of_kind(AlphabetKind::Dna), Alphabet::dna());
-        assert_eq!(Alphabet::of_kind(AlphabetKind::Protein), Alphabet::protein());
+        assert_eq!(
+            Alphabet::of_kind(AlphabetKind::Protein),
+            Alphabet::protein()
+        );
     }
 
     #[test]

@@ -126,10 +126,7 @@ pub fn read_database<R: Read>(mut r: R) -> Result<SequenceDatabase, BinIoError> 
             return Err(BinIoError::Corrupt("sequence not terminator-delimited"));
         }
         let codes = &text[start..end - 1];
-        if codes
-            .iter()
-            .any(|&c| c as usize >= alphabet.len())
-        {
+        if codes.iter().any(|&c| c as usize >= alphabet.len()) {
             return Err(BinIoError::Corrupt("residue code out of range"));
         }
         builder
@@ -147,9 +144,7 @@ pub fn read_database<R: Read>(mut r: R) -> Result<SequenceDatabase, BinIoError> 
         }
         let mut name = vec![0u8; len];
         r.read_exact(&mut name)?;
-        names.push(
-            String::from_utf8(name).map_err(|_| BinIoError::Corrupt("name is not utf-8"))?,
-        );
+        names.push(String::from_utf8(name).map_err(|_| BinIoError::Corrupt("name is not utf-8"))?);
     }
     db.set_names(names)
         .map_err(|_| BinIoError::Corrupt("name count mismatch"))?;

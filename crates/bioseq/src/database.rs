@@ -209,7 +209,11 @@ impl DatabaseBuilder {
     }
 
     /// Encode and append one text sequence.
-    pub fn push_str(&mut self, name: impl Into<String>, residues: &str) -> Result<SeqId, BioseqError> {
+    pub fn push_str(
+        &mut self,
+        name: impl Into<String>,
+        residues: &str,
+    ) -> Result<SeqId, BioseqError> {
         let seq = Sequence::from_str(name, residues, &self.alphabet)?;
         self.push(seq)
     }

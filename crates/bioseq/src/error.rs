@@ -41,7 +41,10 @@ impl fmt::Display for BioseqError {
                 write!(f, "unknown residue {ch:?} at byte offset {offset}")
             }
             BioseqError::MissingHeader { line } => {
-                write!(f, "FASTA sequence data before any '>' header at line {line}")
+                write!(
+                    f,
+                    "FASTA sequence data before any '>' header at line {line}"
+                )
             }
             BioseqError::EmptySequence { name } => {
                 write!(f, "FASTA record {name:?} contains no residues")
@@ -71,7 +74,9 @@ mod tests {
         let e = BioseqError::MissingHeader { line: 3 };
         assert!(e.to_string().contains("line 3"));
 
-        let e = BioseqError::EmptySequence { name: "sp|P1".into() };
+        let e = BioseqError::EmptySequence {
+            name: "sp|P1".into(),
+        };
         assert!(e.to_string().contains("sp|P1"));
 
         let e = BioseqError::TooLarge { attempted: 1 << 40 };

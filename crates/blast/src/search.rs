@@ -72,12 +72,7 @@ impl<'a> BlastSearch<'a> {
     pub fn search(&self, query: &[u8]) -> (Vec<BlastHit>, BlastStats) {
         let mut stats = BlastStats::default();
         let w = self.params.word_size;
-        let index = WordIndex::build(
-            query,
-            &self.scoring.matrix,
-            w,
-            self.params.threshold,
-        );
+        let index = WordIndex::build(query, &self.scoring.matrix, w, self.params.threshold);
         let mut hits = Vec::new();
         if index.num_words() == 0 {
             return (hits, stats); // query too short to seed: heuristic miss
@@ -126,8 +121,7 @@ impl<'a> BlastSearch<'a> {
                                 // with it.
                                 false
                             } else {
-                                let within =
-                                    prev != i64::MIN && s - prev <= window as i64;
+                                let within = prev != i64::MIN && s - prev <= window as i64;
                                 last_hit_end[diag] = s + w as i64;
                                 within
                             }
@@ -243,10 +237,7 @@ mod tests {
 
     #[test]
     fn finds_exact_planted_match() {
-        let db = protein_db(&[
-            "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ",
-            "GGGGGGGGGGGGGGGGGG",
-        ]);
+        let db = protein_db(&["MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ", "GGGGGGGGGGGGGGGGGG"]);
         let scoring = blosum();
         let params = BlastParams::protein().with_evalue(1e3);
         let search = BlastSearch::new(&db, &scoring, params).unwrap();
@@ -270,8 +261,8 @@ mod tests {
             "CCCCCCCCCCCC",
         ]);
         let scoring = blosum();
-        let search = BlastSearch::new(&db, &scoring, BlastParams::protein().with_evalue(1e6))
-            .unwrap();
+        let search =
+            BlastSearch::new(&db, &scoring, BlastParams::protein().with_evalue(1e6)).unwrap();
         let q = Alphabet::protein().encode_str("AKQRQISFVKSH").unwrap();
         let (hits, _) = search.search(&q);
         let mut scanner = SwScanner::new();
@@ -337,12 +328,7 @@ mod tests {
                 .with_evalue(1e6),
         )
         .unwrap();
-        let two = BlastSearch::new(
-            &db,
-            &scoring,
-            BlastParams::protein().with_evalue(1e6),
-        )
-        .unwrap();
+        let two = BlastSearch::new(&db, &scoring, BlastParams::protein().with_evalue(1e6)).unwrap();
         let (one_hits, one_stats) = one.search(&q);
         let (two_hits, two_stats) = two.search(&q);
         // Two-hit performs at most as many ungapped extensions…
@@ -362,8 +348,8 @@ mod tests {
         ]);
         let scoring = blosum();
         let q = Alphabet::protein().encode_str("AKQRQISFVKSH").unwrap();
-        let loose = BlastSearch::new(&db, &scoring, BlastParams::protein().with_evalue(1e9))
-            .unwrap();
+        let loose =
+            BlastSearch::new(&db, &scoring, BlastParams::protein().with_evalue(1e9)).unwrap();
         let strict =
             BlastSearch::new(&db, &scoring, BlastParams::protein().with_evalue(1e-12)).unwrap();
         let (loose_hits, _) = loose.search(&q);
@@ -389,7 +375,8 @@ mod tests {
     #[test]
     fn dna_word_seeding() {
         let mut b = DatabaseBuilder::new(Alphabet::dna());
-        b.push_str("d0", "ACGTACGTACGTGGCCAAGGTTACGTACGTAA").unwrap();
+        b.push_str("d0", "ACGTACGTACGTGGCCAAGGTTACGTACGTAA")
+            .unwrap();
         b.push_str("d1", "TTTTTTTTTTTTTTTTTTTT").unwrap();
         let db = b.finish();
         let scoring = Scoring::unit_dna();

@@ -118,9 +118,7 @@ impl<T: SuffixTreeAccess + ?Sized> Iterator for EvalueOrderedSearch<'_, T> {
             if let Some(top) = self.held.peek() {
                 match self.optimistic_bound() {
                     None => return self.held.pop().map(|h| h.0),
-                    Some(bound) if top.0.evalue <= bound => {
-                        return self.held.pop().map(|h| h.0)
-                    }
+                    Some(bound) if top.0.evalue <= bound => return self.held.pop().map(|h| h.0),
                     Some(_) => {}
                 }
             }
@@ -147,11 +145,17 @@ mod tests {
         let mut b = DatabaseBuilder::new(Alphabet::dna());
         // Long sequence with a good match, short sequence with a slightly
         // weaker match: length adjustment can reorder them.
-        b.push_str("long", &format!("{}TACGT{}", "A".repeat(200), "C".repeat(200)))
-            .unwrap();
+        b.push_str(
+            "long",
+            &format!("{}TACGT{}", "A".repeat(200), "C".repeat(200)),
+        )
+        .unwrap();
         b.push_str("short", "GTACG").unwrap();
-        b.push_str("medium", &format!("{}TAGG{}", "G".repeat(30), "A".repeat(30)))
-            .unwrap();
+        b.push_str(
+            "medium",
+            &format!("{}TAGG{}", "G".repeat(30), "A".repeat(30)),
+        )
+        .unwrap();
         b.finish()
     }
 
@@ -193,10 +197,12 @@ mod tests {
         let scoring = Scoring::unit_dna();
         let query = Alphabet::dna().encode_str("TACG").unwrap();
         let params = OasisParams::with_min_score(1);
-        let (score_hits, _) =
-            OasisSearch::new(&tree, &database, &query, &scoring, &params).run();
+        let (score_hits, _) = OasisSearch::new(&tree, &database, &query, &scoring, &params).run();
 
-        let mut a: Vec<_> = evalue_hits.iter().map(|h| (h.hit.seq, h.hit.score)).collect();
+        let mut a: Vec<_> = evalue_hits
+            .iter()
+            .map(|h| (h.hit.seq, h.hit.score))
+            .collect();
         a.sort_unstable();
         let mut b: Vec<_> = score_hits.iter().map(|h| (h.seq, h.score)).collect();
         b.sort_unstable();
@@ -221,7 +227,8 @@ mod tests {
         // Two sequences with the same best score: the shorter one has the
         // smaller adjusted E-value and must come first.
         let mut b = DatabaseBuilder::new(Alphabet::dna());
-        b.push_str("long", &format!("TACG{}", "A".repeat(300))).unwrap();
+        b.push_str("long", &format!("TACG{}", "A".repeat(300)))
+            .unwrap();
         b.push_str("short", "TACG").unwrap();
         let database = b.finish();
         let hits = run_evalue_ordered(&database, 4);

@@ -176,7 +176,11 @@ pub fn expand_with_rules<T: SuffixTreeAccess + ?Sized>(
             // resets to zero are "not permitted outside of the seed entry".
             let v0 = prev[0] + gap;
             cur[0] = if pruned(v0, h[0], gmax) { NEG_INF } else { v0 };
-            f_col = if cur[0] == NEG_INF { NEG_INF } else { cur[0] + h[0] };
+            f_col = if cur[0] == NEG_INF {
+                NEG_INF
+            } else {
+                cur[0] + h[0]
+            };
             g_col = cur[0];
 
             for i in 1..=n {
@@ -278,7 +282,16 @@ mod tests {
         let mut scratch = ExpandScratch::default();
         let mut columns = 0;
         expand(
-            &tree, &root, child, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+            &tree,
+            &root,
+            child,
+            &query,
+            &scoring,
+            &h,
+            1,
+            1,
+            &mut scratch,
+            &mut columns,
         )
     }
 
@@ -360,11 +373,29 @@ mod tests {
         let mut scratch = ExpandScratch::default();
         let mut columns = 0;
         let ta_node = expand(
-            &tree, &root, ta, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+            &tree,
+            &root,
+            ta,
+            &query,
+            &scoring,
+            &h,
+            1,
+            1,
+            &mut scratch,
+            &mut columns,
         );
         let leaf2 = NodeHandle::leaf(2);
         let node = expand(
-            &tree, &ta_node, leaf2, &query, &scoring, &h, 1, 2, &mut scratch, &mut columns,
+            &tree,
+            &ta_node,
+            leaf2,
+            &query,
+            &scoring,
+            &h,
+            1,
+            2,
+            &mut scratch,
+            &mut columns,
         );
         assert_eq!(node.status, Status::Accepted);
         assert_eq!(node.f, 4);
@@ -386,11 +417,29 @@ mod tests {
         let mut scratch = ExpandScratch::default();
         let mut columns = 0;
         let ta_node = expand(
-            &tree, &root, ta, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+            &tree,
+            &root,
+            ta,
+            &query,
+            &scoring,
+            &h,
+            1,
+            1,
+            &mut scratch,
+            &mut columns,
         );
         let leaf8 = NodeHandle::leaf(8);
         let node = expand(
-            &tree, &ta_node, leaf8, &query, &scoring, &h, 1, 2, &mut scratch, &mut columns,
+            &tree,
+            &ta_node,
+            leaf8,
+            &query,
+            &scoring,
+            &h,
+            1,
+            2,
+            &mut scratch,
+            &mut columns,
         );
         assert_eq!(node.status, Status::Accepted);
         assert_eq!(node.f, 2);
@@ -410,7 +459,16 @@ mod tests {
         let mut columns = 0;
         let ta = node_by_label(&tree, "TA");
         expand(
-            &tree, &root, ta, &query, &scoring, &h, 1, 1, &mut scratch, &mut columns,
+            &tree,
+            &root,
+            ta,
+            &query,
+            &scoring,
+            &h,
+            1,
+            1,
+            &mut scratch,
+            &mut columns,
         );
         assert_eq!(columns, 2); // "TA" = two columns
     }
@@ -429,7 +487,16 @@ mod tests {
         let mut scratch = ExpandScratch::default();
         let mut cols = 0;
         let strict = expand(
-            &tree, &root, a, &query, &scoring, &h, 1, 1, &mut scratch, &mut cols,
+            &tree,
+            &root,
+            a,
+            &query,
+            &scoring,
+            &h,
+            1,
+            1,
+            &mut scratch,
+            &mut cols,
         );
         let rules_off = PruneRules {
             non_positive: false,
@@ -437,7 +504,17 @@ mod tests {
             threshold: false,
         };
         let loose = expand_with_rules(
-            &tree, &root, a, &query, &scoring, &h, 1, 1, &mut scratch, &mut cols, rules_off,
+            &tree,
+            &root,
+            a,
+            &query,
+            &scoring,
+            &h,
+            1,
+            1,
+            &mut scratch,
+            &mut cols,
+            rules_off,
         );
         assert_eq!(strict.f, loose.f);
         assert_eq!(strict.g, loose.g);
@@ -462,7 +539,16 @@ mod tests {
         let mut scratch = ExpandScratch::default();
         let mut columns = 0;
         let node = expand(
-            &tree, &root, g, &query, &scoring, &h, 4, 1, &mut scratch, &mut columns,
+            &tree,
+            &root,
+            g,
+            &query,
+            &scoring,
+            &h,
+            4,
+            1,
+            &mut scratch,
+            &mut columns,
         );
         assert_eq!(node.status, Status::Unviable);
     }

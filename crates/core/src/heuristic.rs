@@ -46,7 +46,7 @@ pub fn heuristic_vector(query: &[u8], scoring: &Scoring) -> Vec<Score> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oasis_align::{SubstitutionMatrix, Scoring};
+    use oasis_align::{Scoring, SubstitutionMatrix};
     use oasis_bioseq::{Alphabet, AlphabetKind};
 
     fn dna(s: &str) -> Vec<u8> {

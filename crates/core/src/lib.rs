@@ -43,8 +43,8 @@ pub mod heuristic;
 pub mod node;
 pub mod search;
 
-pub use heuristic::heuristic_vector;
-pub use node::{SearchNode, Status};
 pub use evalue::{EvalueOrderedSearch, EvaluedHit};
 pub use expand::{expand, expand_with_rules, ExpandScratch, PruneRules};
+pub use heuristic::heuristic_vector;
+pub use node::{SearchNode, Status};
 pub use search::{root_node, Hit, OasisParams, OasisSearch, ReportMode, SearchStats};

@@ -14,9 +14,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use oasis_align::{
-    sw_align, Alignment, GapModel, KarlinParams, Score, Scoring, NEG_INF,
-};
+use oasis_align::{sw_align, Alignment, GapModel, KarlinParams, Score, Scoring, NEG_INF};
 use oasis_bioseq::{SeqId, SequenceDatabase};
 use oasis_suffix::SuffixTreeAccess;
 
@@ -108,14 +106,8 @@ impl Hit {
     /// Recover the operation-level alignment by a bounded Smith-Waterman
     /// re-run over the hit's target window. The window is tiny (at most
     /// `t_len` symbols), so this costs O(query × t_len).
-    pub fn alignment(
-        &self,
-        db: &SequenceDatabase,
-        query: &[u8],
-        scoring: &Scoring,
-    ) -> Alignment {
-        let window =
-            &db.text()[self.t_start as usize..(self.t_start + self.t_len) as usize];
+    pub fn alignment(&self, db: &SequenceDatabase, query: &[u8], scoring: &Scoring) -> Alignment {
+        let window = &db.text()[self.t_start as usize..(self.t_start + self.t_len) as usize];
         let mut aln = sw_align(query, window, scoring)
             .expect("a reported hit implies a positive-scoring alignment");
         debug_assert_eq!(aln.score, self.score, "window re-alignment must agree");
@@ -213,9 +205,7 @@ impl<'a, T: SuffixTreeAccess + ?Sized> OasisSearch<'a, T> {
             db.text_len(),
             "suffix tree does not index this database"
         );
-        debug_assert!(query
-            .iter()
-            .all(|&c| (c as usize) < db.alphabet().len()));
+        debug_assert!(query.iter().all(|&c| (c as usize) < db.alphabet().len()));
         let h = heuristic_vector(query, scoring);
         let mut heap = BinaryHeap::new();
         if let Some(root) = root_node(query, &h, params.min_score) {
@@ -386,11 +376,7 @@ mod tests {
         b.finish()
     }
 
-    fn search_all(
-        db: &SequenceDatabase,
-        query: &str,
-        min_score: Score,
-    ) -> (Vec<Hit>, SearchStats) {
+    fn search_all(db: &SequenceDatabase, query: &str, min_score: Score) -> (Vec<Hit>, SearchStats) {
         let tree = SuffixTree::build(db);
         let scoring = Scoring::unit_dna();
         let q = Alphabet::dna().encode_str(query).unwrap();
@@ -422,8 +408,7 @@ mod tests {
         let scoring = Scoring::unit_dna();
         let q = Alphabet::dna().encode_str("TACG").unwrap();
         let params = OasisParams::with_min_score(1);
-        let hits: Vec<Hit> =
-            OasisSearch::new(&tree, &db, &q, &scoring, &params).collect();
+        let hits: Vec<Hit> = OasisSearch::new(&tree, &db, &q, &scoring, &params).collect();
         let aln = hits[0].alignment(&db, &q, &scoring);
         assert_eq!(aln.score, 4);
         assert_eq!(aln.cigar(), "4R");
@@ -460,11 +445,9 @@ mod tests {
         for min_score in 1..=4 {
             let (hits, _) = search_all(&db, "TACG", min_score);
             let sw = SwScanner::new().scan(&db, &q, &scoring, min_score);
-            let mut got: Vec<(SeqId, Score)> =
-                hits.iter().map(|h| (h.seq, h.score)).collect();
+            let mut got: Vec<(SeqId, Score)> = hits.iter().map(|h| (h.seq, h.score)).collect();
             got.sort_unstable();
-            let mut want: Vec<(SeqId, Score)> =
-                sw.iter().map(|h| (h.seq, h.hit.score)).collect();
+            let mut want: Vec<(SeqId, Score)> = sw.iter().map(|h| (h.seq, h.hit.score)).collect();
             want.sort_unstable();
             assert_eq!(got, want, "min_score {min_score}");
         }
@@ -501,8 +484,7 @@ mod tests {
         let scoring = Scoring::unit_dna();
         let q = Alphabet::dna().encode_str("TACG").unwrap();
         let params = OasisParams::with_min_score(1);
-        let all: Vec<Hit> =
-            OasisSearch::new(&tree, &db, &q, &scoring, &params).collect();
+        let all: Vec<Hit> = OasisSearch::new(&tree, &db, &q, &scoring, &params).collect();
         let top2: Vec<Hit> = OasisSearch::new(&tree, &db, &q, &scoring, &params)
             .take(2)
             .collect();
@@ -562,7 +544,8 @@ mod tests {
     #[test]
     fn works_with_protein_scoring() {
         let mut b = DatabaseBuilder::new(Alphabet::protein());
-        b.push_str("p0", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ").unwrap();
+        b.push_str("p0", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+            .unwrap();
         b.push_str("p1", "GGGGGAKQRQISGGGGG").unwrap();
         b.push_str("p2", "WWWWWWWW").unwrap();
         let db = b.finish();
@@ -594,8 +577,7 @@ mod tests {
         let sw = SwScanner::new().scan(&db, &q, &scoring, 3);
         let mut got: Vec<(SeqId, Score)> = hits.iter().map(|h| (h.seq, h.score)).collect();
         got.sort_unstable();
-        let mut want: Vec<(SeqId, Score)> =
-            sw.iter().map(|h| (h.seq, h.hit.score)).collect();
+        let mut want: Vec<(SeqId, Score)> = sw.iter().map(|h| (h.seq, h.hit.score)).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -640,7 +622,9 @@ mod tests {
         // Every best hit's (seq, score) appears among the occurrences.
         for b in &best_hits {
             assert!(
-                all_hits.iter().any(|a| a.seq == b.seq && a.score == b.score),
+                all_hits
+                    .iter()
+                    .any(|a| a.seq == b.seq && a.score == b.score),
                 "missing {b:?}"
             );
         }

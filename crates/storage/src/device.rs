@@ -118,7 +118,10 @@ impl BlockDevice for FileDevice {
             // The final block may be short on disk; zero-fill the tail.
             let mut filled = 0usize;
             while filled < buf.len() {
-                match self.file.read_at(&mut buf[filled..], offset + filled as u64) {
+                match self
+                    .file
+                    .read_at(&mut buf[filled..], offset + filled as u64)
+                {
                     Ok(0) => break,
                     Ok(n) => filled += n,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,

@@ -192,11 +192,9 @@ impl DiskTreeBuilder {
                 assert!(depth < LAST_SIBLING, "depth overflows record");
                 let rec = base + new * INTERNAL_REC;
                 image[rec..rec + 4].copy_from_slice(&depth.to_le_bytes());
-                image[rec + 4..rec + 8]
-                    .copy_from_slice(&tree.internal_witness(old).to_le_bytes());
+                image[rec + 4..rec + 8].copy_from_slice(&tree.internal_witness(old).to_le_bytes());
                 image[rec + 8..rec + 12].copy_from_slice(&first_internal.to_le_bytes());
-                image[rec + 12..rec + 16]
-                    .copy_from_slice(&first_leaf[old as usize].to_le_bytes());
+                image[rec + 12..rec + 16].copy_from_slice(&first_leaf[old as usize].to_le_bytes());
             }
             // Second pass: set the last-sibling flags. Records are all
             // written now, so the flag can no longer be clobbered.
@@ -208,9 +206,7 @@ impl DiskTreeBuilder {
             };
             set_flag(0); // the root has no siblings
             for &old in &bfs_order {
-                let last_internal = tree
-                    .children_of(old)
-                    .iter().rfind(|c| !c.is_leaf());
+                let last_internal = tree.children_of(old).iter().rfind(|c| !c.is_leaf());
                 if let Some(c) = last_internal {
                     set_flag(new_id[c.index() as usize]);
                 }
@@ -237,13 +233,34 @@ impl DiskTreeBuilder {
     }
 
     /// Serialize `tree` to a file.
-    pub fn write_file(&self, tree: &SuffixTree, path: impl AsRef<Path>) -> std::io::Result<ImageStats> {
+    pub fn write_file(
+        &self,
+        tree: &SuffixTree,
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<ImageStats> {
         let (image, stats) = self.build_image(tree);
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         f.write_all(&image)?;
         f.flush()?;
         Ok(stats)
     }
+}
+
+/// Read the block size recorded in an index header prefix (the first 12+
+/// bytes of an image or file), validating the magic. Lets callers open a
+/// [`crate::FileDevice`] with the block size the index was written with
+/// instead of guessing.
+pub fn header_block_size(prefix: &[u8]) -> Result<usize, LayoutError> {
+    if prefix.len() < 12 || &prefix[0..8] != MAGIC {
+        return Err(LayoutError::BadMagic);
+    }
+    let bs = u32::from_le_bytes(prefix[8..12].try_into().unwrap());
+    // Same invariant DiskTreeBuilder::with_block_size enforces; a corrupt
+    // field must become a clean error, not a panic or a huge allocation.
+    if bs < 64 || bs % 16 != 0 {
+        return Err(LayoutError::BadBlockSize { header: bs });
+    }
+    Ok(bs as usize)
 }
 
 /// Problems opening a disk image.
@@ -258,6 +275,11 @@ pub enum LayoutError {
         /// Block size of the device.
         device: u32,
     },
+    /// Header block-size field is corrupt (zero, tiny, or misaligned).
+    BadBlockSize {
+        /// Block size recorded in the header.
+        header: u32,
+    },
     /// Image is shorter than the header claims.
     Truncated,
 }
@@ -268,6 +290,9 @@ impl std::fmt::Display for LayoutError {
             LayoutError::BadMagic => write!(f, "not an OASIS index (bad magic)"),
             LayoutError::BlockSizeMismatch { header, device } => {
                 write!(f, "index block size {header} != device block size {device}")
+            }
+            LayoutError::BadBlockSize { header } => {
+                write!(f, "index header has invalid block size {header}")
             }
             LayoutError::Truncated => write!(f, "index image is truncated"),
         }
@@ -395,8 +420,7 @@ impl<D: BlockDevice> DiskSuffixTree<D> {
         let block = self.internal_start + (idx as usize / per_block) as u64;
         let off = (idx as usize % per_block) * INTERNAL_REC;
         self.pool.read(block, Region::Internal, |b| {
-            let u32_at =
-                |o: usize| u32::from_le_bytes(b[off + o..off + o + 4].try_into().unwrap());
+            let u32_at = |o: usize| u32::from_le_bytes(b[off + o..off + o + 4].try_into().unwrap());
             let d = u32_at(0);
             InternalRec {
                 depth: d & !LAST_SIBLING,
@@ -480,9 +504,7 @@ impl<D: BlockDevice> DiskSuffixTree<D> {
                 let mut child = rec.first_internal_child;
                 loop {
                     if child >= self.num_internal {
-                        return Err(format!(
-                            "node {idx}: internal child {child} out of range"
-                        ));
+                        return Err(format!("node {idx}: internal child {child} out of range"));
                     }
                     if self.internal_rec(child).last_sibling {
                         break;
@@ -638,7 +660,11 @@ mod tests {
         b.finish()
     }
 
-    fn disk_tree(d: &SequenceDatabase, block_size: usize, pool_bytes: usize) -> DiskSuffixTree<MemDevice> {
+    fn disk_tree(
+        d: &SequenceDatabase,
+        block_size: usize,
+        pool_bytes: usize,
+    ) -> DiskSuffixTree<MemDevice> {
         let tree = SuffixTree::build(d);
         let (image, _) = DiskTreeBuilder::with_block_size(block_size).build_image(&tree);
         DiskSuffixTree::open_image(image, block_size, pool_bytes).unwrap()
@@ -679,10 +705,8 @@ mod tests {
                 out
             };
             let _ = label;
-            let mut dpairs: Vec<(Vec<u8>, NodeHandle)> = dk
-                .iter()
-                .map(|&c| (disk.arc_label(depth, c), c))
-                .collect();
+            let mut dpairs: Vec<(Vec<u8>, NodeHandle)> =
+                dk.iter().map(|&c| (disk.arc_label(depth, c), c)).collect();
             for &mc in mk.iter() {
                 let ml = mem.arc_label(depth, mc);
                 let pos = dpairs

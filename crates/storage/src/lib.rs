@@ -26,6 +26,6 @@ pub mod partitioned;
 pub mod pool;
 
 pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
-pub use layout::{DiskSuffixTree, DiskTreeBuilder, ImageStats};
+pub use layout::{header_block_size, DiskSuffixTree, DiskTreeBuilder, ImageStats};
 pub use partitioned::partitioned_suffix_array;
 pub use pool::{BufferPool, BufferPoolStats, PoolStatsSnapshot, Region};

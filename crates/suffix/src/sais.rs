@@ -120,10 +120,7 @@ fn sais(t: &[u32], k: usize) -> Vec<u32> {
     // `reduced[i]` is the name of the i-th LMS position (text order). The
     // last LMS is the sentinel position, whose name 0 is unique, so the
     // reduced string again ends with its unique minimum.
-    let reduced: Vec<u32> = lms_positions
-        .iter()
-        .map(|&p| name_of[p as usize])
-        .collect();
+    let reduced: Vec<u32> = lms_positions.iter().map(|&p| name_of[p as usize]).collect();
     let lms_order: Vec<u32> = if num_names == m {
         // All names distinct: invert the permutation directly.
         let mut order = vec![0u32; m];
@@ -278,7 +275,11 @@ mod tests {
             for alpha in [1u64, 2, 3, 4, 20, 26] {
                 let text: Vec<u32> = (0..len).map(|_| (next() % alpha) as u32).collect();
                 let got = suffix_array(&text);
-                assert_eq!(got, suffix_array_naive(&text), "naive: len={len} alpha={alpha}");
+                assert_eq!(
+                    got,
+                    suffix_array_naive(&text),
+                    "naive: len={len} alpha={alpha}"
+                );
                 assert_eq!(
                     got,
                     suffix_array_doubling(&text),

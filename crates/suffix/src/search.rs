@@ -109,9 +109,7 @@ mod tests {
     fn naive_occurrences(d: &SequenceDatabase, query: &[u8]) -> Vec<u32> {
         let text = d.text();
         (0..text.len())
-            .filter(|&p| {
-                p + query.len() <= text.len() && &text[p..p + query.len()] == query
-            })
+            .filter(|&p| p + query.len() <= text.len() && &text[p..p + query.len()] == query)
             .map(|p| p as u32)
             .collect()
     }
@@ -173,8 +171,8 @@ mod tests {
         let d = db(&["ACGTACGTTGCAGT", "GTACCA", "TTTT", "ACACACAC"]);
         let tree = SuffixTree::build(&d);
         let queries = [
-            "A", "C", "G", "T", "AC", "CA", "GT", "TT", "ACG", "CAC", "GTA", "TTT", "ACGT",
-            "ACAC", "TACC", "GGGG", "ACGTACGT",
+            "A", "C", "G", "T", "AC", "CA", "GT", "TT", "ACG", "CAC", "GTA", "TTT", "ACGT", "ACAC",
+            "TACC", "GGGG", "ACGTACGT",
         ];
         for s in queries {
             let query = q(s);

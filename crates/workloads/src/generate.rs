@@ -94,7 +94,10 @@ fn generate_with(
     seed: u64,
 ) -> Workload {
     assert!(len_min >= 1 && len_min <= len_max, "bad length range");
-    assert!(motif_len.0 >= 1 && motif_len.0 <= motif_len.1, "bad motif range");
+    assert!(
+        motif_len.0 >= 1 && motif_len.0 <= motif_len.1,
+        "bad motif range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let cum = cumulative(freqs);
     let alphabet = Alphabet::of_kind(kind);
@@ -146,7 +149,10 @@ fn generate_with(
     let mut builder = DatabaseBuilder::new(alphabet);
     for (i, codes) in seqs.into_iter().enumerate() {
         builder
-            .push(oasis_bioseq::Sequence::from_codes(format!("syn{i:06}"), codes))
+            .push(oasis_bioseq::Sequence::from_codes(
+                format!("syn{i:06}"),
+                codes,
+            ))
             .expect("synthetic database within addressing limits");
     }
     Workload {

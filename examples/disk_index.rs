@@ -38,11 +38,10 @@ fn main() {
 
     for divisor in [16usize, 4, 1] {
         let pool_bytes = (image.len() / divisor).max(4096);
-        let disk_tree = DiskSuffixTree::open_image(image.clone(), 2048, pool_bytes)
-            .expect("valid image");
+        let disk_tree =
+            DiskSuffixTree::open_image(image.clone(), 2048, pool_bytes).expect("valid image");
         disk_tree.pool().reset_stats();
-        let (hits, _) =
-            OasisSearch::new(&disk_tree, db, &query, &scoring, &params).run();
+        let (hits, _) = OasisSearch::new(&disk_tree, db, &query, &scoring, &params).run();
         let s = disk_tree.pool().stats();
         println!(
             "pool 1/{divisor:<2} of index: {} hits | hit ratios: symbols {:.3}, internal {:.3}, leaves {:.3}",

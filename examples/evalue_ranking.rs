@@ -22,18 +22,19 @@ fn main() {
     b.push_str("tiny-peptide", &format!("AA{motif}AA")).unwrap();
     b.push_str(
         "huge-protein",
-        &format!("{}{motif}{}", "ARNDCQEGHILKMFPSTWYV".repeat(30), "VLKQ".repeat(40)),
+        &format!(
+            "{}{motif}{}",
+            "ARNDCQEGHILKMFPSTWYV".repeat(30),
+            "VLKQ".repeat(40)
+        ),
     )
     .unwrap();
     b.push_str("decoy", &"GPGP".repeat(25)).unwrap();
     let db = b.finish();
     let tree = SuffixTree::build(&db);
     let scoring = Scoring::pam30_protein();
-    let karlin = KarlinParams::estimate(
-        &scoring.matrix,
-        &oasis::align::background_protein(),
-    )
-    .unwrap();
+    let karlin =
+        KarlinParams::estimate(&scoring.matrix, &oasis::align::background_protein()).unwrap();
 
     let query = alphabet.encode_str(motif).unwrap();
     let params = OasisParams::with_min_score(40);

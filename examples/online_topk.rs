@@ -19,16 +19,13 @@ fn main() {
     let db = &workload.db;
     let tree = SuffixTree::build(db);
     let scoring = Scoring::pam30_protein();
-    let karlin = KarlinParams::estimate(
-        &scoring.matrix,
-        &oasis::align::stats::background_protein(),
-    )
-    .expect("stats");
+    let karlin =
+        KarlinParams::estimate(&scoring.matrix, &oasis::align::stats::background_protein())
+            .expect("stats");
 
     // The paper's Figure 9 query: a 13-residue calcium-binding-loop motif.
     let query = Alphabet::protein().encode_str("DKDGDGCITTKEL").unwrap();
-    let min_score =
-        karlin.min_score_for_evalue(query.len() as u64, db.total_residues(), 20_000.0);
+    let min_score = karlin.min_score_for_evalue(query.len() as u64, db.total_residues(), 20_000.0);
     let params = OasisParams::with_min_score(min_score);
 
     println!(

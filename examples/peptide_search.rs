@@ -35,16 +35,17 @@ fn main() {
     println!("suffix tree built in {:?}", build_start.elapsed());
 
     let scoring = Scoring::pam30_protein();
-    let karlin = KarlinParams::estimate(
-        &scoring.matrix,
-        &oasis::align::stats::background_protein(),
-    )
-    .expect("PAM30 statistics");
+    let karlin =
+        KarlinParams::estimate(&scoring.matrix, &oasis::align::stats::background_protein())
+            .expect("PAM30 statistics");
 
     let queries = generate_queries(&workload, &QuerySpec::proclass_like(12, 42));
     let evalue = 20_000.0;
 
-    println!("\n{:<6} {:>9} {:>9} {:>9}  {:>8} {:>8} {:>8}", "qlen", "oasis", "sw", "blast", "o-hits", "sw-hits", "b-hits");
+    println!(
+        "\n{:<6} {:>9} {:>9} {:>9}  {:>8} {:>8} {:>8}",
+        "qlen", "oasis", "sw", "blast", "o-hits", "sw-hits", "b-hits"
+    );
     for query in &queries {
         let min_score =
             karlin.min_score_for_evalue(query.len() as u64, db.total_residues(), evalue);
@@ -59,8 +60,12 @@ fn main() {
         let sw_hits = scanner.scan(db, query, &scoring, min_score);
         let sw_time = t.elapsed();
 
-        let blast = BlastSearch::new(db, &scoring, BlastParams::short_protein().with_evalue(evalue))
-            .expect("stats");
+        let blast = BlastSearch::new(
+            db,
+            &scoring,
+            BlastParams::short_protein().with_evalue(evalue),
+        )
+        .expect("stats");
         let t = Instant::now();
         let (blast_hits, _) = blast.search(query);
         let blast_time = t.elapsed();

@@ -33,7 +33,8 @@ USAGE:
 Database arguments accept FASTA or the binary .oasisdb format written by
 `makedb` (detected by magic). Residues outside the alphabet are skipped
 while parsing FASTA. Defaults: --protein, --matrix pam30, --gap -10,
---evalue 10, --pool-mb 64, --block-size 2048.";
+--evalue 10, --pool-mb 64, --block-size 2048 for `index` (search/info
+read the block size from the index header unless overridden).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +60,7 @@ fn main() -> ExitCode {
 struct Flags {
     positional: Vec<String>,
     alphabet: Alphabet,
-    block_size: usize,
+    block_size: Option<usize>,
     evalue: Option<f64>,
     min_score: Option<i32>,
     top: Option<usize>,
@@ -72,7 +73,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut f = Flags {
         positional: Vec::new(),
         alphabet: Alphabet::protein(),
-        block_size: 2048,
+        block_size: None,
         evalue: None,
         min_score: None,
         top: None,
@@ -91,13 +92,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--dna" => f.alphabet = Alphabet::dna(),
             "--protein" => f.alphabet = Alphabet::protein(),
             "--block-size" => {
-                f.block_size = value("--block-size")?
-                    .parse()
-                    .map_err(|e| format!("--block-size: {e}"))?
+                f.block_size = Some(
+                    value("--block-size")?
+                        .parse()
+                        .map_err(|e| format!("--block-size: {e}"))?,
+                )
             }
             "--evalue" => {
-                f.evalue =
-                    Some(value("--evalue")?.parse().map_err(|e| format!("--evalue: {e}"))?)
+                f.evalue = Some(
+                    value("--evalue")?
+                        .parse()
+                        .map_err(|e| format!("--evalue: {e}"))?,
+                )
             }
             "--min-score" => {
                 f.min_score = Some(
@@ -106,9 +112,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|e| format!("--min-score: {e}"))?,
                 )
             }
-            "--top" => {
-                f.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?)
-            }
+            "--top" => f.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?),
             "--pool-mb" => {
                 f.pool_mb = value("--pool-mb")?
                     .parse()
@@ -129,8 +133,12 @@ fn load_db(path: &str, alphabet: &Alphabet) -> Result<SequenceDatabase, String> 
     if bytes.starts_with(b"OASISDB1") {
         return oasis::bioseq::read_database(&bytes[..]).map_err(|e| format!("{path}: {e}"));
     }
-    let seqs = parse_fasta(BufReader::new(&bytes[..]), alphabet, UnknownResiduePolicy::Skip)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let seqs = parse_fasta(
+        BufReader::new(&bytes[..]),
+        alphabet,
+        UnknownResiduePolicy::Skip,
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
     let mut b = DatabaseBuilder::new(alphabet.clone());
     for s in seqs {
         b.push(s).map_err(|e| e.to_string())?;
@@ -192,16 +200,29 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     let start = std::time::Instant::now();
     let tree = SuffixTree::build(&db);
     eprintln!("suffix tree built in {:.2?}", start.elapsed());
-    let stats = oasis::storage::DiskTreeBuilder::with_block_size(flags.block_size)
+    let block_size = flags.block_size.unwrap_or(2048);
+    let stats = oasis::storage::DiskTreeBuilder::with_block_size(block_size)
         .write_file(&tree, index_path)
         .map_err(|e| format!("{index_path}: {e}"))?;
     eprintln!(
         "wrote {index_path}: {:.2} MB ({:.1} bytes/symbol, {} byte blocks)",
         stats.total_bytes as f64 / 1e6,
         stats.bytes_per_symbol(),
-        flags.block_size
+        block_size
     );
     Ok(())
+}
+
+/// Block size for opening `index_path`: an explicit `--block-size` wins,
+/// otherwise the size recorded in the index header is used.
+fn index_block_size(index_path: &str, explicit: Option<usize>) -> Result<usize, String> {
+    if let Some(bs) = explicit {
+        return Ok(bs);
+    }
+    let mut prefix = [0u8; 12];
+    let mut f = std::fs::File::open(index_path).map_err(|e| format!("{index_path}: {e}"))?;
+    std::io::Read::read_exact(&mut f, &mut prefix).map_err(|e| format!("{index_path}: {e}"))?;
+    oasis::storage::header_block_size(&prefix).map_err(|e| format!("{index_path}: {e}"))
 }
 
 fn cmd_search(args: &[String]) -> Result<(), String> {
@@ -220,15 +241,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         (Some(s), _) => s,
         (None, evalue) => {
             let freqs: Vec<f64> = match flags.alphabet.kind() {
-                oasis::bioseq::AlphabetKind::Dna => {
-                    oasis::align::background_dna().to_vec()
-                }
-                oasis::bioseq::AlphabetKind::Protein => {
-                    oasis::align::background_protein().to_vec()
-                }
+                oasis::bioseq::AlphabetKind::Dna => oasis::align::background_dna().to_vec(),
+                oasis::bioseq::AlphabetKind::Protein => oasis::align::background_protein().to_vec(),
             };
-            let kp = KarlinParams::estimate(&scoring.matrix, &freqs)
-                .map_err(|e| e.to_string())?;
+            let kp = KarlinParams::estimate(&scoring.matrix, &freqs).map_err(|e| e.to_string())?;
             kp.min_score_for_evalue(
                 query.len() as u64,
                 db.total_residues(),
@@ -238,8 +254,9 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     };
     eprintln!("minScore = {min_score}");
 
-    let device = FileDevice::open(index_path, flags.block_size)
-        .map_err(|e| format!("{index_path}: {e}"))?;
+    let block_size = index_block_size(index_path, flags.block_size)?;
+    let device =
+        FileDevice::open(index_path, block_size).map_err(|e| format!("{index_path}: {e}"))?;
     let tree = DiskSuffixTree::open(device, flags.pool_mb * 1024 * 1024)
         .map_err(|e| format!("{index_path}: {e}"))?;
 
@@ -271,8 +288,9 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let [index_path] = flags.positional.as_slice() else {
         return Err("usage: oasis info <index.oasis> [--block-size N]".to_string());
     };
-    let device = FileDevice::open(index_path, flags.block_size)
-        .map_err(|e| format!("{index_path}: {e}"))?;
+    let block_size = index_block_size(index_path, flags.block_size)?;
+    let device =
+        FileDevice::open(index_path, block_size).map_err(|e| format!("{index_path}: {e}"))?;
     let tree = DiskSuffixTree::open(device, 1 << 20).map_err(|e| format!("{index_path}: {e}"))?;
     println!("index:          {index_path}");
     println!("text length:    {}", tree.text_len());

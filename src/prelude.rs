@@ -12,8 +12,7 @@ pub use oasis_align::{
 pub use oasis_suffix::{build_ukkonen, NodeHandle, SuffixTree, SuffixTreeAccess};
 
 pub use oasis_storage::{
-    BufferPool, BufferPoolStats, DiskSuffixTree, DiskTreeBuilder, MemDevice, Region,
-    SimulatedDisk,
+    BufferPool, BufferPoolStats, DiskSuffixTree, DiskTreeBuilder, MemDevice, Region, SimulatedDisk,
 };
 
 pub use oasis_core::{
@@ -23,6 +22,5 @@ pub use oasis_core::{
 pub use oasis_blast::{BlastParams, BlastSearch};
 
 pub use oasis_workloads::{
-    generate_dna, generate_protein, generate_queries, DnaDbSpec, ProteinDbSpec, QuerySpec,
-    Workload,
+    generate_dna, generate_protein, generate_queries, DnaDbSpec, ProteinDbSpec, QuerySpec, Workload,
 };

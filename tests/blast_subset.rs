@@ -3,18 +3,16 @@
 //! threshold), BLAST's per-sequence score never exceeds Smith-Waterman's,
 //! and the heuristic genuinely misses some remote homologs.
 
-use oasis::prelude::*;
 use oasis::blast::SeedMode;
+use oasis::prelude::*;
 
 fn testbed() -> (Workload, SuffixTree, Scoring, KarlinParams) {
     let workload = generate_protein(&ProteinDbSpec::tiny());
     let tree = SuffixTree::build(&workload.db);
     let scoring = Scoring::pam30_protein();
-    let karlin = KarlinParams::estimate(
-        &scoring.matrix,
-        &oasis::align::stats::background_protein(),
-    )
-    .unwrap();
+    let karlin =
+        KarlinParams::estimate(&scoring.matrix, &oasis::align::stats::background_protein())
+            .unwrap();
     (workload, tree, scoring, karlin)
 }
 
@@ -24,8 +22,12 @@ fn blast_sequences_subset_of_oasis() {
     let db = &workload.db;
     let evalue = 20_000.0;
     let queries = generate_queries(&workload, &QuerySpec::proclass_like(20, 5));
-    let blast = BlastSearch::new(db, &scoring, BlastParams::short_protein().with_evalue(evalue))
-        .unwrap();
+    let blast = BlastSearch::new(
+        db,
+        &scoring,
+        BlastParams::short_protein().with_evalue(evalue),
+    )
+    .unwrap();
     for (qi, q) in queries.iter().enumerate() {
         let min = karlin.min_score_for_evalue(q.len() as u64, db.total_residues(), evalue);
         let params = OasisParams::with_min_score(min);
@@ -60,8 +62,12 @@ fn blast_misses_some_matches_overall() {
     let db = &workload.db;
     let evalue = 20_000.0;
     let queries = generate_queries(&workload, &QuerySpec::proclass_like(30, 6));
-    let blast = BlastSearch::new(db, &scoring, BlastParams::short_protein().with_evalue(evalue))
-        .unwrap();
+    let blast = BlastSearch::new(
+        db,
+        &scoring,
+        BlastParams::short_protein().with_evalue(evalue),
+    )
+    .unwrap();
     let mut oasis_total = 0usize;
     let mut blast_total = 0usize;
     for q in &queries {
@@ -103,5 +109,8 @@ fn two_hit_mode_is_no_more_sensitive_than_one_hit() {
         one_total += one.search(q).0.len();
         two_total += two.search(q).0.len();
     }
-    assert!(two_total <= one_total, "two-hit {two_total} vs one-hit {one_total}");
+    assert!(
+        two_total <= one_total,
+        "two-hit {two_total} vs one-hit {one_total}"
+    );
 }

@@ -16,13 +16,8 @@ fn build_db(seqs: &[Vec<u8>]) -> SequenceDatabase {
     b.finish()
 }
 
-fn disk_tree(
-    tree: &SuffixTree,
-    block_size: usize,
-    pool_bytes: usize,
-) -> DiskSuffixTree<MemDevice> {
-    let (image, _) = oasis::storage::DiskTreeBuilder::with_block_size(block_size)
-        .build_image(tree);
+fn disk_tree(tree: &SuffixTree, block_size: usize, pool_bytes: usize) -> DiskSuffixTree<MemDevice> {
+    let (image, _) = oasis::storage::DiskTreeBuilder::with_block_size(block_size).build_image(tree);
     DiskSuffixTree::open_image(image, block_size, pool_bytes).unwrap()
 }
 

@@ -45,8 +45,7 @@ fn corrupting_internal_records_is_detected() {
     // Locate the internal region from the header.
     let internal_start =
         u64::from_le_bytes(image[40..48].try_into().unwrap()) as usize * block_size;
-    let leaves_start =
-        u64::from_le_bytes(image[48..56].try_into().unwrap()) as usize * block_size;
+    let leaves_start = u64::from_le_bytes(image[48..56].try_into().unwrap()) as usize * block_size;
     let num_internal = u32::from_le_bytes(image[16..20].try_into().unwrap()) as usize;
 
     let mut detected = 0usize;
@@ -66,10 +65,10 @@ fn corrupting_internal_records_is_detected() {
                 Ok::<_, oasis::storage::layout::LayoutError>(disk.validate())
             });
             match outcome {
-                Err(_) => detected += 1,                  // panicked inside traversal: caught
-                Ok(Err(_)) => detected += 1,              // rejected at open
-                Ok(Ok(Err(_))) => detected += 1,          // validate() found it
-                Ok(Ok(Ok(()))) => {}                      // undetected
+                Err(_) => detected += 1,         // panicked inside traversal: caught
+                Ok(Err(_)) => detected += 1,     // rejected at open
+                Ok(Ok(Err(_))) => detected += 1, // validate() found it
+                Ok(Ok(Ok(()))) => {}             // undetected
             }
         }
     }
@@ -86,8 +85,7 @@ fn corrupting_internal_records_is_detected() {
 fn corrupting_leaf_chain_is_detected() {
     let block_size = 64usize;
     let (_, image) = build_image(block_size);
-    let leaves_start =
-        u64::from_le_bytes(image[48..56].try_into().unwrap()) as usize * block_size;
+    let leaves_start = u64::from_le_bytes(image[48..56].try_into().unwrap()) as usize * block_size;
     let text_len = u32::from_le_bytes(image[12..16].try_into().unwrap()) as usize;
 
     let mut detected = 0usize;

@@ -87,8 +87,7 @@ fn streaming_matches_run() {
     let scoring = Scoring::unit_dna();
     let params = OasisParams::with_min_score(1);
     let query = vec![3, 0, 1, 2];
-    let streamed: Vec<Hit> =
-        OasisSearch::new(&tree, &db, &query, &scoring, &params).collect();
+    let streamed: Vec<Hit> = OasisSearch::new(&tree, &db, &query, &scoring, &params).collect();
     let (ran, stats) = OasisSearch::new(&tree, &db, &query, &scoring, &params).run();
     assert_eq!(streamed, ran);
     assert_eq!(stats.hits_emitted as usize, ran.len());

@@ -81,7 +81,10 @@ fn section_33_walkthrough_end_to_end() {
     assert_eq!(hits[0].score, 4);
     assert_eq!(hits[0].t_start, 2);
     assert_eq!(hits[0].t_len, 4);
-    assert!(stats.columns_expanded < 11 * 4, "fewer columns than full S-W");
+    assert!(
+        stats.columns_expanded < 11 * 4,
+        "fewer columns than full S-W"
+    );
 }
 
 #[test]

@@ -6,9 +6,9 @@
 use proptest::prelude::*;
 
 use oasis::align::sw_align;
-use oasis::storage::BlockDevice;
 use oasis::blast::WordIndex;
 use oasis::prelude::*;
+use oasis::storage::BlockDevice;
 
 fn build_db(seqs: &[Vec<u8>]) -> SequenceDatabase {
     let mut b = DatabaseBuilder::new(Alphabet::dna());

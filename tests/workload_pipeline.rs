@@ -10,11 +10,9 @@ fn protein_pipeline_end_to_end() {
     let db = &workload.db;
     let tree = SuffixTree::build(db);
     let scoring = Scoring::pam30_protein();
-    let karlin = KarlinParams::estimate(
-        &scoring.matrix,
-        &oasis::align::stats::background_protein(),
-    )
-    .unwrap();
+    let karlin =
+        KarlinParams::estimate(&scoring.matrix, &oasis::align::stats::background_protein())
+            .unwrap();
     let queries = generate_queries(&workload, &QuerySpec::proclass_like(10, 21));
     for q in &queries {
         let min = karlin.min_score_for_evalue(q.len() as u64, db.total_residues(), 20_000.0);

@@ -1,0 +1,202 @@
+//! Minimal offline shim for the `criterion` API surface this workspace
+//! uses: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — warm-up, then timed batches until
+//! the measurement window elapses, reporting the per-iteration mean and
+//! min — because the workspace's real deliverable is the `fig*`
+//! reproduction binaries; these microbenches are smoke-level. Set
+//! `CRITERION_QUICK=1` to cap every bench at a handful of iterations
+//! (used by CI to keep `cargo bench` bounded).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("ungrouped").bench_function(id, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let quick = std::env::var_os("CRITERION_QUICK").is_some();
+        let mut b = Bencher {
+            phase: Phase::WarmUp,
+            budget: if quick {
+                Duration::from_millis(1)
+            } else {
+                self.warm_up_time
+            },
+            max_iters: if quick { 3 } else { u64::MAX },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.phase = Phase::Measure;
+        b.budget = if quick {
+            Duration::from_millis(5)
+        } else {
+            self.measurement_time
+        };
+        b.max_iters = if quick {
+            10
+        } else {
+            self.sample_size.max(1) as u64 * 1000
+        };
+        b.samples.clear();
+        f(&mut b);
+        if b.samples.is_empty() {
+            eprintln!(
+                "  {}/{id}: no samples (Bencher::iter never called)",
+                self.name
+            );
+            return self;
+        }
+        let n = b.samples.len() as u32;
+        let mean = b.samples.iter().sum::<Duration>() / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        eprintln!(
+            "  {}/{id}: mean {mean:?}/iter, min {min:?}/iter ({n} iterations)",
+            self.name
+        );
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WarmUp,
+    Measure,
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    phase: Phase,
+    budget: Duration,
+    max_iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly within the configured budget, timing each
+    /// call. The routine's return value is black-boxed to keep the
+    /// optimizer honest.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.max_iters && (iters == 0 || started.elapsed() < self.budget) {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            if self.phase == Phase::Measure {
+                self.samples.push(dt);
+            }
+            iters += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+}
