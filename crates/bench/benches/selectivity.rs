@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use oasis_bench::{Scale, Testbed};
-use oasis_core::{OasisParams, OasisSearch};
+use oasis_core::OasisParams;
 
 fn bench_selectivity(c: &mut Criterion) {
     let tb = Testbed::protein(Scale::Tiny);
@@ -44,27 +44,14 @@ fn bench_online(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     group.bench_function("first_hit", |b| {
         b.iter(|| {
-            let mut search = OasisSearch::new(
-                &tb.tree,
-                &tb.workload.db,
-                black_box(&query),
-                &tb.scoring,
-                &params,
-            );
-            black_box(search.next())
+            let mut session = tb.engine.session(black_box(&query), &params);
+            black_box(session.next())
         })
     });
     group.bench_function("full_drain", |b| {
         b.iter(|| {
-            let (hits, _) = OasisSearch::new(
-                &tb.tree,
-                &tb.workload.db,
-                black_box(&query),
-                &tb.scoring,
-                &params,
-            )
-            .run();
-            black_box(hits.len())
+            let outcome = tb.engine.run_one(black_box(&query), &params);
+            black_box(outcome.hits.len())
         })
     });
     group.finish();

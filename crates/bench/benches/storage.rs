@@ -7,8 +7,11 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use std::sync::Arc;
+
 use oasis_bench::{Scale, Testbed};
-use oasis_core::{OasisParams, OasisSearch};
+use oasis_core::OasisParams;
+use oasis_engine::OasisEngine;
 use oasis_storage::{BufferPool, DiskSuffixTree, MemDevice, Region};
 
 fn bench_pool(c: &mut Criterion) {
@@ -57,20 +60,15 @@ fn bench_disk_query(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     for (label, divisor) in [("full_pool", 1usize), ("eighth_pool", 8)] {
-        let tree =
+        let tree = Arc::new(
             DiskSuffixTree::open_image(image.clone(), 2048, (image.len() / divisor).max(4096))
-                .expect("valid image");
+                .expect("valid image"),
+        );
+        let engine = OasisEngine::new(tree, tb.workload.db.clone(), tb.scoring.clone());
         group.bench_function(label, |b| {
             b.iter(|| {
-                let (hits, _) = OasisSearch::new(
-                    &tree,
-                    &tb.workload.db,
-                    black_box(&query),
-                    &tb.scoring,
-                    &params,
-                )
-                .run();
-                black_box(hits.len())
+                let outcome = engine.run_one(black_box(&query), &params);
+                black_box(outcome.hits.len())
             })
         });
     }

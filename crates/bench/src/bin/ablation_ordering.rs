@@ -96,7 +96,7 @@ fn drive(tb: &Testbed, query: &[u8], min_score: i32, order: Order) -> Outcome {
                 tb.tree.children_into(node.handle, &mut kids);
                 for &child in &kids {
                     let new = expand(
-                        &tb.tree,
+                        &*tb.tree,
                         &node,
                         child,
                         query,

@@ -46,7 +46,7 @@ fn drive(tb: &Testbed, query: &[u8], min_score: i32, rules: PruneRules) -> (Vec<
                 tb.tree.children_into(node.handle, &mut kids);
                 for &child in &kids {
                     let new = expand_with_rules(
-                        &tb.tree,
+                        &*tb.tree,
                         &node,
                         child,
                         query,

@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use oasis_bench::{banner, fmt_duration, print_table, Scale, Testbed};
-use oasis_core::{OasisParams, OasisSearch};
+use oasis_core::OasisParams;
 
 fn main() {
     let scale = Scale::from_env();
@@ -22,12 +22,12 @@ fn main() {
     let query = tb.encode("DKDGDGCITTKEL");
     let evalue = 20_000.0;
 
-    // Stream hits, recording the wall-clock arrival of each.
+    // Stream hits through an engine session, recording each arrival.
     let params = OasisParams::with_min_score(tb.min_score(query.len(), evalue));
-    let search = OasisSearch::new(&tb.tree, &tb.workload.db, &query, &tb.scoring, &params);
+    let session = tb.engine.session(&query, &params);
     let start = Instant::now();
     let mut arrivals = Vec::new();
-    for hit in search {
+    for hit in session {
         arrivals.push((start.elapsed(), hit.score));
     }
     let oasis_total = start.elapsed();

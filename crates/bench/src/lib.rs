@@ -13,12 +13,14 @@
 //! paper's 2003 testbed; the *shapes* — who wins, by what factor, where the
 //! crossovers sit — are what EXPERIMENTS.md compares.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use oasis_align::{background_protein, KarlinParams, Score, Scoring, SwScanner};
 use oasis_bioseq::Alphabet;
 use oasis_blast::{BlastParams, BlastSearch};
-use oasis_core::{Hit, OasisParams, OasisSearch, SearchStats};
+use oasis_core::{Hit, OasisParams, SearchStats};
+use oasis_engine::{BatchQuery, OasisEngine};
 use oasis_suffix::SuffixTree;
 use oasis_workloads::{generate_protein, generate_queries, ProteinDbSpec, QuerySpec, Workload};
 
@@ -100,24 +102,46 @@ impl Scale {
 }
 
 /// A ready-to-query experimental setup shared by all figure binaries.
+///
+/// All searches run through [`Testbed::engine`] — the one search entry
+/// point in the tree — which shares the suffix tree and database by `Arc`.
 pub struct Testbed {
     /// The synthetic SWISS-PROT-like workload.
     pub workload: Workload,
-    /// Suffix tree over the workload database.
-    pub tree: SuffixTree,
+    /// Suffix tree over the workload database (shared with the engine).
+    pub tree: Arc<SuffixTree>,
     /// PAM30 + fixed gap scoring, as in the paper's protein experiments.
     pub scoring: Scoring,
     /// Karlin-Altschul parameters for E-value ⇔ score conversion.
     pub karlin: KarlinParams,
     /// ProClass-like query set (lengths 6–56, mean ≈16).
     pub queries: Vec<Vec<u8>>,
+    /// The multi-query engine over the in-memory tree.
+    pub engine: OasisEngine<SuffixTree>,
 }
 
 impl Testbed {
+    fn assemble(
+        workload: Workload,
+        scoring: Scoring,
+        karlin: KarlinParams,
+        queries: Vec<Vec<u8>>,
+    ) -> Self {
+        let tree = Arc::new(SuffixTree::build(&workload.db));
+        let engine = OasisEngine::new(tree.clone(), workload.db.clone(), scoring.clone());
+        Testbed {
+            workload,
+            tree,
+            scoring,
+            karlin,
+            queries,
+            engine,
+        }
+    }
+
     /// Build the standard protein testbed at `scale`.
     pub fn protein(scale: Scale) -> Self {
         let workload = generate_protein(&scale.protein_spec());
-        let tree = SuffixTree::build(&workload.db);
         let scoring = Scoring::pam30_protein();
         let karlin = KarlinParams::estimate(&scoring.matrix, &background_protein())
             .expect("PAM30 statistics are well-defined");
@@ -125,13 +149,7 @@ impl Testbed {
             &workload,
             &QuerySpec::proclass_like(scale.query_count(), 0xBEEF),
         );
-        Testbed {
-            workload,
-            tree,
-            scoring,
-            karlin,
-            queries,
-        }
+        Self::assemble(workload, scoring, karlin, queries)
     }
 
     /// Build the nucleotide testbed at `scale` — the paper's Drosophila
@@ -161,7 +179,6 @@ impl Testbed {
             },
         };
         let workload = oasis_workloads::generate_dna(&spec);
-        let tree = SuffixTree::build(&workload.db);
         let scoring = Scoring::unit_dna();
         let karlin = KarlinParams::estimate(&scoring.matrix, &oasis_align::background_dna())
             .expect("unit-matrix statistics are well-defined");
@@ -171,13 +188,7 @@ impl Testbed {
             &workload,
             &QuerySpec::proclass_like(scale.query_count() / 2, 0xD05E),
         );
-        Testbed {
-            workload,
-            tree,
-            scoring,
-            karlin,
-            queries,
-        }
+        Self::assemble(workload, scoring, karlin, queries)
     }
 
     /// Run the BLAST baseline with nucleotide (blastn-style) parameters.
@@ -201,13 +212,39 @@ impl Testbed {
             .min_score_for_evalue(len as u64, self.workload.db.total_residues(), evalue)
     }
 
-    /// Run OASIS for one query at `evalue`.
+    /// Run OASIS for one query at `evalue`, through the engine.
     pub fn run_oasis(&self, query: &[u8], evalue: f64) -> (Vec<Hit>, SearchStats, Duration) {
         let params = OasisParams::with_min_score(self.min_score(query.len(), evalue));
         let start = Instant::now();
-        let (hits, stats) =
-            OasisSearch::new(&self.tree, &self.workload.db, query, &self.scoring, &params).run();
-        (hits, stats, start.elapsed())
+        let outcome = self.engine.run_one(query, &params);
+        (outcome.hits, outcome.stats, start.elapsed())
+    }
+
+    /// A fresh engine over the same shared substrate (`Arc`-cloned tree
+    /// and database) with an explicit worker-thread count.
+    pub fn engine_with_threads(&self, threads: usize) -> OasisEngine<SuffixTree> {
+        OasisEngine::new(
+            self.tree.clone(),
+            self.workload.db.clone(),
+            self.scoring.clone(),
+        )
+        .with_threads(threads)
+    }
+
+    /// The whole query workload as an engine batch at `evalue` (per-query
+    /// `minScore` from query length via Equation 3).
+    pub fn batch_jobs(&self, evalue: f64) -> Vec<BatchQuery> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                BatchQuery::named(
+                    format!("q{i}"),
+                    q.clone(),
+                    OasisParams::with_min_score(self.min_score(q.len(), evalue)),
+                )
+            })
+            .collect()
     }
 
     /// Run the Smith-Waterman scan for one query at `evalue`.
@@ -272,25 +309,30 @@ impl Testbed {
 
     /// Replay the whole query workload against the disk tree with a buffer
     /// pool of `pool_bytes`, modelling the paper's SCSI disk per miss. The
-    /// pool is shared across queries (steady-state behaviour, as in §4.5).
+    /// pool is shared across queries (steady-state behaviour, as in §4.5);
+    /// queries run serially through a disk-backed engine so the CPU/IO
+    /// split stays attributable, and the workload's pool statistics are
+    /// the fold of the per-query deltas (not a racy global reset).
     pub fn disk_run(&self, image: &[u8], pool_bytes: usize, evalue: f64) -> DiskRun {
-        use oasis_storage::{DiskSuffixTree, MemDevice, SimulatedDisk};
+        use oasis_storage::{DiskSuffixTree, MemDevice, PoolStatsSnapshot, SimulatedDisk};
         let device = SimulatedDisk::fujitsu_2003(MemDevice::new(image.to_vec(), 2048));
-        let tree = DiskSuffixTree::open(device, pool_bytes).expect("valid image");
-        tree.pool().reset_stats();
+        let tree = Arc::new(DiskSuffixTree::open(device, pool_bytes).expect("valid image"));
         tree.pool().device().reset();
+        let engine = OasisEngine::new(tree.clone(), self.workload.db.clone(), self.scoring.clone())
+            .with_threads(1);
         let mut cpu = Duration::ZERO;
+        let mut pool_stats = PoolStatsSnapshot::default();
         for q in &self.queries {
             let params = OasisParams::with_min_score(self.min_score(q.len(), evalue));
             let start = Instant::now();
-            let (_hits, _stats) =
-                OasisSearch::new(&tree, &self.workload.db, q, &self.scoring, &params).run();
+            let outcome = engine.run_one(q, &params);
             cpu += start.elapsed();
+            pool_stats.merge(&outcome.pool_delta);
         }
         DiskRun {
             cpu,
             io: Duration::from_nanos(tree.pool().device().virtual_nanos()),
-            pool_stats: tree.pool().stats(),
+            pool_stats,
             queries: self.queries.len(),
         }
     }

@@ -1,6 +1,7 @@
 //! End-to-end smoke tests for the reproduction binaries: `repro_all` (which
-//! chains all 13 table/figure/ablation binaries) and one representative
-//! `fig*` binary must run to completion on `Scale::Tiny` without panicking.
+//! chains all 14 table/figure/ablation/engine binaries), one representative
+//! `fig*` binary, and the `engine_throughput` concurrency bin must run to
+//! completion on `Scale::Tiny` without panicking.
 //!
 //! Cargo builds this package's binaries before running integration tests and
 //! exposes their paths via `CARGO_BIN_EXE_<name>`, so the sibling-binary
@@ -32,6 +33,26 @@ fn fig6_selectivity_runs_on_tiny() {
 }
 
 #[test]
+fn engine_throughput_runs_on_tiny() {
+    let out = run_tiny(env!("CARGO_BIN_EXE_engine_throughput"));
+    assert!(
+        out.status.success(),
+        "engine_throughput failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("queries/sec"),
+        "engine_throughput produced no throughput table:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("byte-identical"),
+        "engine_throughput skipped its equivalence assertion:\n{stdout}"
+    );
+}
+
+#[test]
 fn repro_all_runs_on_tiny() {
     let out = run_tiny(env!("CARGO_BIN_EXE_repro_all"));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -43,7 +64,7 @@ fn repro_all_runs_on_tiny() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(
-        stdout.contains("all 13 experiments completed"),
+        stdout.contains("all 14 experiments completed"),
         "repro_all did not report full completion:\n{stdout}"
     );
 }

@@ -248,8 +248,8 @@ pub fn expand_with_rules<T: SuffixTreeAccess + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::root_node;
     use crate::heuristic::heuristic_vector;
-    use crate::search::root_node;
     use oasis_align::Scoring;
     use oasis_bioseq::{Alphabet, DatabaseBuilder, SequenceDatabase};
     use oasis_suffix::SuffixTree;

@@ -1,0 +1,123 @@
+//! The search frontier: the best-first priority queue of Algorithm 1 and
+//! the score bound it implies.
+//!
+//! [`Frontier`] wraps the max-heap of [`QueueEntry`]s (highest `f` first,
+//! with the deterministic tie-breakers of [`crate::node`]) and exposes the
+//! single fact the online guarantee rests on: [`Frontier::bound`], an upper
+//! bound on the score of anything the search can still produce. When an
+//! accepted node's score meets that bound, no other frontier node can beat
+//! it — so it is safe to report immediately.
+
+use std::collections::BinaryHeap;
+
+use oasis_align::Score;
+
+use crate::node::{QueueEntry, SearchNode};
+
+/// The best-first priority queue over [`SearchNode`]s.
+///
+/// Ordering is inherited from [`QueueEntry`]: highest `f` first, ties prefer
+/// accepted nodes, then deeper nodes, then insertion order — fully
+/// deterministic for a given sequence of pushes.
+#[derive(Debug, Default)]
+pub struct Frontier {
+    heap: BinaryHeap<QueueEntry>,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// Add `node` to the frontier.
+    pub fn push(&mut self, node: SearchNode) {
+        self.heap.push(QueueEntry(node));
+    }
+
+    /// Remove and return the best node (highest `f`), if any.
+    pub fn pop(&mut self) -> Option<SearchNode> {
+        self.heap.pop().map(|QueueEntry(node)| node)
+    }
+
+    /// Upper bound on the score of any alignment reachable from the
+    /// frontier: the `f` value of the best node, or `None` when empty.
+    pub fn bound(&self) -> Option<Score> {
+        self.heap.peek().map(|e| e.0.f)
+    }
+
+    /// Number of nodes currently on the frontier.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the frontier empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discard every frontier node (used by the early-stop exit).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Status;
+    use oasis_suffix::NodeHandle;
+
+    fn node(f: Score, seq: u64) -> SearchNode {
+        SearchNode {
+            handle: NodeHandle::internal(0),
+            depth: 0,
+            f,
+            g: 0,
+            gmax: 0,
+            gmax_depth: 0,
+            gmax_qend: 0,
+            status: Status::Viable,
+            c: Box::new([]),
+            e: Box::new([]),
+            seq,
+        }
+    }
+
+    #[test]
+    fn pops_in_non_increasing_f_order() {
+        let mut frontier = Frontier::new();
+        for (i, f) in [3, 9, 1, 7, 5].into_iter().enumerate() {
+            frontier.push(node(f, i as u64));
+        }
+        let mut order = Vec::new();
+        while let Some(n) = frontier.pop() {
+            order.push(n.f);
+        }
+        assert_eq!(order, vec![9, 7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn bound_tracks_best_f() {
+        let mut frontier = Frontier::new();
+        assert_eq!(frontier.bound(), None);
+        frontier.push(node(4, 0));
+        assert_eq!(frontier.bound(), Some(4));
+        frontier.push(node(6, 1));
+        assert_eq!(frontier.bound(), Some(6));
+        frontier.pop();
+        assert_eq!(frontier.bound(), Some(4));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut frontier = Frontier::new();
+        frontier.push(node(1, 0));
+        frontier.push(node(2, 1));
+        assert_eq!(frontier.len(), 2);
+        assert!(!frontier.is_empty());
+        frontier.clear();
+        assert!(frontier.is_empty());
+        assert_eq!(frontier.bound(), None);
+    }
+}

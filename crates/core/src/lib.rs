@@ -29,22 +29,29 @@
 //!
 //! * [`heuristic`] — the `h` vector of Algorithm 2 (§3.1).
 //! * [`node`] — search-node representation and queue ordering.
+//! * [`frontier`] — the best-first priority queue and its score bound.
 //! * [`mod@expand`] — Algorithm 3: column-wise DP over one suffix-tree arc with
 //!   alignment pruning and early accept/unviable exits.
-//! * [`search`] — Algorithms 1–2: initialization, the A* loop, online
-//!   result reporting with per-sequence deduplication.
+//! * [`driver`] — Algorithms 1–2 as a resumable step-based state machine
+//!   that yields hits incrementally (what `oasis-engine` schedules).
+//! * [`search`] — configuration, results, and the iterator facade over the
+//!   driver, with online per-sequence result reporting.
 //! * [`affine`] — the affine-gap extension the paper lists as future work
 //!   (§6), using the three-matrix (Gotoh) recurrence.
 
 pub mod affine;
+pub mod driver;
 pub mod evalue;
 pub mod expand;
+pub mod frontier;
 pub mod heuristic;
 pub mod node;
 pub mod search;
 
+pub use driver::{root_node, SearchDriver, StepOutcome};
 pub use evalue::{EvalueOrderedSearch, EvaluedHit};
 pub use expand::{expand, expand_with_rules, ExpandScratch, PruneRules};
+pub use frontier::Frontier;
 pub use heuristic::heuristic_vector;
 pub use node::{SearchNode, Status};
-pub use search::{root_node, Hit, OasisParams, OasisSearch, ReportMode, SearchStats};
+pub use search::{Hit, OasisParams, OasisSearch, ReportMode, SearchStats};

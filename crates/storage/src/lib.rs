@@ -28,4 +28,4 @@ pub mod pool;
 pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
 pub use layout::{header_block_size, DiskSuffixTree, DiskTreeBuilder, ImageStats};
 pub use partitioned::partitioned_suffix_array;
-pub use pool::{BufferPool, BufferPoolStats, PoolStatsSnapshot, Region};
+pub use pool::{BufferPool, BufferPoolStats, PoolDeltaScope, PoolStatsSnapshot, Region};

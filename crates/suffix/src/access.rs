@@ -56,7 +56,14 @@ impl NodeHandle {
 /// `arc_*` methods take the parent's depth because arc labels are stored as
 /// text ranges `[witness + parent_depth, witness + depth)` (the paper's
 /// symbol-pointer representation) and handles do not record their parent.
-pub trait SuffixTreeAccess {
+///
+/// The trait is **object-safe** (usable as `dyn SuffixTreeAccess`, e.g.
+/// behind an `Arc` in `oasis-engine`) and requires [`Sync`]: every
+/// implementation must tolerate concurrent `&self` traversal, because one
+/// index is shared by many simultaneous queries. Both shipped
+/// implementations qualify — the in-memory tree is plain immutable data,
+/// and the disk tree serializes frame access inside its buffer pool.
+pub trait SuffixTreeAccess: Sync {
     /// The root node.
     fn root(&self) -> NodeHandle;
 
@@ -122,6 +129,11 @@ pub trait SuffixTreeAccess {
         last[0] == TERMINATOR
     }
 }
+
+// Compile-time proof that the trait stays object-safe: a `&dyn` reference
+// must remain a valid type (the engine layer shares `Arc<dyn
+// SuffixTreeAccess>` substrates across worker threads).
+const _OBJECT_SAFE: fn(&dyn SuffixTreeAccess) = |_| {};
 
 #[cfg(test)]
 mod tests {

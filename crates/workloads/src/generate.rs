@@ -1,5 +1,7 @@
 //! Workload generation.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -9,10 +11,13 @@ use oasis_bioseq::{Alphabet, AlphabetKind, DatabaseBuilder, SequenceDatabase};
 use crate::spec::{DnaDbSpec, ProteinDbSpec, QuerySpec};
 
 /// A generated database plus the family motifs planted into it.
+///
+/// The database sits behind [`Arc`] so search engines (`oasis-engine`) can
+/// share it across worker threads without copying the text.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// The sequence database.
-    pub db: SequenceDatabase,
+    pub db: Arc<SequenceDatabase>,
     /// The family motifs (encoded); queries are sampled from these.
     pub motifs: Vec<Vec<u8>>,
     /// For each motif, the sequences that received a copy.
@@ -156,7 +161,7 @@ fn generate_with(
             .expect("synthetic database within addressing limits");
     }
     Workload {
-        db: builder.finish(),
+        db: Arc::new(builder.finish()),
         motifs,
         planted_in,
     }

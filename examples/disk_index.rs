@@ -7,6 +7,8 @@
 //! cargo run --release --example disk_index
 //! ```
 
+use std::sync::Arc;
+
 use oasis::prelude::*;
 use oasis::storage::Region;
 
@@ -15,8 +17,8 @@ fn main() {
         num_sequences: 400,
         ..ProteinDbSpec::default()
     });
-    let db = &workload.db;
-    let tree = SuffixTree::build(db);
+    let db = workload.db.clone();
+    let tree = SuffixTree::build(&db);
 
     // Serialize with the paper's 2 KB blocks.
     let (image, stats) = DiskTreeBuilder::default().build_image(&tree);
@@ -35,25 +37,29 @@ fn main() {
     let scoring = Scoring::pam30_protein();
     let query = Alphabet::protein().encode_str("DKDGDGCITTKEL").unwrap();
     let params = OasisParams::with_min_score(30);
+    let mem_engine = OasisEngine::new(Arc::new(tree), db.clone(), scoring.clone());
 
     for divisor in [16usize, 4, 1] {
         let pool_bytes = (image.len() / divisor).max(4096);
-        let disk_tree =
-            DiskSuffixTree::open_image(image.clone(), 2048, pool_bytes).expect("valid image");
-        disk_tree.pool().reset_stats();
-        let (hits, _) = OasisSearch::new(&disk_tree, db, &query, &scoring, &params).run();
-        let s = disk_tree.pool().stats();
+        let disk_tree = Arc::new(
+            DiskSuffixTree::open_image(image.clone(), 2048, pool_bytes).expect("valid image"),
+        );
+        let engine = OasisEngine::new(disk_tree, db.clone(), scoring.clone());
+        // The engine attributes pool traffic per query (a thread-local
+        // delta, exact even under concurrent batches) — no global reset.
+        let outcome = engine.run_one(&query, &params);
+        let s = outcome.pool_delta;
         println!(
             "pool 1/{divisor:<2} of index: {} hits | hit ratios: symbols {:.3}, internal {:.3}, leaves {:.3}",
-            hits.len(),
+            outcome.hits.len(),
             s.region(Region::Symbols).hit_ratio(),
             s.region(Region::Internal).hit_ratio(),
             s.region(Region::Leaves).hit_ratio(),
         );
 
         // The disk tree is bit-for-bit equivalent to the in-memory tree:
-        let (mem_hits, _) = OasisSearch::new(&tree, db, &query, &scoring, &params).run();
-        assert_eq!(hits, mem_hits, "disk and memory trees must agree");
+        let mem_hits = mem_engine.run_one(&query, &params).hits;
+        assert_eq!(outcome.hits, mem_hits, "disk and memory trees must agree");
     }
     println!("\ndisk-resident search returned identical results at every pool size");
     println!("(asserted); the level-first internal layout keeps its hit ratio");

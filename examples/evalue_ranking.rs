@@ -11,6 +11,8 @@
 //! cargo run --release --example evalue_ranking
 //! ```
 
+use std::sync::Arc;
+
 use oasis::prelude::*;
 
 fn main() {
@@ -30,17 +32,18 @@ fn main() {
     )
     .unwrap();
     b.push_str("decoy", &"GPGP".repeat(25)).unwrap();
-    let db = b.finish();
-    let tree = SuffixTree::build(&db);
+    let db = Arc::new(b.finish());
+    let tree = Arc::new(SuffixTree::build(&db));
     let scoring = Scoring::pam30_protein();
     let karlin =
         KarlinParams::estimate(&scoring.matrix, &oasis::align::background_protein()).unwrap();
+    let engine = OasisEngine::new(tree, db.clone(), scoring);
 
     let query = alphabet.encode_str(motif).unwrap();
     let params = OasisParams::with_min_score(40);
 
     println!("score-ordered (classic OASIS):");
-    for hit in OasisSearch::new(&tree, &db, &query, &scoring, &params) {
+    for hit in engine.session(&query, &params) {
         println!(
             "  {:<14} score={:<4} E(adjusted)={:.2e}",
             db.name(hit.seq),
@@ -50,7 +53,7 @@ fn main() {
     }
 
     println!("\nE-value-ordered (§4.3 refinement), still online:");
-    let inner = OasisSearch::new(&tree, &db, &query, &scoring, &params);
+    let inner = engine.session(&query, &params).into_search();
     let search = EvalueOrderedSearch::new(inner, &db, query.len(), karlin);
     let hits: Vec<EvaluedHit> = search.collect();
     for h in &hits {

@@ -10,18 +10,20 @@
 //! cargo run --release --example online_topk
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use oasis::prelude::*;
 
 fn main() {
     let workload = generate_protein(&ProteinDbSpec::default());
-    let db = &workload.db;
-    let tree = SuffixTree::build(db);
+    let db = workload.db.clone();
+    let tree = Arc::new(SuffixTree::build(&db));
     let scoring = Scoring::pam30_protein();
     let karlin =
         KarlinParams::estimate(&scoring.matrix, &oasis::align::stats::background_protein())
             .expect("stats");
+    let engine = OasisEngine::new(tree, db.clone(), scoring);
 
     // The paper's Figure 9 query: a 13-residue calcium-binding-loop motif.
     let query = Alphabet::protein().encode_str("DKDGDGCITTKEL").unwrap();
@@ -36,8 +38,8 @@ fn main() {
     // Top-k abort: take(k) drives the A* loop only as far as needed.
     for k in [1usize, 5, 20] {
         let start = Instant::now();
-        let search = OasisSearch::new(&tree, db, &query, &scoring, &params);
-        let top: Vec<Hit> = search.take(k).collect();
+        let session = engine.session(&query, &params);
+        let top: Vec<Hit> = session.take(k).collect();
         let elapsed = start.elapsed();
         println!(
             "top-{k:<3} aborted after {elapsed:>10.2?}  (scores: {:?})",
@@ -49,8 +51,7 @@ fn main() {
 
     // Full drain for comparison.
     let start = Instant::now();
-    let search = OasisSearch::new(&tree, db, &query, &scoring, &params);
-    let all: Vec<Hit> = search.collect();
+    let all = engine.run_one(&query, &params).hits;
     let full_time = start.elapsed();
     println!(
         "full    drained {:>5} hits in {full_time:>10.2?}",

@@ -11,6 +11,7 @@
 //! cargo run --release --example peptide_search
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use oasis::prelude::*;
@@ -22,7 +23,7 @@ fn main() {
         ..ProteinDbSpec::default()
     };
     let workload = generate_protein(&spec);
-    let db = &workload.db;
+    let db = workload.db.clone();
     println!(
         "synthetic SWISS-PROT: {} sequences, {} residues, {} planted families",
         db.num_sequences(),
@@ -31,13 +32,14 @@ fn main() {
     );
 
     let build_start = Instant::now();
-    let tree = SuffixTree::build(db);
+    let tree = Arc::new(SuffixTree::build(&db));
     println!("suffix tree built in {:?}", build_start.elapsed());
 
     let scoring = Scoring::pam30_protein();
     let karlin =
         KarlinParams::estimate(&scoring.matrix, &oasis::align::stats::background_protein())
             .expect("PAM30 statistics");
+    let engine = OasisEngine::new(tree, db.clone(), scoring.clone());
 
     let queries = generate_queries(&workload, &QuerySpec::proclass_like(12, 42));
     let evalue = 20_000.0;
@@ -52,16 +54,16 @@ fn main() {
         let params = OasisParams::with_min_score(min_score);
 
         let t = Instant::now();
-        let (oasis_hits, _) = OasisSearch::new(&tree, db, query, &scoring, &params).run();
+        let oasis_hits = engine.run_one(query, &params).hits;
         let oasis_time = t.elapsed();
 
         let mut scanner = SwScanner::new();
         let t = Instant::now();
-        let sw_hits = scanner.scan(db, query, &scoring, min_score);
+        let sw_hits = scanner.scan(&db, query, &scoring, min_score);
         let sw_time = t.elapsed();
 
         let blast = BlastSearch::new(
-            db,
+            &db,
             &scoring,
             BlastParams::short_protein().with_evalue(evalue),
         )

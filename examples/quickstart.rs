@@ -1,9 +1,11 @@
 //! Quickstart: build a tiny protein database, index it, and run an exact
-//! online local-alignment search.
+//! online local-alignment search through the multi-query engine.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+
+use std::sync::Arc;
 
 use oasis::prelude::*;
 
@@ -20,7 +22,7 @@ fn main() {
     builder
         .push_str("sp|DEMO3|UNRELATED", "WWWWPPPPGGGGWWWWPPPP")
         .unwrap();
-    let db = builder.finish();
+    let db = Arc::new(builder.finish());
     println!(
         "database: {} sequences, {} residues",
         db.num_sequences(),
@@ -28,19 +30,21 @@ fn main() {
     );
 
     // 2. Index with a generalized suffix tree (the paper's §2.3 structure).
-    let tree = SuffixTree::build(&db);
+    let tree = Arc::new(SuffixTree::build(&db));
     println!(
         "suffix tree: {} internal nodes, {} leaves",
-        SuffixTreeAccess::num_internal(&tree),
+        SuffixTreeAccess::num_internal(&*tree),
         tree.num_leaves()
     );
 
-    // 3. Search a short peptide: exact results, best-first, online.
+    // 3. Assemble the engine — the shared substrate all queries run
+    //    through — and search a short peptide: exact, best-first, online.
     let scoring = Scoring::new(SubstitutionMatrix::blosum62(), GapModel::linear(-8));
+    let engine = OasisEngine::new(tree, db.clone(), scoring.clone());
     let query = alphabet.encode_str("AKQRQISFVKSH").unwrap();
     let params = OasisParams::with_min_score(25);
     println!("\nquery AKQRQISFVKSH (minScore 25):");
-    for hit in OasisSearch::new(&tree, &db, &query, &scoring, &params) {
+    for hit in engine.session(&query, &params) {
         let alignment = hit.alignment(&db, &query, &scoring);
         println!(
             "\n  {} — score {} (target window {}..{})",

@@ -4,17 +4,20 @@
 //! oasis makedb <db.fasta> <db.oasisdb>
 //! oasis index  <db> <index.oasis> [--dna|--protein] [--block-size N]
 //! oasis search <db> <index.oasis> <QUERY> [options]
+//! oasis search <db> <index.oasis> --queries <queries.fasta> [options]
 //! oasis info   <index.oasis>
 //! ```
 //!
 //! `makedb` converts FASTA to the fast binary database format; `index`
 //! builds the generalized suffix tree and writes the paper's §3.4 disk
-//! representation; `search` runs the exact online OASIS search against the
-//! index, streaming hits as they are proven optimal; `info` prints index
-//! geometry.
+//! representation; `search` runs the exact online OASIS search through the
+//! multi-query engine — a single query streams hits as they are proven
+//! optimal, a `--queries` FASTA batch executes concurrently across worker
+//! threads against the shared index; `info` prints index geometry.
 
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use oasis::prelude::*;
 use oasis::storage::FileDevice;
@@ -28,13 +31,20 @@ USAGE:
   oasis search <db.fasta|db.oasisdb> <index.oasis> <QUERY> [--dna|--protein]
                [--evalue E | --min-score S] [--top K] [--pool-mb M]
                [--matrix unit|blosum62|pam30] [--gap G]
+  oasis search <db.fasta|db.oasisdb> <index.oasis> --queries <queries.fasta>
+               [--threads N] [other search options]
   oasis info   <index.oasis> [--block-size N]
 
 Database arguments accept FASTA or the binary .oasisdb format written by
 `makedb` (detected by magic). Residues outside the alphabet are skipped
-while parsing FASTA. Defaults: --protein, --matrix pam30, --gap -10,
---evalue 10, --pool-mb 64, --block-size 2048 for `index` (search/info
-read the block size from the index header unless overridden).";
+while parsing database FASTA. With --queries, every record of the FASTA
+file is searched as its own query (ids from the record names) and the
+batch runs concurrently over the shared index (--threads, default: all
+cores); query records with residues outside the alphabet are rejected,
+exactly like a positional QUERY.
+Defaults: --protein, --matrix pam30, --gap -10, --evalue 10, --pool-mb 64,
+--block-size 2048 for `index` (search/info read the block size from the
+index header unless overridden).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +77,8 @@ struct Flags {
     pool_mb: usize,
     matrix: String,
     gap: i32,
+    queries: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -80,6 +92,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         pool_mb: 64,
         matrix: "pam30".to_string(),
         gap: -10,
+        queries: None,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -120,6 +134,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--matrix" => f.matrix = value("--matrix")?,
             "--gap" => f.gap = value("--gap")?.parse().map_err(|e| format!("--gap: {e}"))?,
+            "--queries" => f.queries = Some(value("--queries")?),
+            "--threads" => {
+                f.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -225,47 +247,99 @@ fn index_block_size(index_path: &str, explicit: Option<usize>) -> Result<usize, 
     oasis::storage::header_block_size(&prefix).map_err(|e| format!("{index_path}: {e}"))
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let [db_path, index_path, query_text] = flags.positional.as_slice() else {
-        return Err("usage: oasis search <db.fasta> <index.oasis> <QUERY> [...]".to_string());
-    };
-    let db = load_db(db_path, &flags.alphabet)?;
-    let query = flags
-        .alphabet
-        .encode_str(query_text)
-        .map_err(|e| e.to_string())?;
-    let scoring = scoring_from(&flags)?;
+/// How `minScore` is derived for each query of a run: a fixed
+/// `--min-score`, or Karlin-Altschul statistics (estimated once — the
+/// matrix and background are the same for every query) converting the
+/// E-value threshold per query length via the paper's Equation 3.
+enum MinScoreRule {
+    Fixed(Score),
+    Evalue { karlin: KarlinParams, evalue: f64 },
+}
 
-    let min_score = match (flags.min_score, flags.evalue) {
-        (Some(s), _) => s,
-        (None, evalue) => {
-            let freqs: Vec<f64> = match flags.alphabet.kind() {
-                oasis::bioseq::AlphabetKind::Dna => oasis::align::background_dna().to_vec(),
-                oasis::bioseq::AlphabetKind::Protein => oasis::align::background_protein().to_vec(),
-            };
-            let kp = KarlinParams::estimate(&scoring.matrix, &freqs).map_err(|e| e.to_string())?;
-            kp.min_score_for_evalue(
-                query.len() as u64,
-                db.total_residues(),
-                evalue.unwrap_or(10.0),
-            )
+impl MinScoreRule {
+    fn from_flags(flags: &Flags, scoring: &Scoring) -> Result<Self, String> {
+        if let Some(s) = flags.min_score {
+            return Ok(MinScoreRule::Fixed(s));
         }
-    };
-    eprintln!("minScore = {min_score}");
+        let freqs: Vec<f64> = match flags.alphabet.kind() {
+            oasis::bioseq::AlphabetKind::Dna => oasis::align::background_dna().to_vec(),
+            oasis::bioseq::AlphabetKind::Protein => oasis::align::background_protein().to_vec(),
+        };
+        let karlin = KarlinParams::estimate(&scoring.matrix, &freqs).map_err(|e| e.to_string())?;
+        Ok(MinScoreRule::Evalue {
+            karlin,
+            evalue: flags.evalue.unwrap_or(10.0),
+        })
+    }
 
+    fn min_score(&self, db: &SequenceDatabase, query_len: usize) -> Score {
+        match self {
+            MinScoreRule::Fixed(s) => *s,
+            MinScoreRule::Evalue { karlin, evalue } => {
+                karlin.min_score_for_evalue(query_len as u64, db.total_residues(), *evalue)
+            }
+        }
+    }
+}
+
+/// Open the disk index and assemble the multi-query engine — the single
+/// search entry point for both the one-shot and the batch paths.
+fn open_engine(
+    flags: &Flags,
+    db: Arc<SequenceDatabase>,
+    index_path: &str,
+    scoring: Scoring,
+) -> Result<OasisEngine<DiskSuffixTree<FileDevice>>, String> {
     let block_size = index_block_size(index_path, flags.block_size)?;
     let device =
         FileDevice::open(index_path, block_size).map_err(|e| format!("{index_path}: {e}"))?;
     let tree = DiskSuffixTree::open(device, flags.pool_mb * 1024 * 1024)
         .map_err(|e| format!("{index_path}: {e}"))?;
+    let mut engine = OasisEngine::new(Arc::new(tree), db, scoring);
+    if let Some(threads) = flags.threads {
+        engine = engine.with_threads(threads);
+    }
+    Ok(engine)
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    match (flags.positional.as_slice(), &flags.queries) {
+        ([db_path, index_path, query_text], None) => {
+            search_single(&flags, db_path, index_path, query_text)
+        }
+        ([db_path, index_path], Some(queries_path)) => {
+            search_batch(&flags, db_path, index_path, queries_path)
+        }
+        _ => Err("usage: oasis search <db> <index.oasis> <QUERY> [...]\n\
+             or:    oasis search <db> <index.oasis> --queries <queries.fasta> [...]"
+            .to_string()),
+    }
+}
+
+/// One query: stream hits online (respecting `--top`) through an engine
+/// session.
+fn search_single(
+    flags: &Flags,
+    db_path: &str,
+    index_path: &str,
+    query_text: &str,
+) -> Result<(), String> {
+    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
+    let query = flags
+        .alphabet
+        .encode_str(query_text)
+        .map_err(|e| e.to_string())?;
+    let scoring = scoring_from(flags)?;
+    let min_score = MinScoreRule::from_flags(flags, &scoring)?.min_score(&db, query.len());
+    eprintln!("minScore = {min_score}");
+    let engine = open_engine(flags, db.clone(), index_path, scoring)?;
 
     let params = OasisParams::with_min_score(min_score);
-    let search = OasisSearch::new(&tree, &db, &query, &scoring, &params);
     let mut shown = 0usize;
     let limit = flags.top.unwrap_or(usize::MAX);
     let start = std::time::Instant::now();
-    for hit in search {
+    for hit in engine.session(&query, &params) {
         println!(
             "{:<30} score={:<5} window={}..{} q_end={}",
             db.name(hit.seq),
@@ -280,6 +354,90 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         }
     }
     eprintln!("{shown} hits in {:.2?}", start.elapsed());
+    Ok(())
+}
+
+/// A FASTA of queries: run the whole batch concurrently over the shared
+/// index and print per-query results keyed by record name.
+fn search_batch(
+    flags: &Flags,
+    db_path: &str,
+    index_path: &str,
+    queries_path: &str,
+) -> Result<(), String> {
+    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
+    let scoring = scoring_from(flags)?;
+
+    let bytes = std::fs::read(queries_path).map_err(|e| format!("{queries_path}: {e}"))?;
+    // Queries use Reject, matching the positional-QUERY path (encode_str):
+    // silently skipping residues would search a different sequence.
+    let records = parse_fasta(
+        BufReader::new(&bytes[..]),
+        &flags.alphabet,
+        UnknownResiduePolicy::Reject,
+    )
+    .map_err(|e| format!("{queries_path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{queries_path}: no query records"));
+    }
+    let rule = MinScoreRule::from_flags(flags, &scoring)?;
+    let jobs: Vec<BatchQuery> = records
+        .into_iter()
+        .map(|seq| {
+            let (name, codes) = seq.into_parts();
+            let min = rule.min_score(&db, codes.len());
+            let mut job = BatchQuery::named(name, codes, OasisParams::with_min_score(min));
+            if let Some(top) = flags.top {
+                // Top-k abort per query: the engine stops each search as
+                // soon as its k best hits are proven, like the single-query
+                // streaming path.
+                job = job.with_limit(top);
+            }
+            job
+        })
+        .collect();
+
+    let engine = open_engine(flags, db.clone(), index_path, scoring)?;
+    eprintln!(
+        "{} queries on {} thread(s)",
+        jobs.len(),
+        engine.threads().min(jobs.len())
+    );
+    let start = std::time::Instant::now();
+    let outcomes = engine.run_batch(&jobs);
+    let elapsed = start.elapsed();
+
+    let mut total_hits = 0usize;
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        println!(
+            "# query {} ({} residues, minScore {}): {} hits",
+            job.id,
+            job.query.len(),
+            job.params.min_score,
+            outcome.hits.len()
+        );
+        // `--top` was already enforced inside the engine (BatchQuery::limit),
+        // so every returned hit is printed.
+        for hit in &outcome.hits {
+            println!(
+                "{}\t{}\tscore={}\twindow={}..{}\tq_end={}",
+                job.id,
+                db.name(hit.seq),
+                hit.score,
+                hit.t_start,
+                hit.t_start + hit.t_len,
+                hit.q_end
+            );
+        }
+        total_hits += outcome.hits.len();
+    }
+    let qps = outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "{} hits across {} queries in {:.2?} ({qps:.1} queries/sec)",
+        total_hits,
+        outcomes.len(),
+        elapsed
+    );
     Ok(())
 }
 

@@ -17,6 +17,9 @@
 //!   on-disk suffix-tree representation.
 //! * [`core`] — the OASIS search algorithm itself (the paper's primary
 //!   contribution).
+//! * [`engine`] — the concurrent multi-query engine: a shared `Arc`
+//!   substrate (database + index + buffer pool) serving batches of queries
+//!   across worker threads with per-query statistics.
 //! * [`blast`] — a clean-room BLAST-like heuristic baseline.
 //! * [`workloads`] — deterministic synthetic SWISS-PROT / Drosophila /
 //!   ProClass-style workload generators.
@@ -51,6 +54,7 @@ pub use oasis_align as align;
 pub use oasis_bioseq as bioseq;
 pub use oasis_blast as blast;
 pub use oasis_core as core;
+pub use oasis_engine as engine;
 pub use oasis_storage as storage;
 pub use oasis_suffix as suffix;
 pub use oasis_workloads as workloads;

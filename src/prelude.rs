@@ -12,12 +12,16 @@ pub use oasis_align::{
 pub use oasis_suffix::{build_ukkonen, NodeHandle, SuffixTree, SuffixTreeAccess};
 
 pub use oasis_storage::{
-    BufferPool, BufferPoolStats, DiskSuffixTree, DiskTreeBuilder, MemDevice, Region, SimulatedDisk,
+    BufferPool, BufferPoolStats, DiskSuffixTree, DiskTreeBuilder, MemDevice, PoolDeltaScope,
+    PoolStatsSnapshot, Region, SimulatedDisk,
 };
 
 pub use oasis_core::{
-    EvalueOrderedSearch, EvaluedHit, Hit, OasisParams, OasisSearch, ReportMode, SearchStats,
+    EvalueOrderedSearch, EvaluedHit, Hit, OasisParams, OasisSearch, ReportMode, SearchDriver,
+    SearchStats, StepOutcome,
 };
+
+pub use oasis_engine::{BatchQuery, OasisEngine, QuerySession, SearchOutcome};
 
 pub use oasis_blast::{BlastParams, BlastSearch};
 

@@ -1,0 +1,215 @@
+//! The engine-layer correctness property: running N queries concurrently
+//! through `OasisEngine` is *byte-identical* to running each serially
+//! through `OasisSearch` — same hits (every field), same order, same
+//! statistics — on ≥ 4 worker threads, over both the in-memory and the
+//! disk-resident (shared buffer pool!) substrates. This extends the
+//! `oasis_equals_sw` exactness property one layer up: engine ≡ serial
+//! OASIS ≡ exhaustive Smith-Waterman.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use oasis::prelude::*;
+
+const THREADS: usize = 4;
+
+fn build_db(seqs: &[Vec<u8>]) -> Arc<SequenceDatabase> {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    for (i, codes) in seqs.iter().enumerate() {
+        b.push(Sequence::from_codes(format!("s{i}"), codes.clone()))
+            .unwrap();
+    }
+    Arc::new(b.finish())
+}
+
+fn jobs_from(queries: &[Vec<u8>], min_score: i32) -> Vec<BatchQuery> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            BatchQuery::named(
+                format!("q{i}"),
+                q.clone(),
+                OasisParams::with_min_score(min_score),
+            )
+        })
+        .collect()
+}
+
+/// Serial ground truth: one `OasisSearch` per job against a borrowed tree.
+fn serial_reference<T: SuffixTreeAccess + ?Sized>(
+    tree: &T,
+    db: &SequenceDatabase,
+    scoring: &Scoring,
+    jobs: &[BatchQuery],
+) -> Vec<(Vec<Hit>, SearchStats)> {
+    jobs.iter()
+        .map(|job| OasisSearch::new(tree, db, &job.query, scoring, &job.params).run())
+        .collect()
+}
+
+/// Strategy: a database of 1..10 DNA sequences with lengths 1..50.
+fn db_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..4, 1..50), 1..10)
+}
+
+/// Strategy: a batch of 1..8 queries of length 1..12.
+fn batch_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..4, 1..12), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn concurrent_batch_equals_serial_runs(
+        seqs in db_strategy(),
+        queries in batch_strategy(),
+        min in 1i32..6,
+    ) {
+        let db = build_db(&seqs);
+        let tree = Arc::new(SuffixTree::build(&db));
+        let scoring = Scoring::unit_dna();
+        let jobs = jobs_from(&queries, min);
+
+        let engine =
+            OasisEngine::new(tree.clone(), db.clone(), scoring.clone()).with_threads(THREADS);
+        let outcomes = engine.run_batch(&jobs);
+        let reference = serial_reference(&*tree, &db, &scoring, &jobs);
+
+        prop_assert_eq!(outcomes.len(), reference.len());
+        for (out, (hits, stats)) in outcomes.iter().zip(&reference) {
+            // Byte-identical: every Hit field, in the same online order,
+            // and the exact same search counters.
+            prop_assert_eq!(&out.hits, hits);
+            prop_assert_eq!(&out.stats, stats);
+        }
+    }
+
+    #[test]
+    fn engine_batch_equals_smith_waterman(
+        seqs in db_strategy(),
+        queries in batch_strategy(),
+        min in 1i32..6,
+    ) {
+        // The oasis_equals_sw property, lifted to the engine layer.
+        let db = build_db(&seqs);
+        let tree = Arc::new(SuffixTree::build(&db));
+        let scoring = Scoring::unit_dna();
+        let jobs = jobs_from(&queries, min);
+        let engine =
+            OasisEngine::new(tree, db.clone(), scoring.clone()).with_threads(THREADS);
+        for (job, out) in jobs.iter().zip(engine.run_batch(&jobs)) {
+            let sw = SwScanner::new().scan(&db, &job.query, &scoring, min);
+            let mut got: Vec<(SeqId, Score)> =
+                out.hits.iter().map(|h| (h.seq, h.score)).collect();
+            got.sort_unstable();
+            let mut want: Vec<(SeqId, Score)> =
+                sw.iter().map(|h| (h.seq, h.hit.score)).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn concurrent_disk_batch_equals_serial_runs(
+        seqs in db_strategy(),
+        queries in prop::collection::vec(prop::collection::vec(0u8..4, 1..10), 1..6),
+        min in 1i32..5,
+    ) {
+        // The hard case: all THREADS workers share one buffer pool (with a
+        // deliberately tiny frame budget, so they fight over frames) while
+        // their per-query deltas and results must stay exact.
+        let db = build_db(&seqs);
+        let mem_tree = SuffixTree::build(&db);
+        let (image, _) = DiskTreeBuilder::with_block_size(64).build_image(&mem_tree);
+        let disk = Arc::new(
+            DiskSuffixTree::open_image(image, 64, 64 * 4).expect("valid image"),
+        );
+        let scoring = Scoring::unit_dna();
+        let jobs = jobs_from(&queries, min);
+        let engine =
+            OasisEngine::new(disk.clone(), db.clone(), scoring.clone()).with_threads(THREADS);
+        let outcomes = engine.run_batch(&jobs);
+        // Byte-identical to serial runs over the SAME disk substrate…
+        let reference = serial_reference(&*disk, &db, &scoring, &jobs);
+        for (out, (hits, stats)) in outcomes.iter().zip(&reference) {
+            prop_assert_eq!(&out.hits, hits);
+            prop_assert_eq!(&out.stats, stats);
+        }
+        // …and (seq, score)-equal to the in-memory tree (leaf/child
+        // enumeration order may differ between substrates, so window
+        // positions of equal-scoring ties can legitimately differ).
+        let mem_reference = serial_reference(&mem_tree, &db, &scoring, &jobs);
+        for (out, (hits, _)) in outcomes.iter().zip(&mem_reference) {
+            let mut got: Vec<(SeqId, Score)> =
+                out.hits.iter().map(|h| (h.seq, h.score)).collect();
+            got.sort_unstable();
+            let mut want: Vec<(SeqId, Score)> =
+                hits.iter().map(|h| (h.seq, h.score)).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+        // Delta sanity: per-query deltas never exceed the pool's global
+        // cumulative counters (which also include open()-time meta reads).
+        let global = disk.pool().stats().total();
+        let attributed: u64 = outcomes.iter().map(|o| o.pool_delta.total().requests).sum();
+        prop_assert!(attributed <= global.requests);
+    }
+}
+
+#[test]
+fn batch_results_are_deterministic_across_runs() {
+    let db = build_db(&[
+        vec![3, 0, 1, 2, 1, 1, 3, 0, 2],
+        vec![3, 0, 1, 1, 2],
+        vec![2, 2, 3, 0, 2, 2],
+        vec![0, 1, 2, 3, 0, 1, 2, 3],
+    ]);
+    let tree = Arc::new(SuffixTree::build(&db));
+    let scoring = Scoring::unit_dna();
+    let queries: Vec<Vec<u8>> = vec![
+        vec![3, 0, 1, 2],
+        vec![0, 1],
+        vec![2, 2, 2],
+        vec![1, 0, 3],
+        vec![3, 0, 1, 1],
+    ];
+    let jobs = jobs_from(&queries, 1);
+    let engine = OasisEngine::new(tree, db, scoring).with_threads(THREADS);
+    let first = engine.run_batch(&jobs);
+    for _ in 0..3 {
+        let again = engine.run_batch(&jobs);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let db = build_db(&[
+        vec![0, 1, 0, 1, 0, 1, 0, 1],
+        vec![1, 0, 1, 0, 1],
+        vec![0, 0, 0, 0, 0, 0],
+        vec![2, 3, 2, 3, 2],
+    ]);
+    let tree = Arc::new(SuffixTree::build(&db));
+    let scoring = Scoring::unit_dna();
+    let queries: Vec<Vec<u8>> = vec![vec![0, 1, 0], vec![2, 3], vec![0, 0, 0], vec![1, 1]];
+    let jobs = jobs_from(&queries, 1);
+    let serial = OasisEngine::new(tree.clone(), db.clone(), scoring.clone())
+        .with_threads(1)
+        .run_batch(&jobs);
+    for threads in [2usize, 4, 8] {
+        let parallel = OasisEngine::new(tree.clone(), db.clone(), scoring.clone())
+            .with_threads(threads)
+            .run_batch(&jobs);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.hits, b.hits, "threads={threads}");
+            assert_eq!(a.stats, b.stats, "threads={threads}");
+        }
+    }
+}
