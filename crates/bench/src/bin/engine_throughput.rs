@@ -1,21 +1,29 @@
-//! Engine throughput: queries/second of the concurrent multi-query engine
-//! over the shared in-memory index, at 1 worker vs the machine's available
-//! parallelism — the serving metric the ROADMAP's production goal cares
-//! about (Kucherov's survey frames throughput over a fixed database as
-//! *the* figure of merit for sequence-search services).
+//! Engine throughput and tail latency: queries/second of the concurrent
+//! multi-query engine over the shared in-memory index (1 worker vs the
+//! machine's available parallelism), the sharded fan-out engine at several
+//! shard counts, and the serving front end's p50/p95/p99 submit-to-
+//! completion latency — the serving metrics the ROADMAP's production goal
+//! cares about (Kucherov's survey frames throughput over a fixed database
+//! as *the* figure of merit for sequence-search services; tail latency is
+//! what users of an *online* service actually feel).
 //!
-//! Also asserts the engine's defining property on every run: the
-//! multi-threaded batch returns results identical to the serial batch.
+//! Also asserts the engines' defining property on every run: the
+//! multi-threaded batch and every sharded configuration return results
+//! byte-identical to the serial single-index batch.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use oasis_bench::{banner, fmt_duration, print_table, Scale, Testbed};
+use oasis_engine::{
+    AdmissionError, QueryTicket, SearchOutcome, ServingConfig, ServingEngine, ShardedEngine,
+};
 
 fn main() {
     let scale = Scale::from_env();
     banner(
-        "Engine throughput",
-        "concurrent batch over one shared index (E=20000)",
+        "Engine throughput + tail latency",
+        "concurrent batch, sharded fan-out, and serving front end (E=20000)",
         scale,
     );
     let tb = Testbed::protein(scale);
@@ -25,7 +33,7 @@ fn main() {
         .unwrap_or(1);
 
     let mut rows = Vec::new();
-    let mut serial: Option<Vec<oasis_engine::SearchOutcome>> = None;
+    let mut serial: Option<Vec<SearchOutcome>> = None;
     let mut thread_counts = vec![1usize, 2, 4];
     if !thread_counts.contains(&hardware) {
         thread_counts.push(hardware);
@@ -36,18 +44,7 @@ fn main() {
         let elapsed = start.elapsed();
         match &serial {
             None => serial = Some(outcomes.clone()),
-            Some(want) => {
-                for (got, want) in outcomes.iter().zip(want) {
-                    assert_eq!(
-                        got.hits, want.hits,
-                        "parallel hits must be byte-identical to the serial batch"
-                    );
-                    assert_eq!(
-                        got.stats, want.stats,
-                        "parallel stats must equal the serial batch"
-                    );
-                }
-            }
+            Some(want) => assert_identical(&outcomes, want, "parallel batch"),
         }
         let qps = jobs.len() as f64 / elapsed.as_secs_f64();
         rows.push(vec![
@@ -58,9 +55,118 @@ fn main() {
         ]);
     }
     print_table(&["threads", "queries", "batch time", "queries/sec"], &rows);
+    let serial = serial.expect("at least one thread count ran");
+
+    // Sharded fan-out: same workload, K per-shard indexes, merged streams.
+    println!();
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::build(tb.workload.db.clone(), tb.scoring.clone(), shards)
+            .with_threads(hardware);
+        let start = Instant::now();
+        let outcomes = engine.run_batch(&jobs);
+        let elapsed = start.elapsed();
+        assert_identical(&outcomes, &serial, "sharded batch");
+        let qps = jobs.len() as f64 / elapsed.as_secs_f64();
+        rows.push(vec![
+            engine.num_shards().to_string(),
+            fmt_duration(elapsed),
+            format!("{qps:.1}"),
+        ]);
+    }
+    print_table(&["shards", "batch time", "queries/sec"], &rows);
+
+    // Serving front end: non-blocking submission with a bounded queue;
+    // full-queue rejections back off by completing the oldest in-flight
+    // query first, so every job is eventually served exactly once.
+    let serving = ServingEngine::new(
+        tb.engine_with_threads(1),
+        ServingConfig {
+            workers: hardware,
+            queue_capacity: (jobs.len() / 4).max(4),
+        },
+    );
+    let start = Instant::now();
+    let mut tickets: Vec<QueryTicket> = Vec::new();
+    let mut served = Vec::new();
+    for job in &jobs {
+        loop {
+            match serving.try_submit(job.clone()) {
+                Ok(ticket) => {
+                    tickets.push(ticket);
+                    break;
+                }
+                Err(AdmissionError::QueueFull { .. }) => {
+                    // Backpressure: drain the oldest outstanding ticket.
+                    let oldest = tickets.remove(0);
+                    served.extend(oldest.wait());
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+    }
+    for ticket in tickets {
+        served.extend(ticket.wait());
+    }
+    let wall = start.elapsed();
+    let stats = serving.stats();
+    assert_eq!(stats.served as usize, jobs.len(), "every job served once");
+    let by_id: HashMap<&str, &SearchOutcome> = jobs
+        .iter()
+        .zip(&serial)
+        .map(|(job, outcome)| (job.id.as_str(), outcome))
+        .collect();
+    for outcome in &served {
+        let want = by_id[outcome.id.as_str()];
+        assert_eq!(
+            outcome.outcome.hits, want.hits,
+            "served results must be byte-identical to the serial batch"
+        );
+    }
+    let latency = serving.latency_summary();
+    println!();
+    print_table(
+        &[
+            "served",
+            "rejected",
+            "wall time",
+            "queries/sec",
+            "p50",
+            "p95",
+            "p99",
+            "max",
+        ],
+        &[vec![
+            stats.served.to_string(),
+            stats.rejected.to_string(),
+            fmt_duration(wall),
+            format!("{:.1}", stats.served as f64 / wall.as_secs_f64()),
+            fmt_duration(latency.p50),
+            fmt_duration(latency.p95),
+            fmt_duration(latency.p99),
+            fmt_duration(latency.max),
+        ]],
+    );
 
     println!("\n(hardware parallelism here: {hardware} thread(s))");
     println!("paper shape: the index is read-shared, so query throughput scales");
-    println!("with workers until the memory system saturates; results stay");
-    println!("byte-identical to serial execution at every thread count (asserted).");
+    println!("with workers until the memory system saturates; sharding trades a");
+    println!("small merge overhead for independently owned index partitions; and");
+    println!("the serving queue turns overload into rejections (p50/p95/p99");
+    println!("above), not unbounded waits. Results stay byte-identical to serial");
+    println!("execution at every thread and shard count (asserted).");
+}
+
+fn assert_identical(got: &[SearchOutcome], want: &[SearchOutcome], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: outcome count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(
+            g.hits, w.hits,
+            "{what}: hits must be byte-identical to the serial batch"
+        );
+        assert_eq!(
+            g.stats.hits_emitted, w.stats.hits_emitted,
+            "{what}: emitted-hit counts must agree"
+        );
+    }
 }

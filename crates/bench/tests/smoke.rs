@@ -50,6 +50,14 @@ fn engine_throughput_runs_on_tiny() {
         stdout.contains("byte-identical"),
         "engine_throughput skipped its equivalence assertion:\n{stdout}"
     );
+    // Tail-latency reporting must not silently rot: the serving section
+    // has to publish all three percentiles and the shard sweep.
+    for needle in ["p50", "p95", "p99", "shards", "rejected"] {
+        assert!(
+            stdout.contains(needle),
+            "engine_throughput output lost its {needle} column:\n{stdout}"
+        );
+    }
 }
 
 #[test]

@@ -5,11 +5,20 @@ use std::fmt;
 /// Errors raised while encoding residues or parsing sequence files.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BioseqError {
+    /// Reading the input itself failed (disk error, or a byte stream that
+    /// is not valid UTF-8). Distinct from malformed-but-readable FASTA:
+    /// an I/O failure says nothing about the file's format.
+    Io {
+        /// The [`std::io::ErrorKind`] of the underlying failure.
+        kind: std::io::ErrorKind,
+        /// Line number (1-based) being read when the failure occurred.
+        line: usize,
+    },
     /// A character could not be mapped onto the active alphabet.
     UnknownResidue {
         /// The offending character.
         ch: char,
-        /// Byte offset in the input where it was seen (best effort).
+        /// Byte offset in the input where it was seen.
         offset: usize,
     },
     /// A FASTA record had no header line.
@@ -37,6 +46,9 @@ pub enum BioseqError {
 impl fmt::Display for BioseqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            BioseqError::Io { kind, line } => {
+                write!(f, "I/O error reading sequence data at line {line}: {kind}")
+            }
             BioseqError::UnknownResidue { ch, offset } => {
                 write!(f, "unknown residue {ch:?} at byte offset {offset}")
             }
@@ -67,6 +79,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
+        let e = BioseqError::Io {
+            kind: std::io::ErrorKind::InvalidData,
+            line: 4,
+        };
+        assert!(e.to_string().contains("I/O error"));
+        assert!(e.to_string().contains("line 4"));
+
         let e = BioseqError::UnknownResidue { ch: '!', offset: 7 };
         assert!(e.to_string().contains('!'));
         assert!(e.to_string().contains('7'));

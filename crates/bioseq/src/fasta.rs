@@ -65,9 +65,12 @@ pub fn parse_fasta<R: BufRead>(
 
     loop {
         line.clear();
-        let read = reader
-            .read_line(&mut line)
-            .map_err(|_| BioseqError::MissingHeader { line: line_no + 1 })?;
+        // An I/O failure (device error, non-UTF-8 bytes) is reported as
+        // exactly that — not misdiagnosed as malformed FASTA.
+        let read = reader.read_line(&mut line).map_err(|e| BioseqError::Io {
+            kind: e.kind(),
+            line: line_no + 1,
+        })?;
         if read == 0 {
             break;
         }
@@ -84,7 +87,10 @@ pub fn parse_fasta<R: BufRead>(
             if name.is_none() {
                 return Err(BioseqError::MissingHeader { line: line_no });
             }
-            for (i, ch) in trimmed.chars().enumerate() {
+            // `char_indices` yields byte offsets, keeping the reported
+            // offset a true byte offset on lines with multi-byte
+            // characters (a char index would drift after the first one).
+            for (i, ch) in trimmed.char_indices() {
                 match alphabet.encode_char(ch) {
                     Some(c) => codes.push(c),
                     None => match policy {
@@ -232,5 +238,74 @@ mod tests {
     fn case_insensitive_residues() {
         let seqs = parse(">a\nacgt\n").unwrap();
         assert_eq!(seqs[0].codes(), &[0, 1, 2, 3]);
+    }
+
+    /// A reader that fails with a device-style error on its first read.
+    struct FailReader;
+    impl std::io::Read for FailReader {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "injected device failure",
+            ))
+        }
+    }
+
+    #[test]
+    fn io_failure_reported_as_io_not_missing_header() {
+        // Two good lines, then the device dies: the error must carry the
+        // I/O kind and the line being read — not claim the FASTA was
+        // malformed.
+        use std::io::{BufReader, Cursor, Read};
+        let reader = BufReader::new(Cursor::new(b">a\nAC\n".to_vec()).chain(FailReader));
+        let err = parse_fasta(reader, &Alphabet::dna(), UnknownResiduePolicy::Reject).unwrap_err();
+        assert_eq!(
+            err,
+            BioseqError::Io {
+                kind: std::io::ErrorKind::TimedOut,
+                line: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_reported_as_io_not_missing_header() {
+        let bytes: &[u8] = b">a\nAC\xFFGT\n";
+        let err = parse_fasta(bytes, &Alphabet::dna(), UnknownResiduePolicy::Reject).unwrap_err();
+        assert_eq!(
+            err,
+            BioseqError::Io {
+                kind: std::io::ErrorKind::InvalidData,
+                line: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_residue_offset_is_byte_accurate_on_crlf() {
+        // CRLF line endings count toward the byte offset: ">a\r\n" (4) +
+        // "AC\r\n" (4) + "G" (1) puts the '!' at byte 9 of the input.
+        let input = ">a\r\nAC\r\nG!T\r\n";
+        let err = parse(input).unwrap_err();
+        let BioseqError::UnknownResidue { ch, offset } = err else {
+            panic!("expected UnknownResidue, got {err:?}");
+        };
+        assert_eq!(ch, '!');
+        assert_eq!(offset, 9);
+        assert_eq!(input.as_bytes()[offset], b'!');
+    }
+
+    #[test]
+    fn unknown_residue_offset_is_byte_accurate_on_multibyte_lines() {
+        // '€' is 3 bytes; the reported offset must index the byte stream
+        // (the original input slices cleanly at it), not count chars.
+        let input = ">a\nAC\u{20AC}GT\n";
+        let err = parse(input).unwrap_err();
+        let BioseqError::UnknownResidue { ch, offset } = err else {
+            panic!("expected UnknownResidue, got {err:?}");
+        };
+        assert_eq!(ch, '\u{20AC}');
+        assert_eq!(offset, 5);
+        assert!(input[offset..].starts_with('\u{20AC}'));
     }
 }

@@ -71,7 +71,13 @@ pub fn root_node(query: &[u8], h: &[Score], min_score: Score) -> Option<SearchNo
 ///
 /// Construction seeds the frontier with the root node; each [`step`]
 /// (or [`next_hit`]) advances the search just far enough to make progress.
-/// Hits arrive in non-increasing score order — the paper's online property.
+/// Hits arrive in non-increasing score order — the paper's online property
+/// — and within one score level in increasing start-position order. That
+/// tie-break is *canonical*: it depends only on the database text and the
+/// query, never on suffix-tree node boundaries or heap insertion order, so
+/// any two indexes over the same text (in-memory, disk-resident, or a
+/// partition of the database searched shard by shard) emit byte-identical
+/// hit streams. The sharded engine's k-way merge relies on exactly this.
 ///
 /// [`step`]: SearchDriver::step
 /// [`next_hit`]: SearchDriver::next_hit
@@ -85,7 +91,15 @@ pub struct SearchDriver<'a, T: SuffixTreeAccess + ?Sized> {
     early_stop: bool,
     report: ReportMode,
     frontier: Frontier,
+    /// Ready hits in the canonical emission order.
     pending: VecDeque<Hit>,
+    /// Reports of the score level currently being drained (all have score
+    /// `group_score`). The group closes — is sorted by `t_start`,
+    /// deduplicated, and moved to `pending` — only once the frontier bound
+    /// drops below `group_score`, so within one score level emission order
+    /// is the canonical `t_start` order rather than heap pop order.
+    group: Vec<Hit>,
+    group_score: Score,
     reported: Vec<bool>,
     reported_count: u32,
     stats: SearchStats,
@@ -130,6 +144,8 @@ impl<'a, T: SuffixTreeAccess + ?Sized> SearchDriver<'a, T> {
             report: params.report,
             frontier,
             pending: VecDeque::new(),
+            group: Vec::new(),
+            group_score: NEG_INF,
             reported: vec![false; db.num_sequences() as usize],
             reported_count: 0,
             stats: SearchStats::default(),
@@ -156,11 +172,12 @@ impl<'a, T: SuffixTreeAccess + ?Sized> SearchDriver<'a, T> {
     /// hit may be released once no future hit can undercut its E-value.
     pub fn score_bound(&self) -> Option<Score> {
         let frontier_bound = self.frontier.bound();
+        let group_bound = (!self.group.is_empty()).then_some(self.group_score);
         let pending_bound = self.pending.front().map(|h| h.score);
-        match (frontier_bound, pending_bound) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        }
+        [frontier_bound, group_bound, pending_bound]
+            .into_iter()
+            .flatten()
+            .max()
     }
 
     /// Perform one unit of search work: emit a ready hit, or pop and
@@ -175,8 +192,17 @@ impl<'a, T: SuffixTreeAccess + ?Sized> SearchDriver<'a, T> {
             && self.report == ReportMode::BestPerSequence
             && self.reported_count == self.db.num_sequences()
         {
+            // Anything still on the frontier — or buffered in the open
+            // group — can only cover already-reported sequences.
             self.frontier.clear();
+            self.group.clear();
             return StepOutcome::Exhausted;
+        }
+        if !self.group.is_empty() && self.frontier.bound().is_none_or(|b| b < self.group_score) {
+            // No frontier node can contribute to the open score level any
+            // more: the group is complete and may be emitted canonically.
+            self.close_group();
+            return StepOutcome::Advanced;
         }
         let Some(node) = self.frontier.pop() else {
             return StepOutcome::Exhausted;
@@ -213,29 +239,50 @@ impl<'a, T: SuffixTreeAccess + ?Sized> SearchDriver<'a, T> {
 
     fn report_accepted(&mut self, node: &SearchNode) {
         debug_assert!(node.gmax >= self.min_score);
-        let mut leaves = Vec::new();
-        self.tree.leaves_under(node.handle, &mut |p| leaves.push(p));
-        leaves.sort_unstable();
-        for p in leaves {
-            let seq = self.db.seq_of_position(p);
-            match self.report {
-                ReportMode::BestPerSequence => {
-                    let flag = &mut self.reported[seq as usize];
-                    if *flag {
-                        continue;
-                    }
-                    *flag = true;
-                    self.reported_count += 1;
-                }
-                ReportMode::AllOccurrences => {}
-            }
-            self.pending.push_back(Hit {
-                seq,
+        // An accepted node pops only while it is the frontier maximum, and
+        // the bound never increases — so every accepted node reached while
+        // a group is open carries exactly the group's score.
+        debug_assert!(self.group.is_empty() || self.group_score == node.gmax);
+        self.group_score = node.gmax;
+        let mut leaves = std::mem::take(&mut self.group);
+        let first = leaves.len();
+        self.tree.leaves_under(node.handle, &mut |p| {
+            leaves.push(Hit {
+                seq: 0, // filled below, once per leaf
                 score: node.gmax,
                 t_start: p,
                 t_len: node.gmax_depth,
                 q_end: node.gmax_qend,
-            });
+            })
+        });
+        for hit in &mut leaves[first..] {
+            hit.seq = self.db.seq_of_position(hit.t_start);
+        }
+        // Sequences already reported at a (strictly) higher score level can
+        // be dropped immediately; same-level duplicates are resolved when
+        // the group closes.
+        if self.report == ReportMode::BestPerSequence {
+            let reported = &self.reported;
+            leaves.retain(|h| !reported[h.seq as usize]);
+        }
+        self.group = leaves;
+    }
+
+    /// The open score level is complete: order its reports canonically (by
+    /// start position — unique per report), apply best-per-sequence
+    /// deduplication in that order, and queue the survivors for emission.
+    fn close_group(&mut self) {
+        self.group.sort_unstable_by_key(|h| h.t_start);
+        for hit in self.group.drain(..) {
+            if self.report == ReportMode::BestPerSequence {
+                let flag = &mut self.reported[hit.seq as usize];
+                if *flag {
+                    continue;
+                }
+                *flag = true;
+                self.reported_count += 1;
+            }
+            self.pending.push_back(hit);
         }
     }
 
@@ -425,6 +472,29 @@ mod tests {
             want.sort_unstable();
             assert_eq!(got, want, "min_score {min_score}");
         }
+    }
+
+    #[test]
+    fn equal_scores_emit_in_start_position_order() {
+        // Three disjoint exact occurrences of AC, all score 2, reached via
+        // different tree paths: the canonical tie-break orders them by
+        // global start position, independent of heap insertion order.
+        let db = dna_db(&["GGAC", "ACGG", "TTACTT"]);
+        let (hits, _) = search_all(&db, "AC", 2);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.score == 2));
+        let starts: Vec<u32> = hits.iter().map(|h| h.t_start).collect();
+        assert_eq!(starts, vec![2, 5, 12]);
+        // Same canonical order in all-occurrences mode.
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let q = Alphabet::dna().encode_str("AC").unwrap();
+        let params = OasisParams::with_min_score(2).all_occurrences();
+        let (all, _) = OasisSearch::new(&tree, &db, &q, &scoring, &params).run();
+        let mut by_level: Vec<(Score, u32)> = all.iter().map(|h| (h.score, h.t_start)).collect();
+        let emitted = by_level.clone();
+        by_level.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        assert_eq!(emitted, by_level, "canonical (score desc, t_start asc)");
     }
 
     #[test]

@@ -21,7 +21,19 @@
 //! thread-local scope around its query, so [`SearchOutcome::pool_delta`]
 //! reports exactly that query's hit ratio even while other queries hammer
 //! the same pool — the racy "reset the global counters, run, snapshot"
-//! pattern is gone (and `BufferPool::reset_stats` is deprecated).
+//! pattern is gone.
+//!
+//! On top of the single-index engine sit two serving-oriented layers:
+//!
+//! * [`ShardedEngine`] partitions the database into lexically contiguous
+//!   sequence shards (boundaries picked by `oasis-storage`'s adaptive
+//!   lexical-range machinery), indexes each shard separately, fans every
+//!   query out across the shards, and k-way-merges the per-shard online
+//!   streams back into the global non-increasing-score order — with
+//!   byte-identical results to the unsharded engine.
+//! * [`ServingEngine`] is the non-blocking front end: a bounded admission
+//!   queue over any [`QueryExecutor`], completion through ticket handles,
+//!   and per-query latency capture for tail-latency reporting.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -57,6 +69,15 @@ use oasis_bioseq::SequenceDatabase;
 use oasis_core::{Hit, OasisParams, OasisSearch, SearchDriver, SearchStats};
 use oasis_storage::{PoolDeltaScope, PoolStatsSnapshot};
 use oasis_suffix::SuffixTreeAccess;
+
+mod serving;
+mod shard;
+
+pub use serving::{
+    AdmissionError, LatencySummary, QueryExecutor, QueryTicket, ServedOutcome, ServingConfig,
+    ServingEngine, ServingStats,
+};
+pub use shard::{ShardedEngine, ShardedSession};
 
 /// One query of a batch: the encoded sequence plus its search parameters
 /// (per-query, because `minScore` typically depends on query length via
@@ -204,6 +225,19 @@ impl<T: SuffixTreeAccess + ?Sized> OasisEngine<T> {
         run_query(&*self.tree, &self.db, &self.scoring, query, params, None)
     }
 
+    /// Run one batch job (respecting its [`BatchQuery::limit`]) on the
+    /// calling thread.
+    pub fn run_job(&self, job: &BatchQuery) -> SearchOutcome {
+        run_query(
+            &*self.tree,
+            &self.db,
+            &self.scoring,
+            &job.query,
+            &job.params,
+            job.limit,
+        )
+    }
+
     /// Execute a batch of queries across the worker pool, returning one
     /// [`SearchOutcome`] per job, **in job order**.
     ///
@@ -213,52 +247,60 @@ impl<T: SuffixTreeAccess + ?Sized> OasisEngine<T> {
     /// time. A worker panic (e.g. a query encoded with the wrong alphabet)
     /// propagates to the caller.
     pub fn run_batch(&self, jobs: &[BatchQuery]) -> Vec<SearchOutcome> {
-        let n = jobs.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            return jobs
-                .iter()
-                .map(|job| {
-                    run_query(
-                        &*self.tree,
-                        &self.db,
-                        &self.scoring,
-                        &job.query,
-                        &job.params,
-                        job.limit,
-                    )
-                })
-                .collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<SearchOutcome>> = (0..n).map(|_| OnceLock::new()).collect();
         // Workers borrow the substrate as plain `&`s: `&T` crosses threads
         // because the trait demands `Sync`; nothing requires `T: Send`.
         let (tree, db, scoring) = (&*self.tree, &*self.db, &self.scoring);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let (cursor, slots) = (&cursor, &slots);
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let outcome = run_query(tree, db, scoring, &job.query, &job.params, job.limit);
-                    slots[i]
-                        .set(outcome)
-                        .unwrap_or_else(|_| unreachable!("slot {i} claimed twice"));
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot filled"))
-            .collect()
+        run_pooled(self.threads, jobs.len(), move |i| {
+            let job = &jobs[i];
+            run_query(tree, db, scoring, &job.query, &job.params, job.limit)
+        })
     }
+}
+
+/// Execute `run(0..n)` across up to `threads` scoped worker threads,
+/// collecting the results **in index order**. Workers claim indices from a
+/// shared cursor, so slow and fast jobs interleave without static
+/// partitioning skew; with one worker (or one job) everything runs on the
+/// calling thread. A panic inside `run` propagates to the caller.
+pub(crate) fn run_pooled<F>(threads: usize, n: usize, run: F) -> Vec<SearchOutcome>
+where
+    F: Fn(usize) -> SearchOutcome + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<SearchOutcome>> = (0..n).map(|_| OnceLock::new()).collect();
+    let run = &run;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (cursor, slots) = (&cursor, &slots);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = run(i);
+                slots[i]
+                    .set(outcome)
+                    .unwrap_or_else(|_| unreachable!("slot {i} claimed twice"));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
 }
 
 /// Run one query against a borrowed substrate, with a per-query pool delta
 /// scope around the whole search. With a `limit`, the search aborts after
 /// that many hits — the online property means the unexplored remainder is
-/// never paid for.
+/// never paid for. A zero-length query short-circuits to an empty outcome
+/// without touching the driver: no alignment of the empty string can reach
+/// a positive `minScore`, and the serving path must not depend on how the
+/// driver happens to treat degenerate input.
 fn run_query<T: SuffixTreeAccess + ?Sized>(
     tree: &T,
     db: &SequenceDatabase,
@@ -267,16 +309,17 @@ fn run_query<T: SuffixTreeAccess + ?Sized>(
     params: &OasisParams,
     limit: Option<usize>,
 ) -> SearchOutcome {
+    if query.is_empty() {
+        return SearchOutcome {
+            hits: Vec::new(),
+            stats: SearchStats::default(),
+            pool_delta: PoolStatsSnapshot::default(),
+        };
+    }
     let scope = PoolDeltaScope::begin();
     let mut search = OasisSearch::new(tree, db, query, scoring, params);
     let cap = limit.unwrap_or(usize::MAX);
-    let mut hits = Vec::new();
-    while hits.len() < cap {
-        match search.next() {
-            Some(hit) => hits.push(hit),
-            None => break,
-        }
-    }
+    let hits: Vec<Hit> = search.by_ref().take(cap).collect();
     SearchOutcome {
         hits,
         stats: search.stats(),
@@ -470,6 +513,26 @@ mod tests {
         assert_eq!(limited.stats.hits_emitted, 2);
         // …and costs no more search work than the full drain.
         assert!(limited.stats.nodes_expanded <= full.stats.nodes_expanded);
+    }
+
+    #[test]
+    fn zero_length_query_yields_empty_outcome() {
+        // Degenerate input must never reach the driver: a zero-length
+        // query serves an empty outcome on every execution path.
+        let db = dna_db(&["AGTACGCCTAG", "TACCG"]);
+        let engine = mem_engine(&db).with_threads(4);
+        let params = OasisParams::with_min_score(1);
+        let outcome = engine.run_one(&[], &params);
+        assert!(outcome.hits.is_empty());
+        assert_eq!(outcome.stats, SearchStats::default());
+        assert_eq!(outcome.pool_delta.total().requests, 0);
+        let jobs = vec![
+            BatchQuery::named("empty", Vec::new(), params),
+            BatchQuery::named("real", Alphabet::dna().encode_str("TACG").unwrap(), params),
+        ];
+        let outcomes = engine.run_batch(&jobs);
+        assert!(outcomes[0].hits.is_empty());
+        assert!(!outcomes[1].hits.is_empty());
     }
 
     #[test]

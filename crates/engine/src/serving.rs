@@ -1,0 +1,574 @@
+//! The non-blocking serving front end: bounded admission, worker threads,
+//! completion tickets, and per-query latency capture.
+//!
+//! A production search service cannot run every arriving query at once —
+//! it needs *admission control*. [`ServingEngine`] puts a bounded
+//! submission queue in front of any [`QueryExecutor`] (the single-index
+//! [`crate::OasisEngine`], the fan-out [`crate::ShardedEngine`], or a test
+//! double): [`ServingEngine::try_submit`] never blocks, returning either a
+//! [`QueryTicket`] — a completion handle the caller can wait on — or
+//! [`AdmissionError::QueueFull`], the backpressure signal that tells the
+//! caller to retry later instead of silently piling work up.
+//!
+//! Every served query's latency is captured (queue wait, service time, and
+//! the submit-to-completion total), and [`ServingEngine::latency_summary`]
+//! folds the totals into the p50/p95/p99 tail percentiles that the
+//! `engine_throughput` benchmark reports — the serving metric that matters
+//! once throughput alone stops being the bottleneck.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{BatchQuery, OasisEngine, SearchOutcome, ShardedEngine};
+use oasis_suffix::SuffixTreeAccess;
+
+/// Anything that can run one query to completion. Implemented by both
+/// engines; serving code and tests stay generic over it.
+pub trait QueryExecutor: Send + Sync {
+    /// Execute `job` (respecting its [`BatchQuery::limit`]) and return the
+    /// full outcome.
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome;
+}
+
+impl<T: SuffixTreeAccess + Send + Sync + ?Sized> QueryExecutor for OasisEngine<T> {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        self.run_job(job)
+    }
+}
+
+impl QueryExecutor for ShardedEngine {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        self.run_job(job)
+    }
+}
+
+/// Configuration for a [`ServingEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Worker threads executing queries (min 1).
+    pub workers: usize,
+    /// Maximum number of admitted-but-unstarted queries; submissions
+    /// beyond it are rejected with [`AdmissionError::QueueFull`] (min 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded queue is at capacity — backpressure; retry after some
+    /// in-flight query completes.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The engine is shutting down and accepts no further work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} queries queued)")
+            }
+            AdmissionError::ShuttingDown => write!(f, "serving engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Everything one served query produced, including its latency breakdown.
+#[derive(Debug, Clone)]
+pub struct ServedOutcome {
+    /// The job's caller-assigned id.
+    pub id: String,
+    /// The search result.
+    pub outcome: SearchOutcome,
+    /// Time spent waiting in the admission queue.
+    pub queue_wait: Duration,
+    /// Time spent executing the search.
+    pub service: Duration,
+    /// Submit-to-completion latency (`queue_wait + service`).
+    pub total: Duration,
+}
+
+/// Completion handle for one admitted query.
+///
+/// The result arrives exactly once; [`wait`](QueryTicket::wait) blocks for
+/// it, [`try_take`](QueryTicket::try_take) polls without blocking. `wait`
+/// returns `None` only when the query itself panicked (e.g. it was encoded
+/// with the wrong alphabet) — the worker survives and keeps serving, but
+/// there is no outcome to deliver.
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<ServedOutcome>,
+}
+
+impl QueryTicket {
+    /// Block until the query completes.
+    pub fn wait(self) -> Option<ServedOutcome> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll: `Some` once the query has completed.
+    pub fn try_take(&self) -> Option<ServedOutcome> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Counters describing a serving engine's lifetime so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Queries executed to completion.
+    pub served: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+}
+
+/// Tail-latency summary (nearest-rank percentiles) over a sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarize a sample set (empty samples give an all-zero summary).
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let nearest_rank = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            count: sorted.len(),
+            p50: nearest_rank(0.50),
+            p95: nearest_rank(0.95),
+            p99: nearest_rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Submission {
+    job: BatchQuery,
+    tx: mpsc::Sender<ServedOutcome>,
+    submitted: Instant,
+}
+
+/// How many of the most recent per-query latency samples are retained for
+/// [`ServingEngine::latency_summary`]. A bounded window keeps a long-lived
+/// front end's memory flat (a production service serves queries forever)
+/// while still describing current tail behaviour; older samples age out.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A fixed-capacity ring of the most recent latency samples.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<Duration>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, sample: Duration) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next] = sample;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+struct Shared<E: ?Sized> {
+    queue: Mutex<VecDeque<Submission>>,
+    /// Signalled when work is enqueued or shutdown begins.
+    wake: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    /// Submit-to-completion latencies of the most recent served queries.
+    latencies: Mutex<LatencyRing>,
+    executor: E,
+}
+
+/// The non-blocking serving front end over a [`QueryExecutor`].
+///
+/// Dropping the engine stops admission, lets the workers drain every
+/// already-admitted query (admitted work is never abandoned), and joins
+/// the worker threads.
+pub struct ServingEngine<E: QueryExecutor + 'static> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<E: QueryExecutor + 'static> ServingEngine<E> {
+    /// Spin up the worker pool over `executor`.
+    pub fn new(executor: E, config: ServingConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::default()),
+            executor,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ServingEngine { shared, workers }
+    }
+
+    /// Submit a query without blocking: admitted work returns a
+    /// [`QueryTicket`]; a full queue rejects with backpressure instead of
+    /// making the caller wait.
+    pub fn try_submit(&self, job: BatchQuery) -> Result<QueryTicket, AdmissionError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            // The shutdown flag only flips while this lock is held, so
+            // checking it here is race-free: if it is still false, any
+            // subsequent shutdown() happens after our push and the workers
+            // will drain this submission before exiting. A check outside
+            // the lock could admit work after the last worker has left.
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            if queue.len() >= self.shared.capacity {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmissionError::QueueFull {
+                    capacity: self.shared.capacity,
+                });
+            }
+            queue.push_back(Submission {
+                job,
+                tx,
+                submitted: Instant::now(),
+            });
+        }
+        self.shared.wake.notify_one();
+        Ok(QueryTicket { rx })
+    }
+
+    /// Queries waiting in the admission queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// The configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Served/rejected counters so far.
+    pub fn stats(&self) -> ServingStats {
+        ServingStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tail-latency percentiles over the most recently served queries
+    /// (a sliding window of the last few thousand samples, so a long-lived
+    /// engine reports *current* tails with flat memory).
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(
+            &self
+                .shared
+                .latencies
+                .lock()
+                .expect("latencies poisoned")
+                .samples,
+        )
+    }
+
+    /// The executor queries run on.
+    pub fn executor(&self) -> &E {
+        &self.shared.executor
+    }
+
+    /// Begin a graceful shutdown: admission stops immediately
+    /// ([`try_submit`](ServingEngine::try_submit) returns
+    /// [`AdmissionError::ShuttingDown`]), while already-admitted queries
+    /// are still drained and served. Workers exit once the queue is empty;
+    /// dropping the engine then joins them without further waiting.
+    pub fn shutdown(&self) {
+        // Flip the flag under the queue lock — see `Drop` for why storing
+        // outside it could let a worker park past the notification.
+        {
+            let _queue = self.shared.queue.lock().expect("queue poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.wake.notify_all();
+    }
+}
+
+impl<E: QueryExecutor + 'static> Drop for ServingEngine<E> {
+    fn drop(&mut self) {
+        // The flag must flip while the queue mutex is held: a worker that
+        // just observed `shutdown == false` under the lock is then either
+        // still holding it (it will park *before* we can store) or already
+        // parked in `wait` (it will receive the notification). Storing
+        // without the lock could slip into the gap between a worker's
+        // check and its park — the notification would find no waiter and
+        // the join below would deadlock.
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
+    loop {
+        let submission = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return; // queue drained and no more work will arrive
+                }
+                queue = shared.wake.wait(queue).expect("queue poisoned");
+            }
+        };
+        let started = Instant::now();
+        // A panicking query (e.g. one encoded with the wrong alphabet)
+        // must not kill the worker: later admitted work would never run
+        // and its tickets would wait forever. Catch the unwind, drop the
+        // ticket sender (the waiter sees `None`), and keep serving.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.executor.execute(&submission.job)
+        }));
+        let finished = Instant::now();
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                drop(submission.tx); // resolves the ticket with `None`
+                continue;
+            }
+        };
+        let served = ServedOutcome {
+            id: submission.job.id.clone(),
+            outcome,
+            queue_wait: started - submission.submitted,
+            service: finished - started,
+            total: finished - submission.submitted,
+        };
+        shared
+            .latencies
+            .lock()
+            .expect("latencies poisoned")
+            .push(served.total);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        // The caller may have dropped its ticket — that only means nobody
+        // is listening; the work itself is still accounted.
+        let _ = submission.tx.send(served);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_align::Scoring;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder, SequenceDatabase};
+    use oasis_core::OasisParams;
+    use oasis_suffix::SuffixTree;
+
+    fn dna_db(seqs: &[&str]) -> Arc<SequenceDatabase> {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("s{i}"), s).unwrap();
+        }
+        Arc::new(b.finish())
+    }
+
+    fn engine(db: &Arc<SequenceDatabase>) -> OasisEngine<SuffixTree> {
+        let tree = Arc::new(SuffixTree::build(db));
+        OasisEngine::new(tree, db.clone(), Scoring::unit_dna())
+    }
+
+    fn job(alpha: &Alphabet, text: &str) -> BatchQuery {
+        BatchQuery::named(
+            text.to_string(),
+            alpha.encode_str(text).unwrap(),
+            OasisParams::with_min_score(2),
+        )
+    }
+
+    #[test]
+    fn serves_queries_with_correct_results_and_latency() {
+        let db = dna_db(&["AGTACGCCTAG", "TACCG", "GGTAGG"]);
+        let reference = engine(&db);
+        let serving = ServingEngine::new(
+            engine(&db),
+            ServingConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+        );
+        let alpha = Alphabet::dna();
+        let tickets: Vec<QueryTicket> = ["TACG", "GGTA", "CC"]
+            .iter()
+            .map(|t| serving.try_submit(job(&alpha, t)).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            let served = ticket.wait().expect("completed");
+            let want = reference.run_job(&job(&alpha, &served.id));
+            assert_eq!(served.outcome.hits, want.hits, "query {}", served.id);
+            assert!(served.total >= served.service);
+        }
+        assert_eq!(serving.stats().served, 3);
+        assert_eq!(serving.stats().rejected, 0);
+        let summary = serving.latency_summary();
+        assert_eq!(summary.count, 3);
+        assert!(summary.max >= summary.p50);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let ms = Duration::from_millis;
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let one = LatencySummary::from_samples(&[ms(7)]);
+        assert_eq!((one.p50, one.p99, one.max), (ms(7), ms(7), ms(7)));
+    }
+
+    #[test]
+    fn panicking_query_resolves_ticket_and_worker_survives() {
+        struct Bomb;
+        impl QueryExecutor for Bomb {
+            fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+                if job.id == "boom" {
+                    panic!("injected query panic");
+                }
+                SearchOutcome {
+                    hits: Vec::new(),
+                    stats: Default::default(),
+                    pool_delta: Default::default(),
+                }
+            }
+        }
+        // Suppress the expected panic backtrace noise from the worker.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let serving = ServingEngine::new(
+            Bomb,
+            ServingConfig {
+                workers: 1,
+                queue_capacity: 4,
+            },
+        );
+        let params = OasisParams::with_min_score(1);
+        let bad = serving
+            .try_submit(BatchQuery::named("boom", vec![0], params))
+            .expect("admitted");
+        let good = serving
+            .try_submit(BatchQuery::named("fine", vec![0], params))
+            .expect("admitted");
+        // The panicked query resolves with no outcome…
+        assert!(bad.wait().is_none());
+        // …and the same (sole) worker still serves what follows.
+        assert_eq!(good.wait().expect("worker survived").id, "fine");
+        assert_eq!(serving.stats().served, 1);
+        drop(serving);
+        std::panic::set_hook(prev_hook);
+    }
+
+    #[test]
+    fn latency_window_stays_bounded() {
+        let mut ring = LatencyRing::default();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            ring.push(Duration::from_nanos(i as u64));
+        }
+        assert_eq!(ring.samples.len(), LATENCY_WINDOW);
+        // The oldest samples aged out: the minimum retained is sample #100.
+        let min = ring.samples.iter().min().copied().unwrap();
+        assert_eq!(min, Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn shutdown_stops_admission_but_serves_admitted_work() {
+        let db = dna_db(&["AGTACGCCTAG", "TACCG"]);
+        let alpha = Alphabet::dna();
+        let serving = ServingEngine::new(
+            engine(&db),
+            ServingConfig {
+                workers: 1,
+                queue_capacity: 4,
+            },
+        );
+        let admitted = serving.try_submit(job(&alpha, "TACG")).expect("admitted");
+        serving.shutdown();
+        // Admission closed…
+        assert_eq!(
+            serving.try_submit(job(&alpha, "CC")).unwrap_err(),
+            AdmissionError::ShuttingDown
+        );
+        // …but already-admitted work is still served.
+        assert_eq!(admitted.wait().expect("drained").id, "TACG");
+        assert_eq!(serving.stats().served, 1);
+    }
+
+    #[test]
+    fn drop_drains_admitted_work() {
+        let db = dna_db(&["AGTACGCCTAG", "TACCG"]);
+        let alpha = Alphabet::dna();
+        let ticket;
+        {
+            let serving = ServingEngine::new(
+                engine(&db),
+                ServingConfig {
+                    workers: 1,
+                    queue_capacity: 4,
+                },
+            );
+            ticket = serving.try_submit(job(&alpha, "TACG")).expect("admitted");
+            // `serving` drops here: shutdown must still serve the query.
+        }
+        assert!(ticket.wait().is_some());
+    }
+}

@@ -1,0 +1,520 @@
+//! The sharded engine: K per-partition indexes behind one query interface.
+//!
+//! [`ShardedEngine`] splits the database into lexically contiguous runs of
+//! sequences — boundaries picked by `oasis-storage`'s adaptive range
+//! machinery ([`balanced_ranges`]), the same "select lexical ranges based
+//! on the contents" idea the paper uses for bounded-memory construction
+//! (§3.4.1) — and builds one in-memory suffix tree per shard. A query fans
+//! out across every shard and the per-shard online hit streams are merged
+//! back into the *global* online order by a lazy k-way merge.
+//!
+//! ## Why the merge is exact
+//!
+//! A local alignment lives entirely inside one database sequence, so
+//! partitioning the database by whole sequences partitions the hit set.
+//! The search driver emits hits in the canonical
+//! (score descending, start-position ascending) order, which depends only
+//! on the text and the query — never on suffix-tree node boundaries — so
+//! each shard's stream is a sorted sub-sequence of the unsharded stream,
+//! and merging on that key reproduces the unsharded engine's output
+//! byte for byte.
+//!
+//! The merge is *lazy*: a shard is advanced (one [`SearchDriver`] step at
+//! a time, round-robin — no shard monopolizes the query's budget) only
+//! while its [`SearchDriver::score_bound`] says it might still beat the
+//! best already-materialized candidate. Aborting after the top k hits
+//! therefore pays only for the work those k hits required, in every shard
+//! — the paper's online property, preserved across the partition.
+
+use std::sync::Arc;
+
+use oasis_align::{Score, Scoring};
+use oasis_bioseq::{SeqId, Sequence, SequenceDatabase};
+use oasis_core::{Hit, OasisParams, SearchDriver, SearchStats, StepOutcome};
+use oasis_storage::{balanced_ranges, PoolDeltaScope, PoolStatsSnapshot};
+use oasis_suffix::SuffixTree;
+
+use crate::{run_pooled, BatchQuery, SearchOutcome};
+
+/// One partition: a contiguous run of database sequences with its own
+/// index, plus the offsets that map shard-local results back to global
+/// coordinates.
+struct Shard {
+    db: SequenceDatabase,
+    tree: SuffixTree,
+    /// Global id of the shard's first sequence.
+    seq_offset: SeqId,
+    /// Global text position of the shard's first symbol.
+    text_offset: u32,
+}
+
+/// The sharded, fan-out/merge OASIS engine.
+///
+/// Mirrors the single-index [`crate::OasisEngine`] API — [`run_one`],
+/// [`run_batch`], [`session`] — but executes each query against K
+/// per-shard suffix trees and k-way-merges the streams. Results are
+/// byte-identical to the unsharded engine over the same database (asserted
+/// by `tests/engine_equivalence.rs` across shard and thread counts).
+///
+/// [`run_one`]: ShardedEngine::run_one
+/// [`run_batch`]: ShardedEngine::run_batch
+/// [`session`]: ShardedEngine::session
+pub struct ShardedEngine {
+    db: Arc<SequenceDatabase>,
+    scoring: Scoring,
+    threads: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardedEngine {
+    /// Partition `db` into at most `shards` balanced shards (by residue
+    /// count, whole sequences only) and index each one — shards are
+    /// independent, so they are built concurrently and startup is bounded
+    /// by the slowest single shard, not the sum. Fewer shards may result
+    /// when the database has fewer sequences than requested.
+    pub fn build(db: Arc<SequenceDatabase>, scoring: Scoring, shards: usize) -> Self {
+        let weights: Vec<usize> = (0..db.num_sequences())
+            // Terminators count too, so weights sum to the text length and
+            // empty sequences still carry weight.
+            .map(|id| db.seq_len(id) as usize + 1)
+            .collect();
+        let ranges = balanced_ranges(&weights, shards.max(1));
+        let build_one = |&(lo, hi): &(usize, usize)| {
+            let mut b = DatabaseBuilderFor::new(&db);
+            for id in lo..=hi {
+                b.push(id as SeqId);
+            }
+            let shard_db = b.finish();
+            let tree = SuffixTree::build(&shard_db);
+            Shard {
+                db: shard_db,
+                tree,
+                seq_offset: lo as SeqId,
+                text_offset: db.seq_start(lo as SeqId),
+            }
+        };
+        let shards = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| scope.spawn(move || build_one(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build panicked"))
+                .collect()
+        });
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ShardedEngine {
+            db,
+            scoring,
+            threads,
+            shards,
+        }
+    }
+
+    /// Override the worker-thread count for [`run_batch`] (min 1).
+    ///
+    /// [`run_batch`]: ShardedEngine::run_batch
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of shards actually built.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global (unsharded) database.
+    pub fn db(&self) -> &SequenceDatabase {
+        &self.db
+    }
+
+    /// The scoring scheme every query uses.
+    pub fn scoring(&self) -> &Scoring {
+        &self.scoring
+    }
+
+    /// Begin a streaming fan-out search across all shards: hits arrive one
+    /// by one in the global online order. Consume it as an iterator, then
+    /// call [`ShardedSession::finish`] for the accounting.
+    pub fn session(&self, query: &[u8], params: &OasisParams) -> ShardedSession<'_> {
+        let scope = PoolDeltaScope::begin();
+        let cursors = if query.is_empty() {
+            Vec::new() // degenerate input: serve an empty stream
+        } else {
+            self.shards
+                .iter()
+                .map(|shard| ShardCursor {
+                    driver: SearchDriver::new(&shard.tree, &shard.db, query, &self.scoring, params),
+                    head: None,
+                    exhausted: false,
+                    seq_offset: shard.seq_offset,
+                    text_offset: shard.text_offset,
+                })
+                .collect()
+        };
+        ShardedSession {
+            cursors,
+            scope: Some(scope),
+            emitted: 0,
+        }
+    }
+
+    /// Run one query to completion on the calling thread.
+    pub fn run_one(&self, query: &[u8], params: &OasisParams) -> SearchOutcome {
+        self.run_job(&BatchQuery::new(query.to_vec(), *params))
+    }
+
+    /// Run one batch job (respecting its [`BatchQuery::limit`]) on the
+    /// calling thread.
+    pub fn run_job(&self, job: &BatchQuery) -> SearchOutcome {
+        let mut session = self.session(&job.query, &job.params);
+        let cap = job.limit.unwrap_or(usize::MAX);
+        let hits: Vec<Hit> = session.by_ref().take(cap).collect();
+        let (stats, pool_delta) = session.finish();
+        SearchOutcome {
+            hits,
+            stats,
+            pool_delta,
+        }
+    }
+
+    /// Execute a batch of queries across the worker pool, one fan-out per
+    /// query, returning outcomes **in job order** (same contract as
+    /// [`crate::OasisEngine::run_batch`]).
+    pub fn run_batch(&self, jobs: &[BatchQuery]) -> Vec<SearchOutcome> {
+        run_pooled(self.threads, jobs.len(), |i| self.run_job(&jobs[i]))
+    }
+}
+
+/// Rebuilds a contiguous slice of a database as a standalone database with
+/// identical per-sequence content (names included, so diagnostics stay
+/// meaningful inside a shard).
+///
+/// This copies the slice, so the sharded path holds the sequence data
+/// twice (global database + union of shards). A borrowed sub-database view
+/// over the global text — valid because every shard is a contiguous text
+/// slice — would eliminate the copy, but needs view support in
+/// `oasis-bioseq`/`SuffixTree::build`; revisit if databases outgrow RAM.
+struct DatabaseBuilderFor<'a> {
+    source: &'a SequenceDatabase,
+    builder: oasis_bioseq::DatabaseBuilder,
+}
+
+impl<'a> DatabaseBuilderFor<'a> {
+    fn new(source: &'a SequenceDatabase) -> Self {
+        DatabaseBuilderFor {
+            source,
+            builder: oasis_bioseq::DatabaseBuilder::new(source.alphabet().clone()),
+        }
+    }
+
+    fn push(&mut self, id: SeqId) {
+        let view = self.source.sequence(id);
+        self.builder
+            .push(Sequence::from_codes(
+                view.name.to_string(),
+                view.codes.to_vec(),
+            ))
+            .expect("shard cannot exceed the source database's size");
+    }
+
+    fn finish(self) -> SequenceDatabase {
+        self.builder.finish()
+    }
+}
+
+/// One shard's position in an in-progress merge.
+struct ShardCursor<'e> {
+    driver: SearchDriver<'e, SuffixTree>,
+    /// The shard's next hit, already remapped to global coordinates.
+    head: Option<Hit>,
+    exhausted: bool,
+    seq_offset: SeqId,
+    text_offset: u32,
+}
+
+impl ShardCursor<'_> {
+    /// Advance the underlying driver by one unit of work.
+    fn pump(&mut self) {
+        debug_assert!(self.head.is_none() && !self.exhausted);
+        match self.driver.step() {
+            StepOutcome::Hit(mut hit) => {
+                hit.seq += self.seq_offset;
+                hit.t_start += self.text_offset;
+                self.head = Some(hit);
+            }
+            StepOutcome::Advanced => {}
+            StepOutcome::Exhausted => self.exhausted = true,
+        }
+    }
+
+    /// Could this shard still produce a hit at `score` or better? (Only
+    /// meaningful while no head is materialized — the head *is* the
+    /// shard's best remaining hit otherwise.)
+    fn may_reach(&self, score: Score) -> bool {
+        !self.exhausted && self.driver.score_bound().is_some_and(|b| b >= score)
+    }
+}
+
+/// In the canonical global order, does `a` precede `b`?
+fn precedes(a: &Hit, b: &Hit) -> bool {
+    a.score > b.score || (a.score == b.score && a.t_start < b.t_start)
+}
+
+/// A streaming fan-out query over a [`ShardedEngine`]: iterates [`Hit`]s
+/// in the global online (score descending, then start position) order,
+/// byte-identical to an unsharded [`crate::OasisEngine`] session over the
+/// same database.
+///
+/// [`finish`](ShardedSession::finish) returns the aggregate search
+/// statistics (summed over shards; `max_queue` is the largest per-shard
+/// queue and `hits_emitted` counts hits the *merge* emitted) plus this
+/// query's buffer-pool delta.
+pub struct ShardedSession<'e> {
+    cursors: Vec<ShardCursor<'e>>,
+    scope: Option<PoolDeltaScope>,
+    emitted: u64,
+}
+
+impl ShardedSession<'_> {
+    /// An upper bound on the score of any hit the merged stream can still
+    /// emit, or `None` when every shard is exhausted.
+    pub fn score_bound(&self) -> Option<Score> {
+        self.cursors
+            .iter()
+            .filter_map(|c| {
+                c.head
+                    .as_ref()
+                    .map(|h| h.score)
+                    .or_else(|| (!c.exhausted).then(|| c.driver.score_bound()).flatten())
+            })
+            .max()
+    }
+
+    /// Close the session, returning the aggregated search statistics and
+    /// this query's buffer-pool delta.
+    pub fn finish(mut self) -> (SearchStats, PoolStatsSnapshot) {
+        let delta = self
+            .scope
+            .take()
+            .map(PoolDeltaScope::finish)
+            .unwrap_or_default();
+        let mut stats = SearchStats::default();
+        for cursor in &self.cursors {
+            let s = cursor.driver.stats();
+            stats.columns_expanded += s.columns_expanded;
+            stats.nodes_expanded += s.nodes_expanded;
+            stats.nodes_enqueued += s.nodes_enqueued;
+            stats.max_queue = stats.max_queue.max(s.max_queue);
+        }
+        stats.hits_emitted = self.emitted;
+        (stats, delta)
+    }
+}
+
+impl Iterator for ShardedSession<'_> {
+    type Item = Hit;
+
+    fn next(&mut self) -> Option<Hit> {
+        loop {
+            // The best already-materialized candidate.
+            let best: Option<Hit> = self.cursors.iter().filter_map(|c| c.head).reduce(|a, b| {
+                if precedes(&b, &a) {
+                    b
+                } else {
+                    a
+                }
+            });
+            // Any shard whose bound says it could still beat (or tie — a
+            // tie is decided by start position, which only a materialized
+            // head reveals) the candidate must advance first. One step
+            // each, round-robin, so no shard monopolizes the merge.
+            let mut pumped = false;
+            for cursor in &mut self.cursors {
+                if cursor.head.is_some() || cursor.exhausted {
+                    continue;
+                }
+                // (Exhausted cursors were skipped above, so with no
+                // candidate yet this shard must always advance.)
+                let must = best.as_ref().is_none_or(|b| cursor.may_reach(b.score));
+                if must {
+                    cursor.pump();
+                    pumped = true;
+                }
+            }
+            if pumped {
+                continue;
+            }
+            // No shard can compete with `best` any more: emit it.
+            let winner = self.cursors.iter_mut().find(|c| {
+                c.head
+                    .map(|h| best.map(|b| h == b).unwrap_or(false))
+                    .unwrap_or(false)
+            });
+            return match winner {
+                Some(cursor) => {
+                    self.emitted += 1;
+                    cursor.head.take()
+                }
+                None => None,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OasisEngine;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder};
+
+    fn dna_db(seqs: &[&str]) -> Arc<SequenceDatabase> {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("s{i}"), s).unwrap();
+        }
+        Arc::new(b.finish())
+    }
+
+    fn unsharded(db: &Arc<SequenceDatabase>) -> OasisEngine<SuffixTree> {
+        let tree = Arc::new(SuffixTree::build(db));
+        OasisEngine::new(tree, db.clone(), Scoring::unit_dna())
+    }
+
+    const SEQS: &[&str] = &[
+        "AGTACGCCTAG",
+        "TACCG",
+        "GGTAGG",
+        "CCCCCC",
+        "GATTACA",
+        "TACGTACG",
+        "ACACAC",
+    ];
+
+    #[test]
+    fn sharded_equals_unsharded_for_all_k() {
+        let db = dna_db(SEQS);
+        let reference = unsharded(&db);
+        let q = Alphabet::dna().encode_str("TACG").unwrap();
+        for min in 1..=4 {
+            let params = OasisParams::with_min_score(min);
+            let want = reference.run_one(&q, &params);
+            for k in [1usize, 2, 3, 7, 20] {
+                let engine = ShardedEngine::build(db.clone(), Scoring::unit_dna(), k);
+                assert!(engine.num_shards() <= k.max(1));
+                let got = engine.run_one(&q, &params);
+                assert_eq!(got.hits, want.hits, "k={k} min={min}");
+                assert_eq!(got.stats.hits_emitted, want.stats.hits_emitted);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_reproduces_stats_exactly() {
+        let db = dna_db(SEQS);
+        let reference = unsharded(&db);
+        let engine = ShardedEngine::build(db, Scoring::unit_dna(), 1);
+        assert_eq!(engine.num_shards(), 1);
+        let q = Alphabet::dna().encode_str("GATT").unwrap();
+        let params = OasisParams::with_min_score(2);
+        let want = reference.run_one(&q, &params);
+        let got = engine.run_one(&q, &params);
+        assert_eq!(got.hits, want.hits);
+        assert_eq!(got.stats, want.stats);
+    }
+
+    #[test]
+    fn limit_takes_the_merged_prefix_lazily() {
+        let db = dna_db(SEQS);
+        let engine = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 3);
+        let q = Alphabet::dna().encode_str("TACG").unwrap();
+        let params = OasisParams::with_min_score(1);
+        let full = engine.run_one(&q, &params);
+        let job = BatchQuery::new(q.clone(), params).with_limit(2);
+        let limited = engine.run_job(&job);
+        assert_eq!(limited.hits, full.hits[..2].to_vec());
+        assert_eq!(limited.stats.hits_emitted, 2);
+        // Laziness: the truncated fan-out does no more search work.
+        assert!(limited.stats.nodes_expanded <= full.stats.nodes_expanded);
+        // And matches the unsharded engine's prefix.
+        assert_eq!(limited.hits, unsharded(&db).run_one(&q, &params).hits[..2]);
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_threaded() {
+        let db = dna_db(SEQS);
+        let engine = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 4).with_threads(4);
+        let reference = unsharded(&db);
+        let alpha = Alphabet::dna();
+        let jobs: Vec<BatchQuery> = ["TACG", "CC", "GATT", "ACAC", "GGTAGG"]
+            .iter()
+            .map(|t| {
+                BatchQuery::named(
+                    t.to_string(),
+                    alpha.encode_str(t).unwrap(),
+                    OasisParams::with_min_score(2),
+                )
+            })
+            .collect();
+        let got = engine.run_batch(&jobs);
+        let want = reference.run_batch(&jobs);
+        assert_eq!(got.len(), want.len());
+        for ((g, w), job) in got.iter().zip(&want).zip(&jobs) {
+            assert_eq!(g.hits, w.hits, "query {}", job.id);
+        }
+    }
+
+    #[test]
+    fn session_streams_in_global_online_order() {
+        let db = dna_db(SEQS);
+        let engine = ShardedEngine::build(db, Scoring::unit_dna(), 3);
+        let q = Alphabet::dna().encode_str("TACG").unwrap();
+        let params = OasisParams::with_min_score(1);
+        let mut session = engine.session(&q, &params);
+        assert!(session.score_bound().is_some());
+        let hits: Vec<Hit> = session.by_ref().collect();
+        assert!(session.score_bound().is_none());
+        assert!(hits.windows(2).all(|w| w[0].score > w[1].score
+            || (w[0].score == w[1].score && w[0].t_start < w[1].t_start)));
+        let (stats, delta) = session.finish();
+        assert_eq!(stats.hits_emitted as usize, hits.len());
+        assert_eq!(delta.total().requests, 0, "in-memory shards: no pool");
+    }
+
+    #[test]
+    fn shard_names_and_coordinates_remap_to_global() {
+        let db = dna_db(&["AAAA", "TACG", "GGGG"]);
+        let engine = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 3);
+        let q = Alphabet::dna().encode_str("TACG").unwrap();
+        let hits = engine.run_one(&q, &OasisParams::with_min_score(4)).hits;
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].seq, 1);
+        assert_eq!(db.name(hits[0].seq), "s1");
+        assert_eq!(hits[0].t_start, 5); // global text position of "TACG"
+    }
+
+    #[test]
+    fn empty_query_and_empty_database_are_served() {
+        let db = dna_db(SEQS);
+        let engine = ShardedEngine::build(db, Scoring::unit_dna(), 2);
+        let params = OasisParams::with_min_score(1);
+        let outcome = engine.run_one(&[], &params);
+        assert!(outcome.hits.is_empty());
+        assert_eq!(outcome.stats, SearchStats::default());
+
+        let empty = dna_db(&[]);
+        let engine = ShardedEngine::build(empty, Scoring::unit_dna(), 4);
+        assert_eq!(engine.num_shards(), 0);
+        let q = vec![0u8, 1];
+        assert!(engine.run_one(&q, &params).hits.is_empty());
+    }
+}

@@ -27,5 +27,5 @@ pub mod pool;
 
 pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
 pub use layout::{header_block_size, DiskSuffixTree, DiskTreeBuilder, ImageStats};
-pub use partitioned::partitioned_suffix_array;
+pub use partitioned::{balanced_ranges, budget_ranges, partitioned_suffix_array};
 pub use pool::{BufferPool, BufferPoolStats, PoolDeltaScope, PoolStatsSnapshot, Region};

@@ -14,7 +14,8 @@
 //!
 //! The global counters are *cumulative over the pool's lifetime* and shared
 //! by every concurrent reader, so "reset, run, snapshot" accounting is racy
-//! the moment two queries overlap. Per-query attribution instead goes
+//! the moment two queries overlap (the old `reset_stats` entry point that
+//! encouraged it is gone). Per-query attribution instead goes
 //! through [`PoolDeltaScope`]: a thread-local scope that accumulates
 //! exactly the requests issued by the current thread while it is open.
 //! Because a query runs on one thread (the `oasis-engine` worker model),
@@ -294,16 +295,6 @@ impl<D: BlockDevice> BufferPool<D> {
         PoolStatsSnapshot {
             regions: self.inner.lock().stats,
         }
-    }
-
-    /// Zero the statistics (the cache contents are kept).
-    #[deprecated(
-        since = "0.1.0",
-        note = "a global reset races with concurrent readers of the shared \
-                pool; open a PoolDeltaScope around the work to measure instead"
-    )]
-    pub fn reset_stats(&self) {
-        self.inner.lock().stats = Default::default();
     }
 
     /// Drop all cached blocks (cold cache) and zero the statistics.

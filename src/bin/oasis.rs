@@ -13,7 +13,10 @@
 //! representation; `search` runs the exact online OASIS search through the
 //! multi-query engine — a single query streams hits as they are proven
 //! optimal, a `--queries` FASTA batch executes concurrently across worker
-//! threads against the shared index; `info` prints index geometry.
+//! threads against the shared index, and `--shards N` partitions the
+//! database into N balanced in-memory shard indexes whose merged results
+//! are byte-identical to the single-index search; `info` prints index
+//! geometry.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -30,7 +33,7 @@ USAGE:
   oasis index  <db.fasta|db.oasisdb> <index.oasis> [--dna|--protein] [--block-size N]
   oasis search <db.fasta|db.oasisdb> <index.oasis> <QUERY> [--dna|--protein]
                [--evalue E | --min-score S] [--top K] [--pool-mb M]
-               [--matrix unit|blosum62|pam30] [--gap G]
+               [--matrix unit|blosum62|pam30] [--gap G] [--shards N]
   oasis search <db.fasta|db.oasisdb> <index.oasis> --queries <queries.fasta>
                [--threads N] [other search options]
   oasis info   <index.oasis> [--block-size N]
@@ -41,7 +44,10 @@ while parsing database FASTA. With --queries, every record of the FASTA
 file is searched as its own query (ids from the record names) and the
 batch runs concurrently over the shared index (--threads, default: all
 cores); query records with residues outside the alphabet are rejected,
-exactly like a positional QUERY.
+exactly like a positional QUERY. With --shards N the database is split
+into N balanced in-memory shard indexes and every query fans out across
+them (the on-disk index is not opened); merged results are
+byte-identical to the single-index search.
 Defaults: --protein, --matrix pam30, --gap -10, --evalue 10, --pool-mb 64,
 --block-size 2048 for `index` (search/info read the block size from the
 index header unless overridden).";
@@ -79,6 +85,7 @@ struct Flags {
     gap: i32,
     queries: Option<String>,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -94,6 +101,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         gap: -10,
         queries: None,
         threads: None,
+        shards: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -140,6 +148,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     value("--threads")?
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--shards" => {
+                f.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
                 )
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -259,6 +274,11 @@ enum MinScoreRule {
 impl MinScoreRule {
     fn from_flags(flags: &Flags, scoring: &Scoring) -> Result<Self, String> {
         if let Some(s) = flags.min_score {
+            if s < 1 {
+                // `OasisParams` asserts minScore >= 1; turn a bad flag into
+                // a clean error instead of a panic on the serving path.
+                return Err(format!("--min-score must be at least 1 (got {s})"));
+            }
             return Ok(MinScoreRule::Fixed(s));
         }
         let freqs: Vec<f64> = match flags.alphabet.kind() {
@@ -302,6 +322,72 @@ fn open_engine(
     Ok(engine)
 }
 
+/// The search back end a `search` invocation runs on: the disk index
+/// behind the buffer pool (default), or `--shards N` balanced in-memory
+/// shard indexes fanned out per query. Results are byte-identical either
+/// way; only the storage/parallelism shape differs.
+enum SearchBackend {
+    Disk(OasisEngine<DiskSuffixTree<FileDevice>>),
+    Sharded(ShardedEngine),
+}
+
+impl SearchBackend {
+    fn build(
+        flags: &Flags,
+        db: Arc<SequenceDatabase>,
+        index_path: &str,
+        scoring: Scoring,
+    ) -> Result<Self, String> {
+        match flags.shards {
+            None => Ok(SearchBackend::Disk(open_engine(
+                flags, db, index_path, scoring,
+            )?)),
+            Some(0) => Err("--shards must be at least 1".to_string()),
+            Some(n) => {
+                let mut engine = ShardedEngine::build(db, scoring, n);
+                if let Some(threads) = flags.threads {
+                    engine = engine.with_threads(threads);
+                }
+                eprintln!(
+                    "sharded: {} balanced in-memory shard(s); disk index not opened",
+                    engine.num_shards()
+                );
+                Ok(SearchBackend::Sharded(engine))
+            }
+        }
+    }
+
+    fn threads(&self) -> usize {
+        match self {
+            SearchBackend::Disk(e) => e.threads(),
+            SearchBackend::Sharded(e) => e.threads(),
+        }
+    }
+
+    fn run_batch(&self, jobs: &[BatchQuery]) -> Vec<SearchOutcome> {
+        match self {
+            SearchBackend::Disk(e) => e.run_batch(jobs),
+            SearchBackend::Sharded(e) => e.run_batch(jobs),
+        }
+    }
+}
+
+/// Report a run's buffer-pool traffic on stderr — the per-query (or
+/// per-batch) delta the engine attributes through `PoolDeltaScope`, i.e.
+/// the paper's Figure 8 hit-ratio metric.
+fn report_pool(delta: &PoolStatsSnapshot) {
+    let total = delta.total();
+    if total.requests == 0 {
+        eprintln!("buffer pool: no requests (in-memory index)");
+    } else {
+        eprintln!(
+            "buffer pool: {} requests, {:.1}% hit ratio",
+            total.requests,
+            100.0 * total.hit_ratio()
+        );
+    }
+}
+
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     match (flags.positional.as_slice(), &flags.queries) {
@@ -317,29 +403,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// One query: stream hits online (respecting `--top`) through an engine
-/// session.
-fn search_single(
-    flags: &Flags,
-    db_path: &str,
-    index_path: &str,
-    query_text: &str,
-) -> Result<(), String> {
-    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
-    let query = flags
-        .alphabet
-        .encode_str(query_text)
-        .map_err(|e| e.to_string())?;
-    let scoring = scoring_from(flags)?;
-    let min_score = MinScoreRule::from_flags(flags, &scoring)?.min_score(&db, query.len());
-    eprintln!("minScore = {min_score}");
-    let engine = open_engine(flags, db.clone(), index_path, scoring)?;
-
-    let params = OasisParams::with_min_score(min_score);
+/// Stream hits from an engine session to stdout, stopping at `limit`.
+fn print_hits(db: &SequenceDatabase, hits: impl Iterator<Item = Hit>, limit: usize) -> usize {
     let mut shown = 0usize;
-    let limit = flags.top.unwrap_or(usize::MAX);
-    let start = std::time::Instant::now();
-    for hit in engine.session(&query, &params) {
+    for hit in hits {
         println!(
             "{:<30} score={:<5} window={}..{} q_end={}",
             db.name(hit.seq),
@@ -353,7 +420,51 @@ fn search_single(
             break;
         }
     }
+    shown
+}
+
+/// One query: stream hits online (respecting `--top`) through an engine
+/// session, then close the session for the per-query accounting — on the
+/// drained *and* the `--top` early-exit path alike, so the pool hit ratio
+/// is never silently discarded.
+fn search_single(
+    flags: &Flags,
+    db_path: &str,
+    index_path: &str,
+    query_text: &str,
+) -> Result<(), String> {
+    if query_text.is_empty() {
+        return Err("query is empty — nothing to search".to_string());
+    }
+    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
+    let query = flags
+        .alphabet
+        .encode_str(query_text)
+        .map_err(|e| e.to_string())?;
+    let scoring = scoring_from(flags)?;
+    let min_score = MinScoreRule::from_flags(flags, &scoring)?.min_score(&db, query.len());
+    eprintln!("minScore = {min_score}");
+    let backend = SearchBackend::build(flags, db.clone(), index_path, scoring)?;
+
+    let params = OasisParams::with_min_score(min_score);
+    let limit = flags.top.unwrap_or(usize::MAX);
+    let start = std::time::Instant::now();
+    let (shown, delta) = match &backend {
+        SearchBackend::Disk(engine) => {
+            let mut session = engine.session(&query, &params);
+            let shown = print_hits(&db, session.by_ref(), limit);
+            let (_, delta) = session.finish();
+            (shown, delta)
+        }
+        SearchBackend::Sharded(engine) => {
+            let mut session = engine.session(&query, &params);
+            let shown = print_hits(&db, session.by_ref(), limit);
+            let (_, delta) = session.finish();
+            (shown, delta)
+        }
+    };
     eprintln!("{shown} hits in {:.2?}", start.elapsed());
+    report_pool(&delta);
     Ok(())
 }
 
@@ -397,14 +508,14 @@ fn search_batch(
         })
         .collect();
 
-    let engine = open_engine(flags, db.clone(), index_path, scoring)?;
+    let backend = SearchBackend::build(flags, db.clone(), index_path, scoring)?;
     eprintln!(
         "{} queries on {} thread(s)",
         jobs.len(),
-        engine.threads().min(jobs.len())
+        backend.threads().min(jobs.len())
     );
     let start = std::time::Instant::now();
-    let outcomes = engine.run_batch(&jobs);
+    let outcomes = backend.run_batch(&jobs);
     let elapsed = start.elapsed();
 
     let mut total_hits = 0usize;
@@ -438,6 +549,13 @@ fn search_batch(
         outcomes.len(),
         elapsed
     );
+    // Fold the per-query pool deltas into the batch's traffic, matching
+    // the single-query path's report.
+    let mut pool = PoolStatsSnapshot::default();
+    for outcome in &outcomes {
+        pool.merge(&outcome.pool_delta);
+    }
+    report_pool(&pool);
     Ok(())
 }
 

@@ -21,7 +21,11 @@ pub use oasis_core::{
     SearchStats, StepOutcome,
 };
 
-pub use oasis_engine::{BatchQuery, OasisEngine, QuerySession, SearchOutcome};
+pub use oasis_engine::{
+    AdmissionError, BatchQuery, LatencySummary, OasisEngine, QueryExecutor, QuerySession,
+    QueryTicket, SearchOutcome, ServedOutcome, ServingConfig, ServingEngine, ServingStats,
+    ShardedEngine, ShardedSession,
+};
 
 pub use oasis_blast::{BlastParams, BlastSearch};
 

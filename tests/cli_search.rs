@@ -1,0 +1,141 @@
+//! End-to-end CLI coverage of the serving path: `--shards` produces
+//! byte-identical output to the disk index, per-query pool accounting is
+//! reported (on the drained and the `--top` early-exit path), and
+//! degenerate inputs fail cleanly instead of panicking.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oasis-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+fn oasis(args: &[&str], dir: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_oasis"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("launch oasis CLI")
+}
+
+fn setup(tag: &str) -> PathBuf {
+    let dir = workdir(tag);
+    std::fs::write(
+        dir.join("db.fa"),
+        ">s0\nAGTACGCCTAG\n>s1\nTACCG\n>s2\nGGTAGG\n>s3\nGATTACA\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("q.fa"), ">q0\nTACG\n>q1\nGATT\n").unwrap();
+    let out = oasis(
+        &["index", "db.fa", "idx", "--dna", "--block-size", "64"],
+        &dir,
+    );
+    assert!(out.status.success(), "index failed: {out:?}");
+    dir
+}
+
+const COMMON: &[&str] = &[
+    "--dna",
+    "--matrix",
+    "unit",
+    "--gap",
+    "-1",
+    "--min-score",
+    "2",
+];
+
+fn search(dir: &PathBuf, extra: &[&str]) -> Output {
+    let mut args = vec!["search", "db.fa", "idx"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(COMMON);
+    oasis(&args, dir)
+}
+
+#[test]
+fn sharded_search_is_byte_identical_to_disk_search() {
+    let dir = setup("shards");
+    let disk = search(&dir, &["TACG"]);
+    assert!(disk.status.success(), "disk search failed: {disk:?}");
+    for shards in ["1", "2", "3"] {
+        let sharded = search(&dir, &["TACG", "--shards", shards]);
+        assert!(
+            sharded.status.success(),
+            "sharded search failed: {sharded:?}"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&disk.stdout),
+            String::from_utf8_lossy(&sharded.stdout),
+            "--shards {shards} must not change results"
+        );
+    }
+    // Batch mode too.
+    let disk = search(&dir, &["--queries", "q.fa"]);
+    let sharded = search(&dir, &["--queries", "q.fa", "--shards", "2"]);
+    assert!(disk.status.success() && sharded.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&disk.stdout),
+        String::from_utf8_lossy(&sharded.stdout)
+    );
+}
+
+#[test]
+fn pool_hit_ratio_reported_on_drained_and_top_k_paths() {
+    let dir = setup("hitratio");
+    for extra in [&["TACG"][..], &["TACG", "--top", "1"][..]] {
+        let out = search(&dir, extra);
+        assert!(out.status.success(), "search failed: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("hit ratio"),
+            "per-query pool accounting missing ({extra:?}):\n{stderr}"
+        );
+    }
+    // Batch mode reports the folded per-query deltas.
+    let out = search(&dir, &["--queries", "q.fa"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("hit ratio"), "batch accounting:\n{stderr}");
+    // `--top 1` prints exactly one hit before the early exit.
+    let top = search(&dir, &["TACG", "--top", "1"]);
+    assert_eq!(String::from_utf8_lossy(&top.stdout).lines().count(), 1);
+}
+
+#[test]
+fn degenerate_inputs_fail_cleanly() {
+    let dir = setup("degenerate");
+    let empty = search(&dir, &[""]);
+    assert!(!empty.status.success());
+    let stderr = String::from_utf8_lossy(&empty.stderr);
+    assert!(stderr.contains("query is empty"), "got: {stderr}");
+
+    let zero_shards = search(&dir, &["TACG", "--shards", "0"]);
+    assert!(!zero_shards.status.success());
+    assert!(
+        String::from_utf8_lossy(&zero_shards.stderr).contains("--shards"),
+        "got: {}",
+        String::from_utf8_lossy(&zero_shards.stderr)
+    );
+
+    let out = oasis(
+        &[
+            "search",
+            "db.fa",
+            "idx",
+            "TACG",
+            "--dna",
+            "--matrix",
+            "unit",
+            "--gap",
+            "-1",
+            "--min-score",
+            "0",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--min-score must be at least 1"),
+        "a non-positive threshold must be a clean error, not a panic"
+    );
+}

@@ -5,6 +5,11 @@
 //! disk-resident (shared buffer pool!) substrates. This extends the
 //! `oasis_equals_sw` exactness property one layer up: engine ≡ serial
 //! OASIS ≡ exhaustive Smith-Waterman.
+//!
+//! The sharded layer extends it once more: partitioning the database into
+//! K per-shard indexes and k-way-merging the per-shard online streams is
+//! byte-identical to the unsharded engine for every K, serial or
+//! threaded — sharded ≡ engine ≡ serial OASIS ≡ S-W.
 
 use std::sync::Arc;
 
@@ -138,24 +143,54 @@ proptest! {
             prop_assert_eq!(&out.hits, hits);
             prop_assert_eq!(&out.stats, stats);
         }
-        // …and (seq, score)-equal to the in-memory tree (leaf/child
-        // enumeration order may differ between substrates, so window
-        // positions of equal-scoring ties can legitimately differ).
+        // …and byte-identical to the in-memory tree: the driver's
+        // canonical (score desc, start asc) tie-break depends only on the
+        // text and the query, never on the substrate's node enumeration.
         let mem_reference = serial_reference(&mem_tree, &db, &scoring, &jobs);
         for (out, (hits, _)) in outcomes.iter().zip(&mem_reference) {
-            let mut got: Vec<(SeqId, Score)> =
-                out.hits.iter().map(|h| (h.seq, h.score)).collect();
-            got.sort_unstable();
-            let mut want: Vec<(SeqId, Score)> =
-                hits.iter().map(|h| (h.seq, h.score)).collect();
-            want.sort_unstable();
-            prop_assert_eq!(got, want);
+            prop_assert_eq!(&out.hits, hits);
         }
         // Delta sanity: per-query deltas never exceed the pool's global
         // cumulative counters (which also include open()-time meta reads).
         let global = disk.pool().stats().total();
         let attributed: u64 = outcomes.iter().map(|o| o.pool_delta.total().requests).sum();
         prop_assert!(attributed <= global.requests);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_equals_unsharded_for_every_shard_count(
+        seqs in db_strategy(),
+        queries in prop::collection::vec(prop::collection::vec(0u8..4, 1..12), 1..5),
+        min in 1i32..6,
+    ) {
+        let db = build_db(&seqs);
+        let tree = Arc::new(SuffixTree::build(&db));
+        let scoring = Scoring::unit_dna();
+        let jobs = jobs_from(&queries, min);
+        let unsharded = OasisEngine::new(tree, db.clone(), scoring.clone())
+            .with_threads(1)
+            .run_batch(&jobs);
+        for k in [1usize, 2, 3, 7] {
+            let mut engine = ShardedEngine::build(db.clone(), scoring.clone(), k);
+            for threads in [1usize, THREADS] {
+                engine = engine.with_threads(threads);
+                let sharded = engine.run_batch(&jobs);
+                prop_assert_eq!(sharded.len(), unsharded.len());
+                for ((s, u), job) in sharded.iter().zip(&unsharded).zip(&jobs) {
+                    // Byte-identical hits: every field, in the same global
+                    // online order, whatever the partitioning.
+                    prop_assert_eq!(
+                        &s.hits, &u.hits,
+                        "k={} threads={} query={}", k, threads, &job.id
+                    );
+                    prop_assert_eq!(s.stats.hits_emitted, u.stats.hits_emitted);
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,144 @@
+//! The serving front end's admission-control contract: a full queue
+//! *rejects* new work with backpressure instead of blocking the caller,
+//! admitted work is always served exactly once, and per-query latency is
+//! captured for the tail percentiles.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use oasis::prelude::*;
+
+/// A test executor whose queries block until the test releases them —
+/// making "the worker is busy and the queue is full" a deterministic
+/// state instead of a race against real search work.
+struct GateExecutor {
+    started: mpsc::Sender<String>,
+    release: Mutex<mpsc::Receiver<()>>,
+}
+
+impl QueryExecutor for GateExecutor {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        self.started.send(job.id.clone()).expect("test listening");
+        self.release
+            .lock()
+            .expect("gate poisoned")
+            .recv()
+            .expect("test releases every admitted job");
+        SearchOutcome {
+            hits: Vec::new(),
+            stats: SearchStats::default(),
+            pool_delta: PoolStatsSnapshot::default(),
+        }
+    }
+}
+
+fn job(id: &str) -> BatchQuery {
+    BatchQuery::named(id, vec![0, 1, 2], OasisParams::with_min_score(1))
+}
+
+#[test]
+fn full_admission_queue_rejects_instead_of_blocking() {
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let serving = ServingEngine::new(
+        GateExecutor {
+            started: started_tx,
+            release: Mutex::new(release_rx),
+        },
+        ServingConfig {
+            workers: 1,
+            queue_capacity: 2,
+        },
+    );
+
+    // First job is picked up by the (single) worker and parks on the gate.
+    let a = serving.try_submit(job("a")).expect("a admitted");
+    assert_eq!(started_rx.recv().expect("worker started"), "a");
+    assert!(a.try_take().is_none(), "a is still executing");
+
+    // Two more fill the bounded queue to capacity…
+    let b = serving.try_submit(job("b")).expect("b admitted");
+    let c = serving.try_submit(job("c")).expect("c admitted");
+    assert_eq!(serving.queue_depth(), 2);
+
+    // …and the next submission is rejected immediately — no blocking.
+    let err = serving.try_submit(job("d")).unwrap_err();
+    assert_eq!(err, AdmissionError::QueueFull { capacity: 2 });
+    assert_eq!(serving.stats().rejected, 1);
+
+    // Release the gate: every admitted job completes exactly once.
+    for _ in 0..3 {
+        release_tx.send(()).expect("worker listening");
+    }
+    let mut ids: Vec<String> = [a, b, c]
+        .into_iter()
+        .map(|t| t.wait().expect("admitted work is served").id)
+        .collect();
+    ids.sort();
+    assert_eq!(ids, ["a", "b", "c"]);
+    let stats = serving.stats();
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.rejected, 1);
+    let latency = serving.latency_summary();
+    assert_eq!(latency.count, 3);
+    assert!(latency.max >= latency.p50);
+}
+
+#[test]
+fn serving_real_engine_matches_direct_execution() {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    for (i, s) in ["AGTACGCCTAG", "TACCG", "GGTAGG", "GATTACA"]
+        .iter()
+        .enumerate()
+    {
+        b.push_str(format!("s{i}"), s).unwrap();
+    }
+    let db = Arc::new(b.finish());
+    let tree = Arc::new(SuffixTree::build(&db));
+    let engine = OasisEngine::new(tree.clone(), db.clone(), Scoring::unit_dna());
+    let serving = ServingEngine::new(
+        OasisEngine::new(tree, db.clone(), Scoring::unit_dna()),
+        ServingConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+    );
+    let alpha = Alphabet::dna();
+    let jobs: Vec<BatchQuery> = ["TACG", "GATT", "GGTAGG"]
+        .iter()
+        .map(|t| {
+            BatchQuery::named(
+                t.to_string(),
+                alpha.encode_str(t).unwrap(),
+                OasisParams::with_min_score(2),
+            )
+        })
+        .collect();
+    let tickets: Vec<QueryTicket> = jobs
+        .iter()
+        .map(|j| serving.try_submit(j.clone()).expect("capacity is ample"))
+        .collect();
+    for (ticket, job) in tickets.into_iter().zip(&jobs) {
+        let served = ticket.wait().expect("served");
+        let direct = engine.run_batch(std::slice::from_ref(job));
+        assert_eq!(served.outcome.hits, direct[0].hits, "query {}", job.id);
+        assert!(served.total >= served.service);
+    }
+    // The sharded engine serves through the same front end.
+    let sharded = ServingEngine::new(
+        ShardedEngine::build(db, Scoring::unit_dna(), 3),
+        ServingConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+    );
+    for job in &jobs {
+        let served = sharded
+            .try_submit(job.clone())
+            .expect("capacity is ample")
+            .wait()
+            .expect("served");
+        let direct = engine.run_batch(std::slice::from_ref(job));
+        assert_eq!(served.outcome.hits, direct[0].hits, "sharded {}", job.id);
+    }
+}
