@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use oasis_bench::{banner, fmt_duration, print_table, Scale, Testbed};
+use oasis_bench::{banner, fmt_duration, fmt_ratio, print_table, Scale, Testbed};
 use oasis_core::OasisParams;
 use oasis_engine::OasisEngine;
 use oasis_storage::{
@@ -48,9 +48,9 @@ fn main() {
             format!("{:.2}", stats.total_bytes as f64 / 1e6),
             format!("{:.2}", pool_bytes as f64 / 1e6),
             fmt_duration((cpu + io) / tb.queries.len() as u32),
-            format!("{:.3}", s.region(Region::Internal).hit_ratio()),
-            format!("{:.3}", s.region(Region::Symbols).hit_ratio()),
-            format!("{:.3}", s.region(Region::Leaves).hit_ratio()),
+            fmt_ratio(s.region(Region::Internal).hit_ratio()),
+            fmt_ratio(s.region(Region::Symbols).hit_ratio()),
+            fmt_ratio(s.region(Region::Leaves).hit_ratio()),
         ]);
     }
     print_table(

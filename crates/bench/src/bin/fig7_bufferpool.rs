@@ -6,7 +6,7 @@
 //! pool fractions of our (smaller) index with the same disk modelled per
 //! miss (see `SimulatedDisk::fujitsu_2003`), so time = CPU + modelled I/O.
 
-use oasis_bench::{banner, fmt_duration, print_table, Scale, Testbed};
+use oasis_bench::{banner, fmt_duration, fmt_ratio, print_table, Scale, Testbed};
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,7 +29,7 @@ fn main() {
             fmt_duration(run.mean_query_time()),
             fmt_duration(run.cpu / run.queries as u32),
             fmt_duration(run.io / run.queries as u32),
-            format!("{:.3}", run.pool_stats.total().hit_ratio()),
+            fmt_ratio(run.pool_stats.total().hit_ratio()),
         ]);
     }
     print_table(

@@ -6,7 +6,7 @@
 //! problems with smaller allocation"; symbol and leaf accesses are
 //! random-like because they are ordered by the original sequence.
 
-use oasis_bench::{banner, print_table, Scale, Testbed};
+use oasis_bench::{banner, fmt_ratio, print_table, Scale, Testbed};
 use oasis_storage::Region;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         let run = tb.disk_run(&image, pool_bytes, 20_000.0);
         let r = |region| {
             let s = run.pool_stats.region(region);
-            format!("{:.3} ({})", s.hit_ratio(), s.requests)
+            format!("{} ({})", fmt_ratio(s.hit_ratio()), s.requests)
         };
         rows.push(vec![
             format!("{:.2}", pool_bytes as f64 / 1e6),

@@ -347,6 +347,12 @@ pub fn mean_duration(samples: &[Duration]) -> Duration {
     total / samples.len() as u32
 }
 
+/// Render an optional buffer-pool hit ratio for tables: three decimals,
+/// or `n/a` when no requests were made.
+pub fn fmt_ratio(ratio: Option<f64>) -> String {
+    ratio.map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}"))
+}
+
 /// Format a duration in adaptive units.
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();

@@ -51,8 +51,17 @@ fn engine_throughput_runs_on_tiny() {
         "engine_throughput skipped its equivalence assertion:\n{stdout}"
     );
     // Tail-latency reporting must not silently rot: the serving section
-    // has to publish all three percentiles and the shard sweep.
-    for needle in ["p50", "p95", "p99", "shards", "rejected"] {
+    // has to publish all three percentiles, the shard sweep, and the
+    // index-lifecycle startup comparison (cold build vs artifact load).
+    for needle in [
+        "p50",
+        "p95",
+        "p99",
+        "shards",
+        "rejected",
+        "cold build",
+        "artifact load",
+    ] {
         assert!(
             stdout.contains(needle),
             "engine_throughput output lost its {needle} column:\n{stdout}"

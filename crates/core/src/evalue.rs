@@ -85,7 +85,17 @@ impl<'a, T: SuffixTreeAccess + ?Sized> EvalueOrderedSearch<'a, T> {
         let seq_lens: Vec<u64> = (0..db.num_sequences())
             .map(|i| db.seq_len(i).max(1) as u64)
             .collect();
-        let min_seq_len = seq_lens.iter().copied().min().unwrap_or(1);
+        // The optimistic bound asks "how small could a future hit's
+        // adjusted E-value be?" — so it must use the shortest sequence a
+        // hit could actually land in. Empty sequences can never contain a
+        // hit, and letting one drag this length toward 1 collapses the
+        // bound to ~0, holding every accepted hit until the search is
+        // exhausted: online emission silently degrades to batch.
+        let min_seq_len = (0..db.num_sequences())
+            .map(|i| db.seq_len(i) as u64)
+            .filter(|&len| len > 0)
+            .min()
+            .unwrap_or(1);
         EvalueOrderedSearch {
             inner,
             karlin,
@@ -105,6 +115,14 @@ impl<'a, T: SuffixTreeAccess + ?Sized> EvalueOrderedSearch<'a, T> {
         self.inner
             .score_bound()
             .map(|s| self.karlin.evalue(self.query_len, self.min_seq_len, s))
+    }
+
+    /// Upper bound on the score of any hit the underlying search can still
+    /// produce, or `None` once it is exhausted. Lets callers observe that
+    /// emission is genuinely online (hits released while the search still
+    /// has work left), not a drain-then-sort.
+    pub fn score_bound(&self) -> Option<oasis_align::Score> {
+        self.inner.score_bound()
     }
 }
 
@@ -220,6 +238,41 @@ mod tests {
         let mut offline = online.clone();
         offline.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn empty_sequence_does_not_stall_online_emission() {
+        // Regression: an empty database sequence used to drag the
+        // optimistic length adjustment down to ~1 residue, collapsing the
+        // Karlin bound so far below any real hit's adjusted E-value that
+        // held hits were only released once the search was exhausted —
+        // online emission silently degraded to batch.
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        b.push_str("exact", "TACG").unwrap();
+        b.push_str("empty", "").unwrap();
+        b.push_str("padded_a", "AATACGAA").unwrap();
+        b.push_str("padded_g", "GGTACGGG").unwrap();
+        let database = b.finish();
+
+        let tree = SuffixTree::build(&database);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let params = OasisParams::with_min_score(1);
+        let inner = OasisSearch::new(&tree, &database, &query, &scoring, &params);
+        let mut search = EvalueOrderedSearch::new(inner, &database, query.len(), karlin());
+
+        let first = search.next().expect("hits exist");
+        assert_eq!(database.name(first.hit.seq), "exact");
+        // Online: the first hit must be released while the underlying
+        // search still has score-3 work ahead — not held to exhaustion.
+        let bound = search.score_bound().expect("search not exhausted");
+        assert!(bound >= 3, "first hit released only at bound {bound}");
+
+        // And the full stream is still a correct E-value ordering.
+        let mut all = vec![first];
+        all.extend(&mut search);
+        assert_eq!(all.len(), 3, "one hit per non-empty sequence");
+        assert!(all.windows(2).all(|w| w[0].evalue <= w[1].evalue));
     }
 
     #[test]

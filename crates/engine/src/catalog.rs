@@ -1,0 +1,276 @@
+//! Generation tracking and atomic hot-swap of index generations.
+//!
+//! A production search service cannot stop the world to pick up a freshly
+//! built (or freshly loaded) index. [`IndexCatalog`] makes the executor
+//! behind a running [`crate::ServingEngine`] *replaceable*: it holds the
+//! current generation behind an `RwLock<Arc<_>>`, and every query snapshots
+//! the `Arc` once at admission-to-execution time. [`IndexCatalog::publish`]
+//! swaps the pointer — an O(1) critical section that never waits for
+//! queries — so:
+//!
+//! * queries already executing finish on the generation they started with
+//!   (their `Arc` keeps it alive);
+//! * every query that starts after the swap sees the new generation;
+//! * the old generation is dropped exactly when its last in-flight query
+//!   completes (the catalog itself keeps only a [`Weak`] to retired
+//!   generations, observable through
+//!   [`retired_in_flight`](IndexCatalog::retired_in_flight)).
+//!
+//! The catalog is itself a [`QueryExecutor`], so it slots directly between
+//! a [`crate::ServingEngine`] and whatever executor each generation wraps
+//! (a [`crate::ShardedEngine`], a single-index [`crate::OasisEngine`], or a
+//! test double):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use oasis_align::Scoring;
+//! use oasis_bioseq::{Alphabet, DatabaseBuilder};
+//! use oasis_core::OasisParams;
+//! use oasis_engine::{BatchQuery, IndexCatalog, ServingConfig, ServingEngine, ShardedEngine};
+//!
+//! let mut b = DatabaseBuilder::new(Alphabet::dna());
+//! b.push_str("s0", "AGTACGCCTAG").unwrap();
+//! let db = Arc::new(b.finish());
+//! let gen0 = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 2);
+//! let serving = ServingEngine::new(
+//!     IndexCatalog::new("boot", gen0),
+//!     ServingConfig { workers: 2, queue_capacity: 8 },
+//! )
+//! .unwrap();
+//!
+//! // … later, without stopping admission: build (or load) a new
+//! // generation and swap it in. In-flight queries drain on the old one.
+//! let gen1 = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 4);
+//! serving.executor().publish("rebuilt with 4 shards", gen1);
+//! assert_eq!(serving.executor().current_info().id, 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, Weak};
+
+use crate::serving::QueryExecutor;
+use crate::{BatchQuery, SearchOutcome};
+
+/// One catalogued index generation.
+struct Generation<E> {
+    id: u64,
+    label: String,
+    executor: E,
+}
+
+/// Identity of a generation: its monotonically increasing id and the label
+/// it was published under (a human-readable provenance note, e.g.
+/// `"loaded from ./index-v2"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationInfo {
+    /// Monotonic generation number (0 is the generation the catalog was
+    /// created with).
+    pub id: u64,
+    /// The label supplied at publication.
+    pub label: String,
+}
+
+/// An atomically swappable registry of index generations (see the module
+/// docs for the hot-swap semantics).
+pub struct IndexCatalog<E> {
+    current: RwLock<Arc<Generation<E>>>,
+    next_id: AtomicU64,
+    /// Retired generations, weakly held: an entry upgrades only while some
+    /// in-flight query still owns the generation.
+    retired: RwLock<Vec<(GenerationInfo, Weak<Generation<E>>)>>,
+}
+
+impl<E> IndexCatalog<E> {
+    /// A catalog whose generation 0 is `executor`.
+    pub fn new(label: impl Into<String>, executor: E) -> Self {
+        IndexCatalog {
+            current: RwLock::new(Arc::new(Generation {
+                id: 0,
+                label: label.into(),
+                executor,
+            })),
+            next_id: AtomicU64::new(1),
+            retired: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Atomically make `executor` the serving generation. Queries already
+    /// running keep the generation they started on; every later query runs
+    /// on the new one. Returns the new generation's id.
+    pub fn publish(&self, label: impl Into<String>, executor: E) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(Generation {
+            id,
+            label: label.into(),
+            executor,
+        });
+        let old = {
+            let mut current = self.current.write().expect("catalog poisoned");
+            std::mem::replace(&mut *current, fresh)
+        };
+        let mut retired = self.retired.write().expect("catalog poisoned");
+        retired.push((
+            GenerationInfo {
+                id: old.id,
+                label: old.label.clone(),
+            },
+            Arc::downgrade(&old),
+        ));
+        // Drop dead bookkeeping eagerly so a long-lived catalog stays flat.
+        retired.retain(|(_, weak)| weak.strong_count() > 0);
+        id
+    }
+
+    /// Snapshot the current generation (cheap: one `Arc` clone under a
+    /// read lock). The caller's clone keeps the generation alive for as
+    /// long as it runs, independent of later publishes.
+    fn snapshot(&self) -> Arc<Generation<E>> {
+        self.current.read().expect("catalog poisoned").clone()
+    }
+
+    /// Identity of the generation new queries will run on.
+    pub fn current_info(&self) -> GenerationInfo {
+        let current = self.snapshot();
+        GenerationInfo {
+            id: current.id,
+            label: current.label.clone(),
+        }
+    }
+
+    /// Run `f` against the current generation's executor (the generation
+    /// stays pinned for the duration of the call).
+    pub fn with_current<R>(&self, f: impl FnOnce(&E) -> R) -> R {
+        let current = self.snapshot();
+        f(&current.executor)
+    }
+
+    /// Retired generations still pinned by in-flight queries. Empty once
+    /// every query admitted before the last publish has completed — the
+    /// observable guarantee that old generations are dropped, not leaked.
+    pub fn retired_in_flight(&self) -> Vec<GenerationInfo> {
+        let mut retired = self.retired.write().expect("catalog poisoned");
+        retired.retain(|(_, weak)| weak.strong_count() > 0);
+        retired.iter().map(|(info, _)| info.clone()).collect()
+    }
+
+    /// Total generations ever published (including generation 0).
+    pub fn generations_published(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: QueryExecutor> QueryExecutor for IndexCatalog<E> {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        // Snapshot once, then run without holding any catalog lock: a
+        // publish during execution must neither block nor be blocked.
+        let generation = self.snapshot();
+        generation.executor.execute(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_core::SearchStats;
+    use oasis_storage::PoolStatsSnapshot;
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// An executor that tags outcomes with its generation marker via the
+    /// `max_queue` stat (any observable channel works).
+    struct Marker(u64);
+
+    impl QueryExecutor for Marker {
+        fn execute(&self, _job: &BatchQuery) -> SearchOutcome {
+            SearchOutcome {
+                hits: Vec::new(),
+                stats: SearchStats {
+                    max_queue: self.0 as usize,
+                    ..SearchStats::default()
+                },
+                pool_delta: PoolStatsSnapshot::default(),
+            }
+        }
+    }
+
+    fn job() -> BatchQuery {
+        BatchQuery::new(vec![0], oasis_core::OasisParams::with_min_score(1))
+    }
+
+    #[test]
+    fn publish_switches_new_queries() {
+        let catalog = IndexCatalog::new("gen0", Marker(7));
+        assert_eq!(catalog.execute(&job()).stats.max_queue, 7);
+        assert_eq!(catalog.current_info().id, 0);
+        assert_eq!(catalog.current_info().label, "gen0");
+        let id = catalog.publish("gen1", Marker(9));
+        assert_eq!(id, 1);
+        assert_eq!(catalog.execute(&job()).stats.max_queue, 9);
+        assert_eq!(catalog.generations_published(), 2);
+        assert_eq!(catalog.with_current(|m| m.0), 9);
+    }
+
+    #[test]
+    fn retired_generation_lives_until_last_query_completes() {
+        struct Gate {
+            started: mpsc::Sender<()>,
+            release: Mutex<mpsc::Receiver<()>>,
+        }
+        impl QueryExecutor for Gate {
+            fn execute(&self, _job: &BatchQuery) -> SearchOutcome {
+                self.started.send(()).unwrap();
+                self.release.lock().unwrap().recv().unwrap();
+                SearchOutcome {
+                    hits: Vec::new(),
+                    stats: SearchStats::default(),
+                    pool_delta: PoolStatsSnapshot::default(),
+                }
+            }
+        }
+        enum Either {
+            Gated(Gate),
+            Instant,
+        }
+        impl QueryExecutor for Either {
+            fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+                match self {
+                    Either::Gated(g) => g.execute(job),
+                    Either::Instant => SearchOutcome {
+                        hits: Vec::new(),
+                        stats: SearchStats::default(),
+                        pool_delta: PoolStatsSnapshot::default(),
+                    },
+                }
+            }
+        }
+
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let catalog = Arc::new(IndexCatalog::new(
+            "gated",
+            Either::Gated(Gate {
+                started: started_tx,
+                release: Mutex::new(release_rx),
+            }),
+        ));
+        // A query starts on generation 0 and parks inside it.
+        let worker = {
+            let catalog = catalog.clone();
+            std::thread::spawn(move || catalog.execute(&job()))
+        };
+        started_rx.recv().unwrap();
+        // Swap generations while the query is in flight.
+        catalog.publish("instant", Either::Instant);
+        // New queries run (on the new generation) without blocking…
+        catalog.execute(&job());
+        // …while the old generation is still pinned by the parked query.
+        let pinned = catalog.retired_in_flight();
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(pinned[0].id, 0);
+        assert_eq!(pinned[0].label, "gated");
+        // Release it: the old generation must drop with the last query.
+        release_tx.send(()).unwrap();
+        worker.join().unwrap();
+        assert!(catalog.retired_in_flight().is_empty());
+    }
+}

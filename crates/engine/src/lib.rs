@@ -35,6 +35,14 @@
 //!   queue over any [`QueryExecutor`], completion through ticket handles,
 //!   and per-query latency capture for tail-latency reporting.
 //!
+//! The index itself has a lifecycle: [`persist`] writes a built index to a
+//! checksummed on-disk artifact and reconstitutes ready engines from it
+//! (so restarts load instead of rebuild), and [`IndexCatalog`] hot-swaps a
+//! freshly built or loaded generation into a live [`ServingEngine`] —
+//! in-flight queries drain on the old generation, new admissions see the
+//! new one, and the old generation is dropped when its last query
+//! completes.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use oasis_align::Scoring;
@@ -70,12 +78,19 @@ use oasis_core::{Hit, OasisParams, OasisSearch, SearchDriver, SearchStats};
 use oasis_storage::{PoolDeltaScope, PoolStatsSnapshot};
 use oasis_suffix::SuffixTreeAccess;
 
+mod catalog;
+pub mod persist;
 mod serving;
 mod shard;
 
+pub use catalog::{GenerationInfo, IndexCatalog};
+pub use persist::{
+    build_index_artifact, disk_engine_from_artifact, load_sharded_engine, persist_sharded_engine,
+    sharded_engine_from_artifact,
+};
 pub use serving::{
     AdmissionError, LatencySummary, QueryExecutor, QueryTicket, ServedOutcome, ServingConfig,
-    ServingEngine, ServingStats,
+    ServingConfigError, ServingEngine, ServingStats,
 };
 pub use shard::{ShardedEngine, ShardedSession};
 

@@ -67,6 +67,46 @@ impl Default for ServingConfig {
     }
 }
 
+impl ServingConfig {
+    /// Reject degenerate configurations: zero workers would strand every
+    /// admitted query, zero capacity would reject every submission — an
+    /// engine that can never admit or serve anything deserves an error at
+    /// construction, not silence at runtime.
+    pub fn validate(&self) -> Result<(), ServingConfigError> {
+        if self.workers == 0 {
+            return Err(ServingConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServingConfigError::ZeroQueueCapacity);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`ServingConfig`] was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingConfigError {
+    /// `workers == 0`: admitted queries would wait forever.
+    ZeroWorkers,
+    /// `queue_capacity == 0`: every submission would be rejected.
+    ZeroQueueCapacity,
+}
+
+impl std::fmt::Display for ServingConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingConfigError::ZeroWorkers => {
+                write!(f, "serving config: workers must be at least 1")
+            }
+            ServingConfigError::ZeroQueueCapacity => {
+                write!(f, "serving config: queue_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingConfigError {}
+
 /// Why a submission was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionError {
@@ -234,25 +274,28 @@ pub struct ServingEngine<E: QueryExecutor + 'static> {
 }
 
 impl<E: QueryExecutor + 'static> ServingEngine<E> {
-    /// Spin up the worker pool over `executor`.
-    pub fn new(executor: E, config: ServingConfig) -> Self {
+    /// Spin up the worker pool over `executor`. A degenerate `config`
+    /// (zero workers or zero queue capacity) is rejected with a clear
+    /// error instead of yielding an engine that can never serve.
+    pub fn new(executor: E, config: ServingConfig) -> Result<Self, ServingConfigError> {
+        config.validate()?;
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
-            capacity: config.queue_capacity.max(1),
+            capacity: config.queue_capacity,
             shutdown: AtomicBool::new(false),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
             executor,
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers)
             .map(|_| {
                 let shared = shared.clone();
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        ServingEngine { shared, workers }
+        Ok(ServingEngine { shared, workers })
     }
 
     /// Submit a query without blocking: admitted work returns a
@@ -443,7 +486,8 @@ mod tests {
                 workers: 2,
                 queue_capacity: 8,
             },
-        );
+        )
+        .expect("valid serving config");
         let alpha = Alphabet::dna();
         let tickets: Vec<QueryTicket> = ["TACG", "GGTA", "CC"]
             .iter()
@@ -460,6 +504,35 @@ mod tests {
         let summary = serving.latency_summary();
         assert_eq!(summary.count, 3);
         assert!(summary.max >= summary.p50);
+    }
+
+    #[test]
+    fn degenerate_config_rejected_at_construction() {
+        let db = dna_db(&["ACGT"]);
+        for (config, want) in [
+            (
+                ServingConfig {
+                    workers: 0,
+                    queue_capacity: 4,
+                },
+                ServingConfigError::ZeroWorkers,
+            ),
+            (
+                ServingConfig {
+                    workers: 2,
+                    queue_capacity: 0,
+                },
+                ServingConfigError::ZeroQueueCapacity,
+            ),
+        ] {
+            assert_eq!(config.validate(), Err(want));
+            let err = ServingEngine::new(engine(&db), config)
+                .err()
+                .expect("rejected");
+            assert_eq!(err, want);
+            assert!(err.to_string().contains("at least 1"), "{err}");
+        }
+        assert!(ServingConfig::default().validate().is_ok());
     }
 
     #[test]
@@ -501,7 +574,8 @@ mod tests {
                 workers: 1,
                 queue_capacity: 4,
             },
-        );
+        )
+        .expect("valid serving config");
         let params = OasisParams::with_min_score(1);
         let bad = serving
             .try_submit(BatchQuery::named("boom", vec![0], params))
@@ -540,7 +614,8 @@ mod tests {
                 workers: 1,
                 queue_capacity: 4,
             },
-        );
+        )
+        .expect("valid serving config");
         let admitted = serving.try_submit(job(&alpha, "TACG")).expect("admitted");
         serving.shutdown();
         // Admission closed…
@@ -565,7 +640,8 @@ mod tests {
                     workers: 1,
                     queue_capacity: 4,
                 },
-            );
+            )
+            .expect("valid serving config");
             ticket = serving.try_submit(job(&alpha, "TACG")).expect("admitted");
             // `serving` drops here: shutdown must still serve the query.
         }

@@ -39,13 +39,65 @@ use crate::{run_pooled, BatchQuery, SearchOutcome};
 /// One partition: a contiguous run of database sequences with its own
 /// index, plus the offsets that map shard-local results back to global
 /// coordinates.
-struct Shard {
-    db: SequenceDatabase,
-    tree: SuffixTree,
+pub(crate) struct Shard {
+    pub(crate) db: SequenceDatabase,
+    pub(crate) tree: SuffixTree,
     /// Global id of the shard's first sequence.
-    seq_offset: SeqId,
+    pub(crate) seq_offset: SeqId,
     /// Global text position of the shard's first symbol.
-    text_offset: u32,
+    pub(crate) text_offset: u32,
+}
+
+impl Shard {
+    /// A shard over the contiguous global sequence range `lo..=hi`:
+    /// rebuild the range as a standalone database and index it. Used by
+    /// the cold-build path (below) and by the artifact loader in
+    /// [`crate::persist`], which pairs pre-decoded trees with the same
+    /// shard databases.
+    pub(crate) fn database_for(
+        source: &SequenceDatabase,
+        lo: usize,
+        hi: usize,
+    ) -> SequenceDatabase {
+        let mut b = DatabaseBuilderFor::new(source);
+        for id in lo..=hi {
+            b.push(id as SeqId);
+        }
+        b.finish()
+    }
+
+    /// Partition `db` into at most `max_shards` balanced shards (by
+    /// residue count, whole sequences only) and index each one — shards
+    /// are independent, so they are built concurrently and startup is
+    /// bounded by the slowest single shard, not the sum.
+    pub(crate) fn build_all(db: &SequenceDatabase, max_shards: usize) -> Vec<Shard> {
+        let weights: Vec<usize> = (0..db.num_sequences())
+            // Terminators count too, so weights sum to the text length and
+            // empty sequences still carry weight.
+            .map(|id| db.seq_len(id) as usize + 1)
+            .collect();
+        let ranges = balanced_ranges(&weights, max_shards.max(1));
+        let build_one = |&(lo, hi): &(usize, usize)| {
+            let shard_db = Shard::database_for(db, lo, hi);
+            let tree = SuffixTree::build(&shard_db);
+            Shard {
+                db: shard_db,
+                tree,
+                seq_offset: lo as SeqId,
+                text_offset: db.seq_start(lo as SeqId),
+            }
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| scope.spawn(move || build_one(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build panicked"))
+                .collect()
+        })
+    }
 }
 
 /// The sharded, fan-out/merge OASIS engine.
@@ -73,36 +125,17 @@ impl ShardedEngine {
     /// by the slowest single shard, not the sum. Fewer shards may result
     /// when the database has fewer sequences than requested.
     pub fn build(db: Arc<SequenceDatabase>, scoring: Scoring, shards: usize) -> Self {
-        let weights: Vec<usize> = (0..db.num_sequences())
-            // Terminators count too, so weights sum to the text length and
-            // empty sequences still carry weight.
-            .map(|id| db.seq_len(id) as usize + 1)
-            .collect();
-        let ranges = balanced_ranges(&weights, shards.max(1));
-        let build_one = |&(lo, hi): &(usize, usize)| {
-            let mut b = DatabaseBuilderFor::new(&db);
-            for id in lo..=hi {
-                b.push(id as SeqId);
-            }
-            let shard_db = b.finish();
-            let tree = SuffixTree::build(&shard_db);
-            Shard {
-                db: shard_db,
-                tree,
-                seq_offset: lo as SeqId,
-                text_offset: db.seq_start(lo as SeqId),
-            }
-        };
-        let shards = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|range| scope.spawn(move || build_one(range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard build panicked"))
-                .collect()
-        });
+        let shards = Shard::build_all(&db, shards);
+        Self::from_shards(db, scoring, shards)
+    }
+
+    /// Assemble an engine from already-built shards (the cold-build path
+    /// above, or pre-decoded trees loaded from an index artifact).
+    pub(crate) fn from_shards(
+        db: Arc<SequenceDatabase>,
+        scoring: Scoring,
+        shards: Vec<Shard>,
+    ) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -130,6 +163,11 @@ impl ShardedEngine {
     /// Number of shards actually built.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The shard list (for the artifact writer in [`crate::persist`]).
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
     }
 
     /// The global (unsharded) database.
@@ -204,7 +242,7 @@ impl ShardedEngine {
 /// over the global text — valid because every shard is a contiguous text
 /// slice — would eliminate the copy, but needs view support in
 /// `oasis-bioseq`/`SuffixTree::build`; revisit if databases outgrow RAM.
-struct DatabaseBuilderFor<'a> {
+pub(crate) struct DatabaseBuilderFor<'a> {
     source: &'a SequenceDatabase,
     builder: oasis_bioseq::DatabaseBuilder,
 }

@@ -1,0 +1,855 @@
+//! Persistent index artifacts: the on-disk lifecycle format.
+//!
+//! The paper's premise is a *disk-resident* index, yet a process that
+//! rebuilds every suffix tree from the raw text at startup pays cold-start
+//! cost proportional to the database — the opposite of the design. An
+//! **index artifact** is a directory that captures everything a server
+//! needs to come up ready to serve:
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST                       versioned header + shard table + checksums
+//!   db-<checksum>.oasisdb          the sequence database (oasis-bioseq binary)
+//!   shard-0000-<checksum>.oasis    one §3.4 disk-tree image per shard
+//!   shard-0001-<checksum>.oasis    …
+//! ```
+//!
+//! Every section (database and each shard image) carries an FNV-1a 64-bit
+//! checksum in the manifest, and the manifest itself ends with a checksum
+//! of its own bytes — a flipped bit anywhere surfaces as a clean
+//! [`ArtifactError::ChecksumMismatch`] instead of garbage hits. The shard
+//! table records each shard's inclusive global sequence range, which is all
+//! the loader needs to reconstitute shard-local databases and remap hits.
+//!
+//! ## Crash safety
+//!
+//! Every file is written to a hidden temp name in the target directory,
+//! fsync'd, then atomically renamed into place; the manifest is written
+//! **last**. Section file names are *content-addressed* (suffixed with the
+//! section's checksum), so rebuilding into a directory that already holds
+//! an artifact never overwrites a section the current manifest references
+//! — the manifest rename is the atomic cutover between generations. A
+//! crash mid-write therefore leaves the previous artifact fully loadable
+//! (old manifest, old sections, plus some orphaned new sections) or, on a
+//! first write, a directory without a readable manifest — never a
+//! manifest describing half-written or foreign sections. Once the new
+//! manifest is durable, sections no earlier generation can need are
+//! garbage-collected best-effort. Loaders trust only what the manifest
+//! names and checksums.
+//!
+//! ## Loading
+//!
+//! [`read_manifest`] + [`IndexManifest::load_database`] +
+//! [`decode_tree`] reconstitute in-memory [`SuffixTree`]s (through
+//! `oasis-suffix`'s validated [`TreeAssembler`]); alternatively a
+//! single-shard image can be opened *disk-resident* with
+//! [`crate::DiskSuffixTree`] over a [`crate::FileDevice`] and served
+//! through the buffer pool without ever materializing the tree in memory.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use oasis_bioseq::SequenceDatabase;
+use oasis_suffix::{NodeHandle, SuffixTree, TreeAssembler};
+
+use crate::layout::{
+    DiskTreeBuilder, HEADER_LEN, INTERNAL_REC, LAST_SIBLING, MAGIC as TREE_MAGIC, NONE,
+};
+
+/// Magic bytes opening the manifest file.
+const MANIFEST_MAGIC: &[u8; 8] = b"OASISMF1";
+/// Current artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+/// File name of the manifest inside an artifact directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// FNV-1a 64-bit checksum — the integrity check on every artifact section.
+/// Not cryptographic; it detects corruption (bit rot, truncation, torn
+/// writes), which is all the lifecycle needs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Why an artifact could not be written or loaded.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The manifest's magic bytes did not match.
+    NotAnArtifact,
+    /// The manifest declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A section's bytes do not match the checksum the manifest recorded.
+    ChecksumMismatch {
+        /// The file whose contents are corrupt.
+        file: String,
+    },
+    /// Structural inconsistency (bad counts, ranges, or decode failures).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            ArtifactError::NotAnArtifact => write!(f, "not an OASIS index artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported artifact version {v} (this build reads {ARTIFACT_VERSION})"
+                )
+            }
+            ArtifactError::ChecksumMismatch { file } => {
+                write!(f, "checksum mismatch in {file} — artifact is corrupt")
+            }
+            ArtifactError::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// One checksummed file of the artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionMeta {
+    /// File name inside the artifact directory.
+    pub file: String,
+    /// Exact byte length.
+    pub bytes: u64,
+    /// FNV-1a 64 checksum of the file's contents.
+    pub checksum: u64,
+}
+
+/// One shard's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// First global sequence id in the shard (inclusive).
+    pub seq_lo: u32,
+    /// Last global sequence id in the shard (inclusive).
+    pub seq_hi: u32,
+    /// The shard's serialized tree image.
+    pub section: SectionMeta,
+}
+
+/// The artifact's table of contents: versioned header, database section,
+/// and the shard table with boundary metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexManifest {
+    /// Format version ([`ARTIFACT_VERSION`]).
+    pub version: u32,
+    /// Block size the shard images were serialized with.
+    pub block_size: u32,
+    /// Number of sequences in the database.
+    pub num_seqs: u32,
+    /// Total text length (residues + terminators) of the database.
+    pub text_len: u32,
+    /// The database section.
+    pub database: SectionMeta,
+    /// Per-shard tree images with their global sequence ranges, in order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl IndexManifest {
+    /// Sum of all section byte lengths (manifest excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.database.bytes + self.shards.iter().map(|s| s.section.bytes).sum::<u64>()
+    }
+
+    /// Load and checksum-verify the database section.
+    pub fn load_database(&self, dir: &Path) -> Result<SequenceDatabase, ArtifactError> {
+        let bytes = load_section(dir, &self.database)?;
+        let db = oasis_bioseq::read_database(&bytes[..])
+            .map_err(|e| ArtifactError::Corrupt(format!("database section: {e}")))?;
+        if db.num_sequences() != self.num_seqs || db.text_len() != self.text_len {
+            return Err(ArtifactError::Corrupt(
+                "database does not match the manifest's geometry".to_string(),
+            ));
+        }
+        Ok(db)
+    }
+
+    /// Load, checksum-verify, and decode shard `i`'s tree into memory.
+    pub fn load_shard_tree(&self, dir: &Path, i: usize) -> Result<SuffixTree, ArtifactError> {
+        let image = load_section(dir, &self.shards[i].section)?;
+        decode_tree(&image)
+    }
+
+    /// Path of shard `i`'s image file (for opening it disk-resident).
+    pub fn shard_path(&self, dir: &Path, i: usize) -> PathBuf {
+        dir.join(&self.shards[i].section.file)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.block_size.to_le_bytes());
+        out.extend_from_slice(&self.num_seqs.to_le_bytes());
+        out.extend_from_slice(&self.text_len.to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        let push_section = |out: &mut Vec<u8>, s: &SectionMeta| {
+            out.extend_from_slice(&(s.file.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.file.as_bytes());
+            out.extend_from_slice(&s.bytes.to_le_bytes());
+            out.extend_from_slice(&s.checksum.to_le_bytes());
+        };
+        push_section(&mut out, &self.database);
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.seq_lo.to_le_bytes());
+            out.extend_from_slice(&shard.seq_hi.to_le_bytes());
+            push_section(&mut out, &shard.section);
+        }
+        let trailer = fnv1a64(&out);
+        out.extend_from_slice(&trailer.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let corrupt = |what: &str| ArtifactError::Corrupt(format!("manifest: {what}"));
+        if bytes.len() < 8 || &bytes[..8] != MANIFEST_MAGIC {
+            return Err(ArtifactError::NotAnArtifact);
+        }
+        if bytes.len() < 8 + 8 {
+            return Err(corrupt("truncated"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let declared = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if fnv1a64(body) != declared {
+            return Err(ArtifactError::ChecksumMismatch {
+                file: MANIFEST_FILE.to_string(),
+            });
+        }
+        let mut cur = Cursor { body, at: 8 };
+        let version = cur.u32()?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let block_size = cur.u32()?;
+        let num_seqs = cur.u32()?;
+        let text_len = cur.u32()?;
+        let num_shards = cur.u32()?;
+        let database = cur.section()?;
+        let mut shards = Vec::with_capacity(num_shards as usize);
+        for _ in 0..num_shards {
+            let seq_lo = cur.u32()?;
+            let seq_hi = cur.u32()?;
+            let section = cur.section()?;
+            shards.push(ShardMeta {
+                seq_lo,
+                seq_hi,
+                section,
+            });
+        }
+        if cur.at != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(IndexManifest {
+            version,
+            block_size,
+            num_seqs,
+            text_len,
+            database,
+            shards,
+        })
+    }
+}
+
+/// Sequential reader over the manifest body with bounds-checked takes.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.body.len())
+            .ok_or_else(|| ArtifactError::Corrupt("manifest: truncated".to_string()))?;
+        let slice = &self.body[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn section(&mut self) -> Result<SectionMeta, ArtifactError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")) as usize;
+        let file = std::str::from_utf8(self.take(len)?)
+            .map_err(|_| ArtifactError::Corrupt("manifest: file name is not utf-8".to_string()))?
+            .to_string();
+        // Section names must stay inside the artifact directory: a
+        // hand-crafted manifest must not be able to read (or race the
+        // temp-file convention of) arbitrary paths.
+        if file.is_empty() || file.starts_with('.') || file.contains(['/', '\\']) {
+            return Err(ArtifactError::Corrupt(
+                "manifest: unsafe section file name".to_string(),
+            ));
+        }
+        let bytes = self.u64()?;
+        let checksum = self.u64()?;
+        Ok(SectionMeta {
+            file,
+            bytes,
+            checksum,
+        })
+    }
+}
+
+/// Write `bytes` to `dir/name` atomically: temp file, fsync, rename.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read `dir/meta.file` and verify its length and checksum.
+pub fn load_section(dir: &Path, meta: &SectionMeta) -> Result<Vec<u8>, ArtifactError> {
+    let bytes = std::fs::read(dir.join(&meta.file))?;
+    if bytes.len() as u64 != meta.bytes || fnv1a64(&bytes) != meta.checksum {
+        return Err(ArtifactError::ChecksumMismatch {
+            file: meta.file.clone(),
+        });
+    }
+    Ok(bytes)
+}
+
+/// Serialize a built index — the database plus one suffix tree per shard,
+/// each tagged with its inclusive global sequence range — into `dir` as a
+/// complete artifact. Creates the directory if needed. Section files are
+/// content-addressed (checksum-suffixed names) and land via temp-file +
+/// rename with the manifest written last, so rebuilding over an existing
+/// artifact never touches the sections its current manifest references:
+/// the old generation stays loadable until the new manifest's rename,
+/// which is the atomic cutover. Sections no longer referenced by the new
+/// manifest are then garbage-collected (best-effort).
+pub fn write_index_artifact(
+    dir: &Path,
+    db: &SequenceDatabase,
+    shards: &[(u32, u32, &SuffixTree)],
+    block_size: usize,
+) -> Result<IndexManifest, ArtifactError> {
+    if block_size < 64 || !block_size.is_multiple_of(16) {
+        return Err(ArtifactError::Corrupt(format!(
+            "block size {block_size} is invalid (must be >= 64 and a multiple of 16)"
+        )));
+    }
+    std::fs::create_dir_all(dir)?;
+    let mut db_bytes = Vec::new();
+    oasis_bioseq::write_database(&mut db_bytes, db)?;
+    let db_checksum = fnv1a64(&db_bytes);
+    let database = SectionMeta {
+        file: format!("db-{db_checksum:016x}.oasisdb"),
+        bytes: db_bytes.len() as u64,
+        checksum: db_checksum,
+    };
+    write_atomic(dir, &database.file, &db_bytes)?;
+
+    let builder = DiskTreeBuilder::with_block_size(block_size);
+    let mut shard_metas = Vec::with_capacity(shards.len());
+    for (i, &(seq_lo, seq_hi, tree)) in shards.iter().enumerate() {
+        if seq_lo > seq_hi || seq_hi >= db.num_sequences() {
+            return Err(ArtifactError::Corrupt(format!(
+                "shard {i} range {seq_lo}..={seq_hi} outside the database"
+            )));
+        }
+        let (image, _) = builder.build_image(tree);
+        let checksum = fnv1a64(&image);
+        let file = format!("shard-{i:04}-{checksum:016x}.oasis");
+        shard_metas.push(ShardMeta {
+            seq_lo,
+            seq_hi,
+            section: SectionMeta {
+                file: file.clone(),
+                bytes: image.len() as u64,
+                checksum,
+            },
+        });
+        write_atomic(dir, &file, &image)?;
+    }
+
+    let manifest = IndexManifest {
+        version: ARTIFACT_VERSION,
+        block_size: block_size as u32,
+        num_seqs: db.num_sequences(),
+        text_len: db.text_len(),
+        database,
+        shards: shard_metas,
+    };
+    write_atomic(dir, MANIFEST_FILE, &manifest.encode())?;
+    collect_garbage(dir, &manifest);
+    Ok(manifest)
+}
+
+/// Remove section files no manifest can reference any more: everything
+/// matching the artifact naming scheme that the (just-durable) manifest
+/// does not name, plus orphaned temp files from crashed writers.
+/// Best-effort — a concurrent loader that already read the *previous*
+/// manifest may race this; it will surface a clean checksum/IO error and
+/// can simply retry against the new manifest.
+fn collect_garbage(dir: &Path, manifest: &IndexManifest) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let referenced: std::collections::HashSet<&str> =
+        std::iter::once(manifest.database.file.as_str())
+            .chain(manifest.shards.iter().map(|s| s.section.file.as_str()))
+            .collect();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_section = (name.starts_with("db-") && name.ends_with(".oasisdb"))
+            || (name.starts_with("shard-") && name.ends_with(".oasis"));
+        let is_stale_tmp = name.starts_with('.') && name.ends_with(".tmp");
+        if (is_section && !referenced.contains(name)) || is_stale_tmp {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Read and verify the manifest of the artifact in `dir`.
+pub fn read_manifest(dir: &Path) -> Result<IndexManifest, ArtifactError> {
+    let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+    IndexManifest::decode(&bytes)
+}
+
+/// The symbols (text) region of a §3.4 disk-tree image, without decoding
+/// the tree. Lets loaders verify that an image actually indexes the
+/// database it is paired with — checksums prove each section is intact,
+/// not that the manifest paired the right sections together.
+pub fn image_text(image: &[u8]) -> Result<&[u8], ArtifactError> {
+    if image.len() < HEADER_LEN || &image[0..8] != TREE_MAGIC {
+        return Err(ArtifactError::Corrupt(
+            "tree image has bad magic or truncated header".to_string(),
+        ));
+    }
+    let bs = u32::from_le_bytes(image[8..12].try_into().expect("4 bytes")) as usize;
+    if bs < 64 || !bs.is_multiple_of(16) {
+        return Err(ArtifactError::Corrupt(format!(
+            "tree image has invalid block size {bs}"
+        )));
+    }
+    let text_len = u32::from_le_bytes(image[12..16].try_into().expect("4 bytes")) as usize;
+    let symbols_start = u64::from_le_bytes(image[32..40].try_into().expect("8 bytes")) as usize;
+    symbols_start
+        .checked_mul(bs)
+        .and_then(|from| from.checked_add(text_len).map(|to| (from, to)))
+        .filter(|&(_, to)| to <= image.len())
+        .map(|(from, to)| &image[from..to])
+        .ok_or_else(|| ArtifactError::Corrupt("symbols region out of bounds".to_string()))
+}
+
+/// Reconstitute an in-memory [`SuffixTree`] from a §3.4 disk-tree image
+/// (the format [`DiskTreeBuilder`] writes and [`crate::DiskSuffixTree`]
+/// serves). This is the artifact load path's fast lane: decoding skips
+/// suffix-array construction entirely, so startup scales with the index
+/// size on disk instead of with tree-building work.
+pub fn decode_tree(image: &[u8]) -> Result<SuffixTree, ArtifactError> {
+    let corrupt = |what: String| ArtifactError::Corrupt(what);
+    if image.len() < HEADER_LEN {
+        return Err(corrupt("tree image shorter than its header".into()));
+    }
+    if &image[0..8] != TREE_MAGIC {
+        return Err(corrupt("tree image has bad magic".into()));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(image[o..o + 4].try_into().expect("4 bytes"));
+    let u64_at = |o: usize| u64::from_le_bytes(image[o..o + 8].try_into().expect("8 bytes"));
+    let bs = u32_at(8) as usize;
+    if bs < 64 || !bs.is_multiple_of(16) {
+        return Err(corrupt(format!("tree image has invalid block size {bs}")));
+    }
+    let text_len = u32_at(12) as usize;
+    let num_internal = u32_at(16);
+    let num_seqs = u32_at(20) as usize;
+    let meta_start = u64_at(24) as usize;
+    let symbols_start = u64_at(32) as usize;
+    let internal_start = u64_at(40) as usize;
+    let leaves_start = u64_at(48) as usize;
+    let total_blocks = u64_at(56) as usize;
+    let region = |start_block: usize, bytes: usize, what: &str| -> Result<&[u8], ArtifactError> {
+        let from = start_block.checked_mul(bs);
+        let to = from.and_then(|f| f.checked_add(bytes));
+        match (from, to) {
+            (Some(f), Some(t)) if t <= image.len() => Ok(&image[f..t]),
+            _ => Err(corrupt(format!("{what} region out of bounds"))),
+        }
+    };
+    if total_blocks.checked_mul(bs).is_none_or(|t| t > image.len()) {
+        return Err(corrupt("tree image is truncated".into()));
+    }
+    if num_internal == 0 {
+        return Err(corrupt("tree image declares no root".into()));
+    }
+
+    // All three arrays are written contiguously (records never straddle a
+    // block because their sizes divide the block size), so each region is
+    // one slice of the image.
+    let meta = region(meta_start, (num_seqs + 1) * 4, "metadata")?;
+    let seq_starts: Vec<u32> = (0..=num_seqs)
+        .map(|i| u32::from_le_bytes(meta[i * 4..i * 4 + 4].try_into().expect("4 bytes")))
+        .collect();
+    let text = region(symbols_start, text_len, "symbols")?.to_vec();
+    let internal = region(
+        internal_start,
+        num_internal as usize * INTERNAL_REC,
+        "internal",
+    )?;
+    let leaves = region(leaves_start, text_len * 4, "leaves")?;
+
+    let rec = |i: u32| -> (u32, bool, u32, u32, u32) {
+        let base = i as usize * INTERNAL_REC;
+        let f = |o: usize| u32::from_le_bytes(internal[base + o..base + o + 4].try_into().unwrap());
+        let d = f(0);
+        (d & !LAST_SIBLING, d & LAST_SIBLING != 0, f(4), f(8), f(12))
+    };
+    let leaf_rsib = |pos: u32| -> u32 {
+        let at = pos as usize * 4;
+        u32::from_le_bytes(leaves[at..at + 4].try_into().expect("4 bytes"))
+    };
+
+    let mut assembler = TreeAssembler::new(text, seq_starts, num_internal)
+        .map_err(|e| corrupt(format!("tree reassembly: {e}")))?;
+    let collect_children =
+        |id: u32, children: &mut Vec<NodeHandle>| -> Result<(u32, u32), ArtifactError> {
+            let (depth, _, witness, first_internal, first_leaf) = rec(id);
+            children.clear();
+            if first_internal != NONE {
+                // Internal children are contiguous in BFS order up to the
+                // last-sibling flag; bound the walk by the record count.
+                let mut child = first_internal;
+                loop {
+                    if child >= num_internal {
+                        return Err(corrupt(format!("node {id}: internal child out of range")));
+                    }
+                    children.push(NodeHandle::internal(child));
+                    if rec(child).1 {
+                        break;
+                    }
+                    child += 1;
+                }
+            }
+            let mut pos = first_leaf;
+            let mut chain = 0usize;
+            while pos != NONE {
+                if pos as usize >= text_len {
+                    return Err(corrupt(format!("node {id}: leaf child out of range")));
+                }
+                chain += 1;
+                if chain > text_len {
+                    return Err(corrupt(format!("node {id}: leaf sibling chain cycles")));
+                }
+                children.push(NodeHandle::leaf(pos));
+                pos = leaf_rsib(pos);
+            }
+            Ok((depth, witness))
+        };
+
+    let mut children = Vec::new();
+    for id in 1..num_internal {
+        let (depth, witness) = collect_children(id, &mut children)?;
+        assembler
+            .push_internal(depth, witness, std::mem::take(&mut children))
+            .map_err(|e| corrupt(format!("tree reassembly: {e}")))?;
+    }
+    collect_children(0, &mut children)?;
+    assembler
+        .set_root_children(children)
+        .map_err(|e| corrupt(format!("tree reassembly: {e}")))?;
+    assembler
+        .finish()
+        .map_err(|e| corrupt(format!("tree reassembly: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder};
+    use oasis_suffix::SuffixTreeAccess;
+
+    fn db(seqs: &[&str]) -> SequenceDatabase {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oasis-artifact-{tag}-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let d = db(&["ACGTACGT", "TTGCA", "A"]);
+        let tree = SuffixTree::build(&d);
+        let dir = tmpdir("manifest");
+        let written = write_index_artifact(&dir, &d, &[(0, 2, &tree)], 64).unwrap();
+        let read = read_manifest(&dir).unwrap();
+        assert_eq!(written, read);
+        assert_eq!(read.num_seqs, 3);
+        assert_eq!(read.shards.len(), 1);
+        assert_eq!((read.shards[0].seq_lo, read.shards[0].seq_hi), (0, 2));
+        assert!(read.total_bytes() > 0);
+        let back = read.load_database(&dir).unwrap();
+        assert_eq!(back, d);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decoded_tree_matches_original() {
+        let d = db(&["ACGTACGTTGCAGT", "GTACCA", "TTTT", "ACACACAC", "G", ""]);
+        let tree = SuffixTree::build(&d);
+        for bs in [64usize, 2048] {
+            let (image, _) = DiskTreeBuilder::with_block_size(bs).build_image(&tree);
+            let decoded = decode_tree(&image).unwrap();
+            assert_eq!(decoded.text(), tree.text());
+            assert_eq!(decoded.seq_starts(), tree.seq_starts());
+            assert_eq!(decoded.num_leaves(), tree.num_leaves());
+            assert_eq!(
+                SuffixTreeAccess::num_internal(&decoded),
+                SuffixTreeAccess::num_internal(&tree)
+            );
+            // The image renumbers internal nodes to BFS order, so compare
+            // structurally: walk both trees from the root, matching
+            // children by arc label, and require identical depths and
+            // leaf sets at every matched node.
+            let mut stack = vec![(tree.root(), decoded.root())];
+            let (mut mk, mut dk) = (Vec::new(), Vec::new());
+            while let Some((mh, dh)) = stack.pop() {
+                assert_eq!(tree.depth(mh), decoded.depth(dh));
+                assert_eq!(tree.collect_leaves(mh), decoded.collect_leaves(dh));
+                if mh.is_leaf() {
+                    assert!(dh.is_leaf());
+                    continue;
+                }
+                let depth = tree.depth(mh);
+                tree.children_into(mh, &mut mk);
+                decoded.children_into(dh, &mut dk);
+                assert_eq!(mk.len(), dk.len());
+                let mut dpairs: Vec<(Vec<u8>, NodeHandle)> = dk
+                    .iter()
+                    .map(|&c| (decoded.arc_label(depth, c), c))
+                    .collect();
+                for &mc in &mk {
+                    let ml = tree.arc_label(depth, mc);
+                    let at = dpairs
+                        .iter()
+                        .position(|(dl, _)| *dl == ml)
+                        .unwrap_or_else(|| panic!("no decoded child with label {ml:?}"));
+                    let (_, dc) = dpairs.swap_remove(at);
+                    stack.push((mc, dc));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_empty_database_tree() {
+        let d = db(&[]);
+        let tree = SuffixTree::build(&d);
+        let (image, _) = DiskTreeBuilder::with_block_size(64).build_image(&tree);
+        let decoded = decode_tree(&image).unwrap();
+        assert_eq!(decoded.num_leaves(), 0);
+        assert_eq!(SuffixTreeAccess::num_internal(&decoded), 1);
+    }
+
+    #[test]
+    fn corrupted_sections_are_detected() {
+        let d = db(&["ACGTACGT", "TTGCA"]);
+        let tree = SuffixTree::build(&d);
+        let dir = tmpdir("corrupt");
+        let manifest = write_index_artifact(&dir, &d, &[(0, 1, &tree)], 64).unwrap();
+
+        // Flip one byte in the middle of the shard image.
+        let shard = dir.join(&manifest.shards[0].section.file);
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&shard, &bytes).unwrap();
+        let err = manifest.load_shard_tree(&dir, 0).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        bytes[mid] ^= 0x40;
+        std::fs::write(&shard, &bytes).unwrap();
+        assert!(manifest.load_shard_tree(&dir, 0).is_ok());
+
+        // Flip a byte in the database section.
+        let dbf = dir.join(&manifest.database.file);
+        let mut bytes = std::fs::read(&dbf).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&dbf, &bytes).unwrap();
+        assert!(matches!(
+            manifest.load_database(&dir),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+
+        // Flip a byte in the manifest body.
+        let mf = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&mf).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(&mf, &bytes).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+
+        // Garbage in place of the manifest.
+        std::fs::write(&mf, b"definitely not a manifest").unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(ArtifactError::NotAnArtifact)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_section_is_detected() {
+        let d = db(&["ACGTACGT"]);
+        let tree = SuffixTree::build(&d);
+        let dir = tmpdir("trunc");
+        let manifest = write_index_artifact(&dir, &d, &[(0, 0, &tree)], 64).unwrap();
+        let shard = dir.join(&manifest.shards[0].section.file);
+        let bytes = std::fs::read(&shard).unwrap();
+        std::fs::write(&shard, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            manifest.load_shard_tree(&dir, 0),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let d = db(&["ACGT"]);
+        let tree = SuffixTree::build(&d);
+        let dir = tmpdir("version");
+        write_index_artifact(&dir, &d, &[(0, 0, &tree)], 64).unwrap();
+        let mf = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&mf).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes()); // version field
+        let len = bytes.len();
+        let trailer = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&trailer.to_le_bytes());
+        std::fs::write(&mf, &bytes).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebuild_over_live_artifact_is_safe_and_garbage_collected() {
+        let d1 = db(&["ACGTACGT", "TTGCA"]);
+        let tree1 = SuffixTree::build(&d1);
+        let dir = tmpdir("rebuild");
+        let m1 = write_index_artifact(&dir, &d1, &[(0, 0, &tree1), (1, 1, &tree1)], 64);
+        // (Ranges here are per-shard trees in real use; a shared tree is
+        // fine for exercising the file lifecycle.)
+        let m1 = m1.unwrap();
+
+        // A crashed half-written rebuild = orphan sections + temp files
+        // next to a valid manifest: the old generation must still load.
+        std::fs::write(dir.join("shard-0000-00000000deadbeef.oasis"), b"junk").unwrap();
+        std::fs::write(dir.join(".orphan.tmp"), b"junk").unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), m1);
+        assert!(m1.load_database(&dir).is_ok());
+
+        // A completed rebuild from a different database cuts over
+        // atomically (manifest swap): new generation loads, and the old
+        // generation's sections plus all orphans are garbage-collected.
+        let d2 = db(&["GGGGCCCC", "ATAT", "CG"]);
+        let tree2 = SuffixTree::build(&d2);
+        let m2 = write_index_artifact(&dir, &d2, &[(0, 2, &tree2)], 64).unwrap();
+        assert_ne!(m1.database.file, m2.database.file, "content-addressed");
+        assert_eq!(read_manifest(&dir).unwrap(), m2);
+        assert_eq!(m2.load_database(&dir).unwrap(), d2);
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let mut want = vec![
+            MANIFEST_FILE.to_string(),
+            m2.database.file.clone(),
+            m2.shards[0].section.file.clone(),
+        ];
+        want.sort();
+        assert_eq!(names, want, "old generation and orphans collected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn image_text_returns_the_symbols_region() {
+        let d = db(&["ACGTACGT", "TTGCA"]);
+        let tree = SuffixTree::build(&d);
+        let (image, _) = DiskTreeBuilder::with_block_size(64).build_image(&tree);
+        assert_eq!(image_text(&image).unwrap(), d.text());
+        assert!(image_text(&[0u8; 16]).is_err());
+    }
+
+    #[test]
+    fn no_temp_files_left_behind() {
+        let d = db(&["ACGTACGT", "TTGCA"]);
+        let tree = SuffixTree::build(&d);
+        let dir = tmpdir("clean");
+        write_index_artifact(&dir, &d, &[(0, 1, &tree)], 64).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy();
+            assert!(!name.starts_with('.'), "temp file left behind: {name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the checksum function: artifacts written by one build must
+        // verify under another.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

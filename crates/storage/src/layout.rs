@@ -28,11 +28,11 @@ use oasis_suffix::{NodeHandle, SuffixTree, SuffixTreeAccess};
 use crate::device::{BlockDevice, MemDevice};
 use crate::pool::{BufferPool, Region};
 
-const MAGIC: &[u8; 8] = b"OASISTR1";
-const NONE: u32 = u32::MAX;
-const HEADER_LEN: usize = 64;
-const INTERNAL_REC: usize = 16;
-const LAST_SIBLING: u32 = 1 << 31;
+pub(crate) const MAGIC: &[u8; 8] = b"OASISTR1";
+pub(crate) const NONE: u32 = u32::MAX;
+pub(crate) const HEADER_LEN: usize = 64;
+pub(crate) const INTERNAL_REC: usize = 16;
+pub(crate) const LAST_SIBLING: u32 = 1 << 31;
 
 /// Space accounting for a serialized index, for the paper's
 /// space-utilization table (§4.2: 12.5 bytes per symbol).

@@ -19,12 +19,21 @@
 //! * [`partitioned`] — bounded-memory index construction in the spirit of
 //!   Hunt et al. (the paper's §3.4.1): suffixes are partitioned into
 //!   adaptive lexical ranges, each sorted in its own pass.
+//! * [`artifact`] — persistent index artifacts: a checksummed, versioned,
+//!   atomically written directory format capturing the database plus every
+//!   shard's serialized tree, so a restart *loads* the index instead of
+//!   rebuilding it.
 
+pub mod artifact;
 pub mod device;
 pub mod layout;
 pub mod partitioned;
 pub mod pool;
 
+pub use artifact::{
+    decode_tree, fnv1a64, image_text, load_section, read_manifest, write_index_artifact,
+    ArtifactError, IndexManifest, SectionMeta, ShardMeta, ARTIFACT_VERSION, MANIFEST_FILE,
+};
 pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
 pub use layout::{header_block_size, DiskSuffixTree, DiskTreeBuilder, ImageStats};
 pub use partitioned::{balanced_ranges, budget_ranges, partitioned_suffix_array};

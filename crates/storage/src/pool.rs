@@ -52,13 +52,13 @@ pub struct BufferPoolStats {
 }
 
 impl BufferPoolStats {
-    /// Hit ratio in `[0, 1]`; 1.0 when no requests were made.
-    pub fn hit_ratio(&self) -> f64 {
-        if self.requests == 0 {
-            1.0
-        } else {
-            self.hits as f64 / self.requests as f64
-        }
+    /// Hit ratio in `[0, 1]`, or `None` when no requests were made — an
+    /// idle pool has no meaningful ratio. (This used to report `1.0`,
+    /// which let pure in-memory runs claim a perfect hit rate on stderr;
+    /// callers must now render the no-traffic case explicitly, e.g. as
+    /// `n/a`.)
+    pub fn hit_ratio(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.hits as f64 / self.requests as f64)
     }
 
     /// Misses (device reads caused by this region).
@@ -496,7 +496,12 @@ mod tests {
                 assert_eq!(s.hits, 8); // all but the first pass
             }
         }
-        assert!((pool.stats().region(Region::Leaves).hit_ratio() - 8.0 / 12.0).abs() < 1e-12);
+        let ratio = pool
+            .stats()
+            .region(Region::Leaves)
+            .hit_ratio()
+            .expect("traffic happened");
+        assert!((ratio - 8.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]
@@ -519,9 +524,13 @@ mod tests {
     }
 
     #[test]
-    fn hit_ratio_of_idle_pool_is_one() {
+    fn hit_ratio_of_idle_pool_is_undefined() {
+        // No requests → no ratio: reporting 1.0 here let in-memory runs
+        // claim a 100% pool hit rate without ever touching the pool.
         let pool = BufferPool::with_frames(image(1, 8), 1);
-        assert_eq!(pool.stats().region(Region::Meta).hit_ratio(), 1.0);
+        assert_eq!(pool.stats().region(Region::Meta).hit_ratio(), None);
+        pool.read(0, Region::Meta, |_| ());
+        assert_eq!(pool.stats().region(Region::Meta).hit_ratio(), Some(0.0));
     }
 
     #[test]

@@ -20,11 +20,15 @@
 //!   implement; OASIS itself is generic over it.
 //! * [`search`] — exact-match lookup (§2.3.1), used by tests and by the
 //!   highly selective fast path.
+//! * [`rebuild`] — validated reassembly of a [`SuffixTree`] from serialized
+//!   parts, the load path of the persistent index artifacts written by
+//!   `oasis-storage`.
 
 pub mod access;
 pub mod doubling;
 pub mod lcp;
 pub mod naive;
+pub mod rebuild;
 pub mod sais;
 pub mod search;
 pub mod text;
@@ -33,6 +37,7 @@ pub mod ukkonen;
 
 pub use access::{NodeHandle, SuffixTreeAccess};
 pub use lcp::lcp_kasai;
+pub use rebuild::{RebuildError, TreeAssembler};
 pub use sais::suffix_array;
 pub use search::{find_exact, occurrences, ExactMatch};
 pub use text::RankedText;

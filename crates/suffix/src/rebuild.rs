@@ -1,0 +1,395 @@
+//! Reconstituting a [`SuffixTree`] from serialized parts.
+//!
+//! The index-lifecycle subsystem persists built suffix trees as on-disk
+//! artifacts (`oasis-storage`'s artifact module) so a process restart loads
+//! the index instead of rebuilding it from the text. Deserialization ends
+//! here: [`TreeAssembler`] accepts the decoded structure — text, sequence
+//! boundaries, and one `(depth, witness, children)` record per internal
+//! node — and reassembles a ready [`SuffixTree`], enforcing the structural
+//! invariants a freshly built tree would satisfy by construction:
+//!
+//! * sequence starts are strictly increasing and span the text;
+//! * every witness/depth pair stays inside the text;
+//! * child handles are in range, the root is never a child, and no leaf
+//!   position appears twice;
+//! * leaves sit on residue positions only (never on a terminator);
+//! * the finished tree has exactly the declared internal-node count and
+//!   exactly one leaf per residue position.
+//!
+//! Checksums (verified by the artifact loader before decoding) protect
+//! against bit rot; these checks protect against *structural* corruption —
+//! a manifest that lies about counts, or a decoder bug — turning either
+//! into a clean [`RebuildError`] instead of a panic or garbage hits.
+
+use oasis_bioseq::TERMINATOR;
+
+use crate::access::{NodeHandle, SuffixTreeAccess};
+use crate::tree::SuffixTree;
+
+/// Why a serialized tree could not be reassembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildError {
+    /// The sequence-start table is not strictly increasing, does not start
+    /// at zero, or does not end at the text length.
+    BadSeqStarts(&'static str),
+    /// More internal nodes pushed than the assembler was declared with.
+    TooManyNodes {
+        /// The declared internal-node count.
+        declared: u32,
+    },
+    /// A node record points outside the tree.
+    NodeOutOfRange {
+        /// Which structural constraint failed.
+        what: &'static str,
+        /// The offending index or position.
+        index: u32,
+    },
+    /// A leaf position was attached to two parents.
+    DuplicateLeaf {
+        /// The text position claimed twice.
+        position: u32,
+    },
+    /// A leaf landed on a terminator position.
+    LeafOnTerminator {
+        /// The offending text position.
+        position: u32,
+    },
+    /// The root's children were set twice, or never set before `finish`.
+    RootChildren(&'static str),
+    /// The finished tree does not have the declared internal-node count.
+    WrongInternalCount {
+        /// The declared count.
+        declared: u32,
+        /// The count actually assembled.
+        assembled: u32,
+    },
+    /// The finished tree does not cover every residue with exactly one leaf.
+    WrongLeafCount {
+        /// Residue positions in the text (the required leaf count).
+        residues: u32,
+        /// Leaves actually attached.
+        assembled: u32,
+    },
+}
+
+impl std::fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebuildError::BadSeqStarts(what) => write!(f, "bad sequence starts: {what}"),
+            RebuildError::TooManyNodes { declared } => {
+                write!(f, "more internal nodes pushed than declared ({declared})")
+            }
+            RebuildError::NodeOutOfRange { what, index } => {
+                write!(f, "node out of range: {what} ({index})")
+            }
+            RebuildError::DuplicateLeaf { position } => {
+                write!(f, "leaf position {position} attached twice")
+            }
+            RebuildError::LeafOnTerminator { position } => {
+                write!(f, "leaf on terminator position {position}")
+            }
+            RebuildError::RootChildren(what) => write!(f, "root children {what}"),
+            RebuildError::WrongInternalCount {
+                declared,
+                assembled,
+            } => write!(
+                f,
+                "internal-node count mismatch: declared {declared}, assembled {assembled}"
+            ),
+            RebuildError::WrongLeafCount {
+                residues,
+                assembled,
+            } => write!(
+                f,
+                "leaf count mismatch: {residues} residues but {assembled} leaves"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RebuildError {}
+
+/// Validated reassembly of a [`SuffixTree`] from serialized parts.
+///
+/// Construction order mirrors the serialized layout: create the assembler
+/// with the text and declared internal-node count, push internal nodes
+/// `1..n` in index order (child handles may reference nodes not pushed
+/// yet — handles are plain indices), set the root's children once, then
+/// [`finish`](TreeAssembler::finish).
+pub struct TreeAssembler {
+    tree: SuffixTree,
+    declared_internal: u32,
+    text_len: u32,
+    /// One flag per text position: already claimed by a leaf.
+    leaf_seen: Vec<bool>,
+    terminator_at: Vec<bool>,
+    root_set: bool,
+}
+
+impl TreeAssembler {
+    /// Start reassembly over `text` (codes + terminators) with the given
+    /// sequence-start table (trailing sentinel included) and the declared
+    /// number of internal nodes (root included, so at least 1).
+    pub fn new(
+        text: Vec<u8>,
+        seq_starts: Vec<u32>,
+        declared_internal: u32,
+    ) -> Result<Self, RebuildError> {
+        if declared_internal == 0 {
+            return Err(RebuildError::WrongInternalCount {
+                declared: 0,
+                assembled: 0,
+            });
+        }
+        if seq_starts.is_empty() {
+            return Err(RebuildError::BadSeqStarts("table is empty"));
+        }
+        if seq_starts.last().copied() != Some(text.len() as u32) {
+            return Err(RebuildError::BadSeqStarts("sentinel != text length"));
+        }
+        // Unconditional: even a zero-sequence table is just the sentinel
+        // over an empty text, so its sole entry must be 0. A table like
+        // `[text_len]` over nonempty text would otherwise slip through and
+        // break every seq-of-leaf lookup downstream.
+        if seq_starts[0] != 0 {
+            return Err(RebuildError::BadSeqStarts("table does not start at 0"));
+        }
+        if seq_starts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(RebuildError::BadSeqStarts("not strictly increasing"));
+        }
+        let text_len = text.len() as u32;
+        let terminator_at = text.iter().map(|&c| c == TERMINATOR).collect();
+        Ok(TreeAssembler {
+            tree: SuffixTree::from_raw(text, seq_starts),
+            declared_internal,
+            text_len,
+            leaf_seen: vec![false; text_len as usize],
+            terminator_at,
+            root_set: false,
+        })
+    }
+
+    fn claim_children(&mut self, children: &[NodeHandle]) -> Result<(), RebuildError> {
+        for &c in children {
+            let index = c.index();
+            if c.is_leaf() {
+                if index >= self.text_len {
+                    return Err(RebuildError::NodeOutOfRange {
+                        what: "leaf position past text",
+                        index,
+                    });
+                }
+                if self.terminator_at[index as usize] {
+                    return Err(RebuildError::LeafOnTerminator { position: index });
+                }
+                if std::mem::replace(&mut self.leaf_seen[index as usize], true) {
+                    return Err(RebuildError::DuplicateLeaf { position: index });
+                }
+            } else {
+                if index == 0 {
+                    return Err(RebuildError::NodeOutOfRange {
+                        what: "root listed as a child",
+                        index,
+                    });
+                }
+                if index >= self.declared_internal {
+                    return Err(RebuildError::NodeOutOfRange {
+                        what: "internal child past declared count",
+                        index,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append the next internal node (indices are assigned sequentially
+    /// starting at 1; the root is index 0). Returns the node's index.
+    pub fn push_internal(
+        &mut self,
+        depth: u32,
+        witness: u32,
+        children: Vec<NodeHandle>,
+    ) -> Result<u32, RebuildError> {
+        if SuffixTreeAccess::num_internal(&self.tree) >= self.declared_internal {
+            return Err(RebuildError::TooManyNodes {
+                declared: self.declared_internal,
+            });
+        }
+        if depth == 0 {
+            return Err(RebuildError::NodeOutOfRange {
+                what: "non-root internal node with depth 0",
+                index: SuffixTreeAccess::num_internal(&self.tree),
+            });
+        }
+        if witness >= self.text_len || witness + depth > self.text_len {
+            return Err(RebuildError::NodeOutOfRange {
+                what: "witness/depth past text",
+                index: witness,
+            });
+        }
+        self.claim_children(&children)?;
+        Ok(self.tree.push_internal(depth, witness, children))
+    }
+
+    /// Set the root's children (exactly once).
+    pub fn set_root_children(&mut self, children: Vec<NodeHandle>) -> Result<(), RebuildError> {
+        if self.root_set {
+            return Err(RebuildError::RootChildren("set twice"));
+        }
+        self.claim_children(&children)?;
+        self.tree.set_root_children(children);
+        self.root_set = true;
+        Ok(())
+    }
+
+    /// Validate the aggregate invariants and hand over the finished tree.
+    pub fn finish(self) -> Result<SuffixTree, RebuildError> {
+        if !self.root_set {
+            return Err(RebuildError::RootChildren("never set"));
+        }
+        let assembled = SuffixTreeAccess::num_internal(&self.tree);
+        if assembled != self.declared_internal {
+            return Err(RebuildError::WrongInternalCount {
+                declared: self.declared_internal,
+                assembled,
+            });
+        }
+        let num_seqs = (self.tree.seq_starts().len() - 1) as u32;
+        let residues = self.text_len - num_seqs;
+        if self.tree.num_leaves() != residues {
+            return Err(RebuildError::WrongLeafCount {
+                residues,
+                assembled: self.tree.num_leaves(),
+            });
+        }
+        Ok(self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::SuffixTreeAccess;
+    use oasis_bioseq::{Alphabet, DatabaseBuilder, SequenceDatabase};
+
+    fn db(seqs: &[&str]) -> SequenceDatabase {
+        let mut b = DatabaseBuilder::new(Alphabet::dna());
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    /// Disassemble a built tree into parts and reassemble it; the clone
+    /// must behave identically (this is exactly what the artifact decoder
+    /// does, minus the serialization).
+    fn roundtrip(tree: &SuffixTree) -> SuffixTree {
+        let n = <SuffixTree as SuffixTreeAccess>::num_internal(tree);
+        let mut asm =
+            TreeAssembler::new(tree.text().to_vec(), tree.seq_starts().to_vec(), n).unwrap();
+        for i in 1..n {
+            asm.push_internal(
+                tree.internal_depth(i),
+                tree.internal_witness(i),
+                tree.children_of(i).to_vec(),
+            )
+            .unwrap();
+        }
+        asm.set_root_children(tree.children_of(0).to_vec()).unwrap();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn reassembled_tree_is_equivalent() {
+        for seqs in [
+            &["AGTACGCCTAG"][..],
+            &["ACGTACGTTGCAGT", "GTACCA", "TTTT", "G"][..],
+            &[][..],
+        ] {
+            let d = db(seqs);
+            let tree = SuffixTree::build(&d);
+            let again = roundtrip(&tree);
+            assert_eq!(again.text(), tree.text());
+            assert_eq!(again.num_leaves(), tree.num_leaves());
+            assert_eq!(
+                <SuffixTree as SuffixTreeAccess>::num_internal(&again),
+                <SuffixTree as SuffixTreeAccess>::num_internal(&tree)
+            );
+            for i in 0..<SuffixTree as SuffixTreeAccess>::num_internal(&tree) {
+                assert_eq!(again.children_of(i), tree.children_of(i), "node {i}");
+                assert_eq!(again.internal_depth(i), tree.internal_depth(i));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_leaf_rejected() {
+        let d = db(&["ACGT"]);
+        let tree = SuffixTree::build(&d);
+        let n = <SuffixTree as SuffixTreeAccess>::num_internal(&tree);
+        let mut asm =
+            TreeAssembler::new(tree.text().to_vec(), tree.seq_starts().to_vec(), n).unwrap();
+        let mut kids = tree.children_of(0).to_vec();
+        let first_leaf = kids.iter().copied().find(|c| c.is_leaf()).unwrap();
+        kids.push(first_leaf); // claim it twice
+        assert!(matches!(
+            asm.set_root_children(kids),
+            Err(RebuildError::DuplicateLeaf { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_garbage_rejected() {
+        let d = db(&["ACGT"]);
+        let tree = SuffixTree::build(&d);
+        let text = tree.text().to_vec();
+        let starts = tree.seq_starts().to_vec();
+
+        // Sequence-start table lies.
+        assert!(TreeAssembler::new(text.clone(), vec![], 1).is_err());
+        assert!(TreeAssembler::new(text.clone(), vec![1, 1, 5], 1).is_err());
+        assert!(TreeAssembler::new(text.clone(), vec![0, 3], 1).is_err());
+        // Sentinel-only table over nonempty text: claims zero sequences
+        // but does not start at 0 — must not slip through.
+        assert!(TreeAssembler::new(text.clone(), vec![5], 1).is_err());
+
+        // Leaf on a terminator position (position 4 is the '$').
+        let mut asm = TreeAssembler::new(text.clone(), starts.clone(), 1).unwrap();
+        assert!(matches!(
+            asm.set_root_children(vec![NodeHandle::leaf(4)]),
+            Err(RebuildError::LeafOnTerminator { position: 4 })
+        ));
+
+        // Out-of-range internal child.
+        let mut asm = TreeAssembler::new(text.clone(), starts.clone(), 2).unwrap();
+        assert!(asm
+            .set_root_children(vec![NodeHandle::internal(7)])
+            .is_err());
+
+        // Undeclared extra node.
+        let mut asm = TreeAssembler::new(text.clone(), starts.clone(), 1).unwrap();
+        assert!(matches!(
+            asm.push_internal(1, 0, vec![]),
+            Err(RebuildError::TooManyNodes { declared: 1 })
+        ));
+
+        // Wrong leaf count at finish.
+        let mut asm = TreeAssembler::new(text, starts, 1).unwrap();
+        asm.set_root_children(vec![NodeHandle::leaf(0)]).unwrap();
+        assert!(matches!(
+            asm.finish(),
+            Err(RebuildError::WrongLeafCount { residues: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = RebuildError::WrongLeafCount {
+            residues: 4,
+            assembled: 1,
+        };
+        assert!(e.to_string().contains("leaf count"));
+        assert!(RebuildError::BadSeqStarts("x").to_string().contains("x"));
+    }
+}

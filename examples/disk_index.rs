@@ -49,12 +49,19 @@ fn main() {
         // delta, exact even under concurrent batches) — no global reset.
         let outcome = engine.run_one(&query, &params);
         let s = outcome.pool_delta;
+        // `hit_ratio` is None when a region saw no requests — render that
+        // as n/a rather than a fabricated number.
+        let ratio = |r: Region| {
+            s.region(r)
+                .hit_ratio()
+                .map_or("n/a".to_string(), |v| format!("{v:.3}"))
+        };
         println!(
-            "pool 1/{divisor:<2} of index: {} hits | hit ratios: symbols {:.3}, internal {:.3}, leaves {:.3}",
+            "pool 1/{divisor:<2} of index: {} hits | hit ratios: symbols {}, internal {}, leaves {}",
             outcome.hits.len(),
-            s.region(Region::Symbols).hit_ratio(),
-            s.region(Region::Internal).hit_ratio(),
-            s.region(Region::Leaves).hit_ratio(),
+            ratio(Region::Symbols),
+            ratio(Region::Internal),
+            ratio(Region::Leaves),
         );
 
         // The disk tree is bit-for-bit equivalent to the in-memory tree:

@@ -3,19 +3,26 @@
 //! ```text
 //! oasis makedb <db.fasta> <db.oasisdb>
 //! oasis index  <db> <index.oasis> [--dna|--protein] [--block-size N]
+//! oasis index  build <db> --out <dir> [--shards N] [--block-size N]
 //! oasis search <db> <index.oasis> <QUERY> [options]
 //! oasis search <db> <index.oasis> --queries <queries.fasta> [options]
+//! oasis search --index <dir> <QUERY> [options]
 //! oasis info   <index.oasis>
 //! ```
 //!
 //! `makedb` converts FASTA to the fast binary database format; `index`
 //! builds the generalized suffix tree and writes the paper's §3.4 disk
-//! representation; `search` runs the exact online OASIS search through the
-//! multi-query engine — a single query streams hits as they are proven
-//! optimal, a `--queries` FASTA batch executes concurrently across worker
-//! threads against the shared index, and `--shards N` partitions the
-//! database into N balanced in-memory shard indexes whose merged results
-//! are byte-identical to the single-index search; `info` prints index
+//! representation; `index build` persists a complete **index artifact** —
+//! database plus N balanced shard trees, checksummed and atomically
+//! written — that `search --index` later *loads* instead of rebuilding
+//! (single-shard artifacts serve disk-resident through the buffer pool;
+//! multi-shard artifacts reconstitute the in-memory fan-out engine);
+//! `search` runs the exact online OASIS search through the multi-query
+//! engine — a single query streams hits as they are proven optimal, a
+//! `--queries` FASTA batch executes concurrently across worker threads
+//! against the shared index, and `--shards N` partitions the database
+//! into N balanced in-memory shard indexes whose merged results are
+//! byte-identical to the single-index search; `info` prints index
 //! geometry.
 
 use std::io::BufReader;
@@ -31,11 +38,15 @@ oasis — online and accurate local-alignment search (VLDB'03 reproduction)
 USAGE:
   oasis makedb <db.fasta> <db.oasisdb> [--dna|--protein]
   oasis index  <db.fasta|db.oasisdb> <index.oasis> [--dna|--protein] [--block-size N]
+  oasis index  build <db.fasta|db.oasisdb> --out <dir> [--dna|--protein]
+               [--shards N] [--block-size N]
   oasis search <db.fasta|db.oasisdb> <index.oasis> <QUERY> [--dna|--protein]
                [--evalue E | --min-score S] [--top K] [--pool-mb M]
                [--matrix unit|blosum62|pam30] [--gap G] [--shards N]
   oasis search <db.fasta|db.oasisdb> <index.oasis> --queries <queries.fasta>
                [--threads N] [other search options]
+  oasis search --index <dir> <QUERY> [other search options]
+  oasis search --index <dir> --queries <queries.fasta> [other search options]
   oasis info   <index.oasis> [--block-size N]
 
 Database arguments accept FASTA or the binary .oasisdb format written by
@@ -48,9 +59,17 @@ exactly like a positional QUERY. With --shards N the database is split
 into N balanced in-memory shard indexes and every query fans out across
 them (the on-disk index is not opened); merged results are
 byte-identical to the single-index search.
+
+`index build` persists a complete artifact directory (database + N
+balanced shard trees, per-section checksums, atomic temp-file+rename
+writes). `search --index <dir>` loads it — no FASTA parsing, no tree
+construction, no --shards (the artifact fixes the shard layout; its
+alphabet is authoritative): one shard serves disk-resident through the
+buffer pool (--pool-mb applies), several reconstitute the in-memory
+fan-out engine. Results are byte-identical to a freshly built index.
 Defaults: --protein, --matrix pam30, --gap -10, --evalue 10, --pool-mb 64,
---block-size 2048 for `index` (search/info read the block size from the
-index header unless overridden).";
+--shards 1 for `index build`, --block-size 2048 for `index`/`index build`
+(search/info read the block size from the index header unless overridden).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +105,8 @@ struct Flags {
     queries: Option<String>,
     threads: Option<usize>,
     shards: Option<usize>,
+    out: Option<String>,
+    index: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -102,6 +123,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         queries: None,
         threads: None,
         shards: None,
+        out: None,
+        index: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -157,6 +180,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|e| format!("--shards: {e}"))?,
                 )
             }
+            "--out" => f.out = Some(value("--out")?),
+            "--index" => f.index = Some(value("--index")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -224,6 +249,11 @@ fn scoring_from(flags: &Flags) -> Result<Scoring, String> {
 }
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
+    // `oasis index build …` is the artifact path; anything else is the
+    // legacy single-file tree image.
+    if args.first().map(String::as_str) == Some("build") {
+        return cmd_index_build(&args[1..]);
+    }
     let flags = parse_flags(args)?;
     let [db_path, index_path] = flags.positional.as_slice() else {
         return Err("usage: oasis index <db.fasta> <index.oasis> [...]".to_string());
@@ -246,6 +276,46 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
         stats.total_bytes as f64 / 1e6,
         stats.bytes_per_symbol(),
         block_size
+    );
+    Ok(())
+}
+
+/// Build the whole index — N balanced shard trees over the database —
+/// and persist it as an artifact directory that `search --index` loads
+/// instead of rebuilding.
+fn cmd_index_build(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [db_path] = flags.positional.as_slice() else {
+        return Err(
+            "usage: oasis index build <db.fasta|db.oasisdb> --out <dir> [--shards N] [...]"
+                .to_string(),
+        );
+    };
+    let out = flags
+        .out
+        .as_deref()
+        .ok_or("index build requires --out <dir>")?;
+    let shards = flags.shards.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let db = load_db(db_path, &flags.alphabet)?;
+    eprintln!(
+        "parsed {} sequences / {} residues",
+        db.num_sequences(),
+        db.total_residues()
+    );
+    let block_size = flags.block_size.unwrap_or(2048);
+    let start = std::time::Instant::now();
+    let manifest =
+        oasis::engine::build_index_artifact(&db, std::path::Path::new(out), shards, block_size)
+            .map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "wrote artifact {out}: {} shard(s), {:.2} MB total ({} byte blocks) in {:.2?}",
+        manifest.shards.len(),
+        manifest.total_bytes() as f64 / 1e6,
+        block_size,
+        start.elapsed()
     );
     Ok(())
 }
@@ -377,25 +447,121 @@ impl SearchBackend {
 /// the paper's Figure 8 hit-ratio metric.
 fn report_pool(delta: &PoolStatsSnapshot) {
     let total = delta.total();
-    if total.requests == 0 {
-        eprintln!("buffer pool: no requests (in-memory index)");
-    } else {
-        eprintln!(
+    match total.hit_ratio() {
+        // An idle pool has no ratio — claiming "100%" here would let pure
+        // in-memory runs report a perfect hit rate they never earned.
+        None => eprintln!("buffer pool: no requests, hit ratio n/a (in-memory index)"),
+        Some(ratio) => eprintln!(
             "buffer pool: {} requests, {:.1}% hit ratio",
             total.requests,
-            100.0 * total.hit_ratio()
-        );
+            100.0 * ratio
+        ),
     }
 }
 
+/// Load an index artifact directory into a ready search backend. The
+/// artifact is self-contained: the database (names, alphabet) comes from
+/// its checksummed sections, so no FASTA path is needed — and the
+/// artifact's alphabet overrides `--dna`/`--protein`. A single shard is
+/// opened disk-resident through the buffer pool (`--pool-mb` applies);
+/// several shards reconstitute the in-memory fan-out engine.
+fn open_artifact_backend(
+    flags: &mut Flags,
+    dir: &str,
+) -> Result<(Arc<SequenceDatabase>, SearchBackend), String> {
+    let path = std::path::Path::new(dir);
+    let start = std::time::Instant::now();
+    let manifest = oasis::storage::read_manifest(path).map_err(|e| format!("{dir}: {e}"))?;
+    let db = Arc::new(
+        manifest
+            .load_database(path)
+            .map_err(|e| format!("{dir}: {e}"))?,
+    );
+    flags.alphabet = db.alphabet().clone();
+    let scoring = scoring_from(flags)?;
+    let backend = if manifest.shards.len() == 1 {
+        let mut engine = oasis::engine::disk_engine_from_artifact(
+            path,
+            &manifest,
+            db.clone(),
+            scoring,
+            flags.pool_mb * 1024 * 1024,
+        )
+        .map_err(|e| format!("{dir}: {e}"))?;
+        if let Some(threads) = flags.threads {
+            engine = engine.with_threads(threads);
+        }
+        eprintln!(
+            "index artifact: 1 shard, disk-resident through the buffer pool (loaded in {:.2?})",
+            start.elapsed()
+        );
+        SearchBackend::Disk(engine)
+    } else {
+        let mut engine =
+            oasis::engine::sharded_engine_from_artifact(path, &manifest, db.clone(), scoring)
+                .map_err(|e| format!("{dir}: {e}"))?;
+        if let Some(threads) = flags.threads {
+            engine = engine.with_threads(threads);
+        }
+        eprintln!(
+            "index artifact: {} shard(s), in-memory fan-out (loaded in {:.2?})",
+            engine.num_shards(),
+            start.elapsed()
+        );
+        SearchBackend::Sharded(engine)
+    };
+    Ok((db, backend))
+}
+
+/// Load the database and build the backend for the legacy
+/// `<db> <index.oasis>` invocation shape.
+fn open_legacy_backend(
+    flags: &Flags,
+    db_path: &str,
+    index_path: &str,
+) -> Result<(Arc<SequenceDatabase>, SearchBackend), String> {
+    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
+    let scoring = scoring_from(flags)?;
+    let backend = SearchBackend::build(flags, db.clone(), index_path, scoring)?;
+    Ok((db, backend))
+}
+
 fn cmd_search(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+    let mut flags = parse_flags(args)?;
+    if let Some(dir) = flags.index.clone() {
+        if flags.shards.is_some() {
+            return Err(
+                "--shards cannot be combined with --index (the artifact fixes the shard layout)"
+                    .to_string(),
+            );
+        }
+        if flags.block_size.is_some() {
+            return Err(
+                "--block-size cannot be combined with --index (the artifact records its block size)"
+                    .to_string(),
+            );
+        }
+        let (db, backend) = open_artifact_backend(&mut flags, &dir)?;
+        return match (flags.positional.as_slice(), &flags.queries) {
+            ([query_text], None) => search_single(&flags, db, &backend, query_text),
+            ([], Some(queries_path)) => {
+                let queries_path = queries_path.clone();
+                search_batch(&flags, db, &backend, &queries_path)
+            }
+            _ => Err("usage: oasis search --index <dir> <QUERY> [...]\n\
+                 or:    oasis search --index <dir> --queries <queries.fasta> [...]"
+                .to_string()),
+        };
+    }
     match (flags.positional.as_slice(), &flags.queries) {
         ([db_path, index_path, query_text], None) => {
-            search_single(&flags, db_path, index_path, query_text)
+            let (db, backend) = open_legacy_backend(&flags, db_path, index_path)?;
+            search_single(&flags, db, &backend, query_text)
         }
         ([db_path, index_path], Some(queries_path)) => {
-            search_batch(&flags, db_path, index_path, queries_path)
+            let queries_path = queries_path.clone();
+            let (db, backend) = open_legacy_backend(&flags, db_path, index_path)?;
+            search_batch(&flags, db, &backend, &queries_path)
         }
         _ => Err("usage: oasis search <db> <index.oasis> <QUERY> [...]\n\
              or:    oasis search <db> <index.oasis> --queries <queries.fasta> [...]"
@@ -429,14 +595,13 @@ fn print_hits(db: &SequenceDatabase, hits: impl Iterator<Item = Hit>, limit: usi
 /// is never silently discarded.
 fn search_single(
     flags: &Flags,
-    db_path: &str,
-    index_path: &str,
+    db: Arc<SequenceDatabase>,
+    backend: &SearchBackend,
     query_text: &str,
 ) -> Result<(), String> {
     if query_text.is_empty() {
         return Err("query is empty — nothing to search".to_string());
     }
-    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
     let query = flags
         .alphabet
         .encode_str(query_text)
@@ -444,12 +609,11 @@ fn search_single(
     let scoring = scoring_from(flags)?;
     let min_score = MinScoreRule::from_flags(flags, &scoring)?.min_score(&db, query.len());
     eprintln!("minScore = {min_score}");
-    let backend = SearchBackend::build(flags, db.clone(), index_path, scoring)?;
 
     let params = OasisParams::with_min_score(min_score);
     let limit = flags.top.unwrap_or(usize::MAX);
     let start = std::time::Instant::now();
-    let (shown, delta) = match &backend {
+    let (shown, delta) = match backend {
         SearchBackend::Disk(engine) => {
             let mut session = engine.session(&query, &params);
             let shown = print_hits(&db, session.by_ref(), limit);
@@ -472,11 +636,10 @@ fn search_single(
 /// index and print per-query results keyed by record name.
 fn search_batch(
     flags: &Flags,
-    db_path: &str,
-    index_path: &str,
+    db: Arc<SequenceDatabase>,
+    backend: &SearchBackend,
     queries_path: &str,
 ) -> Result<(), String> {
-    let db = Arc::new(load_db(db_path, &flags.alphabet)?);
     let scoring = scoring_from(flags)?;
 
     let bytes = std::fs::read(queries_path).map_err(|e| format!("{queries_path}: {e}"))?;
@@ -508,7 +671,6 @@ fn search_batch(
         })
         .collect();
 
-    let backend = SearchBackend::build(flags, db.clone(), index_path, scoring)?;
     eprintln!(
         "{} queries on {} thread(s)",
         jobs.len(),

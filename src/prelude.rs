@@ -12,8 +12,9 @@ pub use oasis_align::{
 pub use oasis_suffix::{build_ukkonen, NodeHandle, SuffixTree, SuffixTreeAccess};
 
 pub use oasis_storage::{
-    BufferPool, BufferPoolStats, DiskSuffixTree, DiskTreeBuilder, MemDevice, PoolDeltaScope,
-    PoolStatsSnapshot, Region, SimulatedDisk,
+    read_manifest, write_index_artifact, ArtifactError, BufferPool, BufferPoolStats,
+    DiskSuffixTree, DiskTreeBuilder, IndexManifest, MemDevice, PoolDeltaScope, PoolStatsSnapshot,
+    Region, SimulatedDisk,
 };
 
 pub use oasis_core::{
@@ -22,9 +23,11 @@ pub use oasis_core::{
 };
 
 pub use oasis_engine::{
-    AdmissionError, BatchQuery, LatencySummary, OasisEngine, QueryExecutor, QuerySession,
-    QueryTicket, SearchOutcome, ServedOutcome, ServingConfig, ServingEngine, ServingStats,
-    ShardedEngine, ShardedSession,
+    build_index_artifact, disk_engine_from_artifact, load_sharded_engine, persist_sharded_engine,
+    sharded_engine_from_artifact, AdmissionError, BatchQuery, GenerationInfo, IndexCatalog,
+    LatencySummary, OasisEngine, QueryExecutor, QuerySession, QueryTicket, SearchOutcome,
+    ServedOutcome, ServingConfig, ServingConfigError, ServingEngine, ServingStats, ShardedEngine,
+    ShardedSession,
 };
 
 pub use oasis_blast::{BlastParams, BlastSearch};

@@ -1,7 +1,10 @@
 //! The serving front end's admission-control contract: a full queue
 //! *rejects* new work with backpressure instead of blocking the caller,
-//! admitted work is always served exactly once, and per-query latency is
-//! captured for the tail percentiles.
+//! admitted work is always served exactly once, per-query latency is
+//! captured for the tail percentiles, degenerate configurations are
+//! rejected at construction, and an [`IndexCatalog`] hot-swaps index
+//! generations under live traffic without rejecting, blocking, or
+//! corrupting in-flight queries.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -49,7 +52,8 @@ fn full_admission_queue_rejects_instead_of_blocking() {
             workers: 1,
             queue_capacity: 2,
         },
-    );
+    )
+    .expect("valid serving config");
 
     // First job is picked up by the (single) worker and parks on the gate.
     let a = serving.try_submit(job("a")).expect("a admitted");
@@ -85,6 +89,201 @@ fn full_admission_queue_rejects_instead_of_blocking() {
 }
 
 #[test]
+fn degenerate_serving_config_is_rejected_at_construction() {
+    // Zero workers would strand every admitted query; zero capacity would
+    // reject every submission. Both used to construct silently; now they
+    // fail with a clear diagnostic before any thread spawns.
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    b.push_str("s0", "AGTACGCCTAG").unwrap();
+    let db = Arc::new(b.finish());
+    let engine = || {
+        let tree = Arc::new(SuffixTree::build(&db));
+        OasisEngine::new(tree, db.clone(), Scoring::unit_dna())
+    };
+
+    let err = ServingEngine::new(
+        engine(),
+        ServingConfig {
+            workers: 0,
+            queue_capacity: 4,
+        },
+    )
+    .err()
+    .expect("zero workers rejected");
+    assert_eq!(err, ServingConfigError::ZeroWorkers);
+    assert!(err.to_string().contains("workers"), "{err}");
+
+    let err = ServingEngine::new(
+        engine(),
+        ServingConfig {
+            workers: 2,
+            queue_capacity: 0,
+        },
+    )
+    .err()
+    .expect("zero capacity rejected");
+    assert_eq!(err, ServingConfigError::ZeroQueueCapacity);
+    assert!(err.to_string().contains("queue_capacity"), "{err}");
+}
+
+#[test]
+fn hot_swap_serves_new_generation_and_drains_old_one() {
+    // A query parked inside generation 0 must pin it across a publish;
+    // queries submitted after the publish run on generation 1 without
+    // waiting for the old one; and the old generation is dropped the
+    // moment its last in-flight query completes.
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    enum Gen {
+        Gated {
+            started: mpsc::Sender<String>,
+            release: Mutex<mpsc::Receiver<()>>,
+        },
+        Instant,
+    }
+    impl QueryExecutor for Gen {
+        fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+            if let Gen::Gated { started, release } = self {
+                started.send(job.id.clone()).expect("test listening");
+                release
+                    .lock()
+                    .expect("gate poisoned")
+                    .recv()
+                    .expect("test releases");
+            }
+            SearchOutcome {
+                hits: Vec::new(),
+                stats: SearchStats::default(),
+                pool_delta: PoolStatsSnapshot::default(),
+            }
+        }
+    }
+    let serving = ServingEngine::new(
+        IndexCatalog::new(
+            "gated-gen0",
+            Gen::Gated {
+                started: started_tx,
+                release: Mutex::new(release_rx),
+            },
+        ),
+        ServingConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+    )
+    .expect("valid serving config");
+
+    // Park one query inside generation 0.
+    let parked = serving.try_submit(job("parked")).expect("admitted");
+    assert_eq!(started_rx.recv().expect("started"), "parked");
+
+    // Swap generations while it is in flight.
+    let new_id = serving.executor().publish("instant-gen1", Gen::Instant);
+    assert_eq!(new_id, 1);
+    assert_eq!(serving.executor().current_info().label, "instant-gen1");
+
+    // New work is admitted and served by generation 1 immediately — the
+    // parked query still holds the other worker, so completion proves the
+    // swap neither blocked nor rejected.
+    let after = serving.try_submit(job("after-swap")).expect("admitted");
+    assert_eq!(after.wait().expect("served").id, "after-swap");
+
+    // Generation 0 is still pinned by the parked query…
+    let pinned = serving.executor().retired_in_flight();
+    assert_eq!(pinned.len(), 1);
+    assert_eq!(pinned[0].label, "gated-gen0");
+
+    // …and is dropped once that query completes.
+    release_tx.send(()).expect("worker listening");
+    assert_eq!(parked.wait().expect("drained").id, "parked");
+    assert!(serving.executor().retired_in_flight().is_empty());
+    assert_eq!(serving.stats().rejected, 0);
+}
+
+#[test]
+fn hot_swap_under_concurrent_traffic_is_lossless_and_correct() {
+    // Continuous submissions across repeated generation swaps: nothing is
+    // rejected (capacity covers the offered load), nothing blocks, and
+    // every result is byte-identical to a reference engine — whichever
+    // generation served it.
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    for (i, s) in ["AGTACGCCTAG", "TACCG", "GGTAGG", "GATTACA", "TACGTACG"]
+        .iter()
+        .enumerate()
+    {
+        b.push_str(format!("s{i}"), s).unwrap();
+    }
+    let db = Arc::new(b.finish());
+    let reference = {
+        let tree = Arc::new(SuffixTree::build(&db));
+        OasisEngine::new(tree, db.clone(), Scoring::unit_dna())
+    };
+    let serving = Arc::new(
+        ServingEngine::new(
+            IndexCatalog::new(
+                "gen0",
+                ShardedEngine::build(db.clone(), Scoring::unit_dna(), 1),
+            ),
+            ServingConfig {
+                workers: 2,
+                queue_capacity: 256,
+            },
+        )
+        .expect("valid serving config"),
+    );
+
+    let alpha = Alphabet::dna();
+    let texts = ["TACG", "GATT", "GGTAGG", "CC", "TACCG"];
+    let submitted: Vec<(String, QueryTicket)> = std::thread::scope(|scope| {
+        // Publish fresh generations (different shard counts — results must
+        // not change) while the main thread keeps submitting.
+        let swapper = {
+            let serving = serving.clone();
+            let db = db.clone();
+            scope.spawn(move || {
+                for k in [2usize, 3, 4] {
+                    let generation = ShardedEngine::build(db.clone(), Scoring::unit_dna(), k);
+                    serving
+                        .executor()
+                        .publish(format!("{k}-shards"), generation);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut tickets = Vec::new();
+        for round in 0..20 {
+            for t in texts {
+                let id = format!("{t}#{round}");
+                let ticket = serving
+                    .try_submit(BatchQuery::named(
+                        id.clone(),
+                        alpha.encode_str(t).unwrap(),
+                        OasisParams::with_min_score(2),
+                    ))
+                    .expect("capacity covers the offered load — no rejects");
+                tickets.push((t.to_string(), ticket));
+            }
+        }
+        swapper.join().expect("swapper finished");
+        tickets
+    });
+
+    for (text, ticket) in submitted {
+        let served = ticket.wait().expect("admitted work is always served");
+        let want = reference.run_one(
+            &alpha.encode_str(&text).unwrap(),
+            &OasisParams::with_min_score(2),
+        );
+        assert_eq!(served.outcome.hits, want.hits, "query {text}");
+    }
+    assert_eq!(serving.stats().rejected, 0, "no backpressure under swaps");
+    assert_eq!(serving.stats().served, 100);
+    // Once everything drained, no retired generation stays pinned.
+    assert!(serving.executor().retired_in_flight().is_empty());
+    assert_eq!(serving.executor().generations_published(), 4);
+}
+
+#[test]
 fn serving_real_engine_matches_direct_execution() {
     let mut b = DatabaseBuilder::new(Alphabet::dna());
     for (i, s) in ["AGTACGCCTAG", "TACCG", "GGTAGG", "GATTACA"]
@@ -102,7 +301,8 @@ fn serving_real_engine_matches_direct_execution() {
             workers: 2,
             queue_capacity: 8,
         },
-    );
+    )
+    .expect("valid serving config");
     let alpha = Alphabet::dna();
     let jobs: Vec<BatchQuery> = ["TACG", "GATT", "GGTAGG"]
         .iter()
@@ -131,7 +331,8 @@ fn serving_real_engine_matches_direct_execution() {
             workers: 2,
             queue_capacity: 8,
         },
-    );
+    )
+    .expect("valid serving config");
     for job in &jobs {
         let served = sharded
             .try_submit(job.clone())
