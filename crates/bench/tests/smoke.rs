@@ -61,6 +61,8 @@ fn engine_throughput_runs_on_tiny() {
         "rejected",
         "cold build",
         "artifact load",
+        "loopback tcp",
+        "request path",
     ] {
         assert!(
             stdout.contains(needle),

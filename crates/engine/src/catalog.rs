@@ -144,6 +144,21 @@ impl<E> IndexCatalog<E> {
         f(&current.executor)
     }
 
+    /// Like [`with_current`](IndexCatalog::with_current), but `f` also
+    /// receives the pinned generation's identity — one snapshot, so the
+    /// info and the executor are guaranteed to belong to the *same*
+    /// generation even while publishes race (a server answering over the
+    /// network must name results consistently with the generation that
+    /// produced them).
+    pub fn with_current_info<R>(&self, f: impl FnOnce(&GenerationInfo, &E) -> R) -> R {
+        let current = self.snapshot();
+        let info = GenerationInfo {
+            id: current.id,
+            label: current.label.clone(),
+        };
+        f(&info, &current.executor)
+    }
+
     /// Retired generations still pinned by in-flight queries. Empty once
     /// every query admitted before the last publish has completed — the
     /// observable guarantee that old generations are dropped, not leaked.
@@ -208,6 +223,9 @@ mod tests {
         assert_eq!(catalog.execute(&job()).stats.max_queue, 9);
         assert_eq!(catalog.generations_published(), 2);
         assert_eq!(catalog.with_current(|m| m.0), 9);
+        // The info and the executor come from one snapshot.
+        let (info, marker) = catalog.with_current_info(|info, m| (info.clone(), m.0));
+        assert_eq!((info.id, info.label.as_str(), marker), (1, "gen1", 9));
     }
 
     #[test]

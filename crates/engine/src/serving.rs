@@ -170,6 +170,25 @@ impl QueryTicket {
     pub fn try_take(&self) -> Option<ServedOutcome> {
         self.rx.try_recv().ok()
     }
+
+    /// Block for at most `timeout` — the building block for per-request
+    /// deadlines (a network server cannot `wait()` forever on behalf of a
+    /// client that asked for an answer within its deadline).
+    ///
+    /// * `Some(Some(outcome))` — the query completed in time.
+    /// * `Some(None)` — the query itself died (it panicked, exactly the
+    ///   case where [`wait`](QueryTicket::wait) returns `None`); no
+    ///   outcome will ever arrive.
+    /// * `None` — the deadline elapsed with the query still in flight.
+    ///   The ticket stays valid: the query keeps running (admitted work
+    ///   is never cancelled) and a later wait can still collect it.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Option<ServedOutcome>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(Some(outcome)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(None),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
+    }
 }
 
 /// Counters describing a serving engine's lifetime so far.
@@ -588,6 +607,62 @@ mod tests {
         // …and the same (sole) worker still serves what follows.
         assert_eq!(good.wait().expect("worker survived").id, "fine");
         assert_eq!(serving.stats().served, 1);
+        drop(serving);
+        std::panic::set_hook(prev_hook);
+    }
+
+    #[test]
+    fn wait_timeout_distinguishes_pending_completed_and_dead() {
+        struct Gate {
+            release: Mutex<mpsc::Receiver<()>>,
+        }
+        impl QueryExecutor for Gate {
+            fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+                if job.id == "boom" {
+                    panic!("injected query panic");
+                }
+                self.release.lock().unwrap().recv().unwrap();
+                SearchOutcome {
+                    hits: Vec::new(),
+                    stats: Default::default(),
+                    pool_delta: Default::default(),
+                }
+            }
+        }
+        let (release_tx, release_rx) = mpsc::channel();
+        let serving = ServingEngine::new(
+            Gate {
+                release: Mutex::new(release_rx),
+            },
+            ServingConfig {
+                workers: 1,
+                queue_capacity: 4,
+            },
+        )
+        .expect("valid serving config");
+        let params = OasisParams::with_min_score(1);
+        let ticket = serving
+            .try_submit(BatchQuery::named("gated", vec![0], params))
+            .expect("admitted");
+        // Still in flight: the deadline elapses, the ticket stays usable.
+        assert!(ticket.wait_timeout(Duration::from_millis(20)).is_none());
+        release_tx.send(()).unwrap();
+        // Completed: the same ticket now yields the outcome.
+        let outcome = ticket
+            .wait_timeout(Duration::from_secs(10))
+            .expect("completed in time")
+            .expect("query did not panic");
+        assert_eq!(outcome.id, "gated");
+        // A panicked query resolves as dead, not as a timeout.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let dead = serving
+            .try_submit(BatchQuery::named("boom", vec![0], params))
+            .expect("admitted");
+        assert!(matches!(
+            dead.wait_timeout(Duration::from_secs(10)),
+            Some(None)
+        ));
         drop(serving);
         std::panic::set_hook(prev_hook);
     }

@@ -1,0 +1,197 @@
+//! The remote client: connect, verify the handshake, stream search
+//! results, and issue admin requests.
+
+use std::io::{BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{
+    read_frame, write_frame, Frame, Hello, ReloadDone, ReloadRequest, RemoteHit, SearchDone,
+    SearchRequest, StatsReport, PROTOCOL_VERSION,
+};
+use crate::NetError;
+
+/// A connection to an [`crate::OasisServer`].
+///
+/// Requests are issued one at a time per connection (no pipelining); a
+/// search response must be drained — or the stream dropped via
+/// [`HitStream`]'s bookkeeping — before the next request goes out, and
+/// the client enforces that by draining any unread response frames
+/// itself.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    hello: Hello,
+    /// A search response is still (possibly) in flight on the stream.
+    mid_response: bool,
+}
+
+impl Client {
+    /// Connect to `addr` and complete the handshake: the server's
+    /// [`Hello`] must carry the protocol magic and a version this client
+    /// speaks, otherwise the connection is rejected with
+    /// [`NetError::Protocol`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = stream.try_clone()?;
+        let writer = BufWriter::new(stream);
+        let hello = match read_frame(&mut reader)? {
+            Frame::Hello(hello) => hello,
+            Frame::Error(e) => return Err(NetError::Remote(e)),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected a Hello handshake, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        if hello.protocol != PROTOCOL_VERSION {
+            return Err(NetError::Protocol(format!(
+                "server speaks protocol version {}, this client speaks {PROTOCOL_VERSION}",
+                hello.protocol
+            )));
+        }
+        Ok(Client {
+            reader,
+            writer,
+            hello,
+            mid_response: false,
+        })
+    }
+
+    /// The server's handshake: protocol version, serving generation, and
+    /// database geometry (alphabet, sequence and residue counts).
+    pub fn hello(&self) -> &Hello {
+        &self.hello
+    }
+
+    /// Drain any response frames a previously abandoned [`HitStream`]
+    /// left unread, so the connection is at a request boundary.
+    fn ensure_request_boundary(&mut self) -> Result<(), NetError> {
+        while self.mid_response {
+            match read_frame(&mut self.reader)? {
+                Frame::Hit(_) => {}
+                Frame::Done(_) | Frame::Error(_) => self.mid_response = false,
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected {} frame while draining a response",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn request(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.ensure_request_boundary()?;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Expect a single-frame response, unwrapping server errors.
+    fn response(&mut self, wanted: &'static str) -> Result<Frame, NetError> {
+        match read_frame(&mut self.reader)? {
+            Frame::Error(e) => Err(NetError::Remote(e)),
+            frame if frame.kind() == wanted => Ok(frame),
+            other => Err(NetError::Protocol(format!(
+                "expected a {wanted} frame, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Issue a search. Hits stream back in the engine's canonical online
+    /// order through the returned [`HitStream`].
+    pub fn search(&mut self, request: SearchRequest) -> Result<HitStream<'_>, NetError> {
+        self.request(&Frame::Search(request))?;
+        self.mid_response = true;
+        Ok(HitStream {
+            client: self,
+            done: None,
+        })
+    }
+
+    /// Issue a search and collect the whole response.
+    pub fn search_collect(
+        &mut self,
+        request: SearchRequest,
+    ) -> Result<(Vec<RemoteHit>, SearchDone), NetError> {
+        let mut stream = self.search(request)?;
+        let mut hits = Vec::new();
+        while let Some(hit) = stream.next_hit()? {
+            hits.push(hit);
+        }
+        let done = stream.finish()?;
+        Ok((hits, done))
+    }
+
+    /// Fetch the server's serving statistics.
+    pub fn stats(&mut self) -> Result<StatsReport, NetError> {
+        self.request(&Frame::StatsRequest)?;
+        match self.response("Stats")? {
+            Frame::Stats(stats) => Ok(stats),
+            _ => unreachable!("response() returned the wanted kind"),
+        }
+    }
+
+    /// Ask the server to load the artifact at `path` (a directory on the
+    /// *server's* filesystem) and publish it as a fresh generation.
+    pub fn reload(&mut self, path: impl Into<String>) -> Result<ReloadDone, NetError> {
+        self.request(&Frame::Reload(ReloadRequest { path: path.into() }))?;
+        match self.response("Reloaded")? {
+            Frame::Reloaded(done) => Ok(done),
+            _ => unreachable!("response() returned the wanted kind"),
+        }
+    }
+
+    /// Ask the server to begin a graceful shutdown; returns once the
+    /// server acknowledges.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        self.request(&Frame::Shutdown)?;
+        match self.response("ShutdownAck")? {
+            Frame::ShutdownAck => Ok(()),
+            _ => unreachable!("response() returned the wanted kind"),
+        }
+    }
+}
+
+/// A streaming search response: hits arrive one frame at a time, online.
+pub struct HitStream<'c> {
+    client: &'c mut Client,
+    done: Option<SearchDone>,
+}
+
+impl HitStream<'_> {
+    /// The next hit, or `None` once the terminal frame arrived. Server
+    /// errors (Busy, deadline, shutdown, …) surface as
+    /// [`NetError::Remote`] and terminate the response.
+    pub fn next_hit(&mut self) -> Result<Option<RemoteHit>, NetError> {
+        if self.done.is_some() {
+            return Ok(None);
+        }
+        match read_frame(&mut self.client.reader)? {
+            Frame::Hit(hit) => Ok(Some(hit)),
+            Frame::Done(done) => {
+                self.done = Some(done);
+                self.client.mid_response = false;
+                Ok(None)
+            }
+            Frame::Error(e) => {
+                self.client.mid_response = false;
+                Err(NetError::Remote(e))
+            }
+            other => Err(NetError::Protocol(format!(
+                "unexpected {} frame inside a search response",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Drain any remaining hits and return the terminal [`SearchDone`].
+    pub fn finish(mut self) -> Result<SearchDone, NetError> {
+        while self.next_hit()?.is_some() {}
+        Ok(self.done.expect("next_hit() returned None only after Done"))
+    }
+}

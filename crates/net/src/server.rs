@@ -1,0 +1,738 @@
+//! The `oasis serve` daemon: a thread-per-connection TCP front end over a
+//! shared [`ServingEngine`].
+//!
+//! Every connection is greeted with a [`Hello`] frame (protocol version +
+//! serving index generation), then handled request-by-request. Search
+//! requests go through the engine's bounded admission queue — a full
+//! queue answers [`ErrorCode::Busy`] *on the wire* instead of blocking
+//! the socket, which is how the in-process backpressure contract extends
+//! to remote callers. Hits stream back one frame at a time, flushed
+//! eagerly, in the engine's canonical online order — a client can stop
+//! reading after its top-k and pay nothing for the rest of the
+//! transfer. (Execution itself runs through the admission queue to
+//! completion before the response starts; request `top` to make the
+//! *search* stop early too — the engine's online top-k abort.)
+//!
+//! ## Request-time parameter binding
+//!
+//! A search's query encoding and its E-value → `minScore` conversion
+//! are resolved against the generation serving *at admission time*. A
+//! `reload` landing while the request waits in the queue means the
+//! query may execute on a newer generation with a threshold derived
+//! from the older one's statistics — the documented semantics (the
+//! threshold is part of the request once admitted), harmless in the
+//! standard reload flow where generations index the same corpus. Hit
+//! *names*, which must never be inconsistent, are always resolved
+//! against the generation that executed the query (below).
+//!
+//! ## Generational consistency
+//!
+//! The executor behind the queue is an [`IndexCatalog`] of
+//! [`ServedIndex`] generations, so the admin `reload` request can
+//! hot-swap a freshly loaded artifact under live traffic. Hits carry
+//! sequence *names*, and names must come from the generation that
+//! actually executed the query — not whichever generation happens to be
+//! current when the response is written. The worker therefore records a
+//! per-request binding (token → the executing generation's database and
+//! id) at execution time, and the connection handler resolves names
+//! through that binding.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a client [`Frame::Shutdown`] request)
+//! stops the accept loop and closes engine admission. Already-admitted
+//! queries still drain — their connections stream full responses — and
+//! every idle connection is closed with a terminal
+//! [`ErrorCode::ShuttingDown`] frame, so clients can tell a graceful
+//! drain from a crash. [`OasisServer::run`] returns once every
+//! connection handler has exited.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use oasis_align::{background_dna, background_protein, KarlinParams, Score, Scoring};
+use oasis_bioseq::{AlphabetKind, SequenceDatabase};
+use oasis_core::OasisParams;
+use oasis_engine::{
+    disk_engine_from_artifact, sharded_engine_from_artifact, AdmissionError, BatchQuery,
+    IndexCatalog, QueryExecutor, SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
+};
+use oasis_storage::{read_manifest, ArtifactError, IndexManifest};
+
+use crate::frame::{
+    decode_header, write_frame, ErrorCode, ErrorFrame, Frame, Hello, ReloadDone, RemoteHit,
+    ScoreRule, SearchDone, SearchRequest, StatsReport, HEADER_LEN, PROTOCOL_VERSION,
+};
+use crate::NetError;
+
+/// One publishable index generation: a query executor plus the database
+/// it serves. The database rides along because the wire protocol names
+/// hits (remote clients hold no database) and encodes query text with
+/// the serving alphabet — both must stay consistent with the executor.
+pub struct ServedIndex {
+    db: Arc<SequenceDatabase>,
+    executor: Box<dyn QueryExecutor>,
+}
+
+impl ServedIndex {
+    /// A served generation over `executor`, which must search exactly
+    /// `db`.
+    pub fn new(db: Arc<SequenceDatabase>, executor: Box<dyn QueryExecutor>) -> Self {
+        ServedIndex { db, executor }
+    }
+
+    /// Load the artifact directory `dir` into a served generation: a
+    /// single shard opens disk-resident through a buffer pool of
+    /// `pool_bytes`, several shards reconstitute the in-memory fan-out
+    /// engine — the same policy as the local `search --index` path.
+    pub fn from_artifact(
+        dir: &Path,
+        scoring: Scoring,
+        pool_bytes: usize,
+    ) -> Result<Self, ArtifactError> {
+        let manifest = read_manifest(dir)?;
+        let db = Arc::new(manifest.load_database(dir)?);
+        Self::from_artifact_parts(dir, &manifest, db, scoring, pool_bytes)
+    }
+
+    /// [`from_artifact`](ServedIndex::from_artifact) with the manifest and
+    /// database already loaded (lets callers inspect them first).
+    pub fn from_artifact_parts(
+        dir: &Path,
+        manifest: &IndexManifest,
+        db: Arc<SequenceDatabase>,
+        scoring: Scoring,
+        pool_bytes: usize,
+    ) -> Result<Self, ArtifactError> {
+        if db.alphabet_kind() != scoring.matrix.kind() {
+            return Err(ArtifactError::Corrupt(format!(
+                "artifact alphabet {:?} does not match the serving scoring's {:?} matrix",
+                db.alphabet_kind(),
+                scoring.matrix.kind()
+            )));
+        }
+        let executor: Box<dyn QueryExecutor> = if manifest.shards.len() == 1 {
+            Box::new(disk_engine_from_artifact(
+                dir,
+                manifest,
+                db.clone(),
+                scoring,
+                pool_bytes,
+            )?)
+        } else {
+            Box::new(sharded_engine_from_artifact(
+                dir,
+                manifest,
+                db.clone(),
+                scoring,
+            )?)
+        };
+        Ok(ServedIndex { db, executor })
+    }
+
+    /// The database this generation serves.
+    pub fn db(&self) -> &Arc<SequenceDatabase> {
+        &self.db
+    }
+}
+
+impl QueryExecutor for ServedIndex {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        self.executor.execute(job)
+    }
+}
+
+/// Configuration for an [`OasisServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Engine worker threads executing queries (`0` = available
+    /// parallelism).
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it answer
+    /// [`ErrorCode::Busy`].
+    pub queue_capacity: usize,
+    /// Buffer-pool bytes for generations that `reload` opens
+    /// disk-resident (single-shard artifacts).
+    pub pool_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+            pool_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Why an [`OasisServer`] could not be constructed.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The listening socket could not be bound.
+    Io(std::io::Error),
+    /// The derived [`ServingConfig`] was degenerate.
+    Config(ServingConfigError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server bind failed: {e}"),
+            ServerError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Per-request execution bindings: which generation actually ran a
+/// token's query. Written by engine workers, consumed by connection
+/// handlers; `abandoned` marks tokens whose handler gave up (deadline)
+/// so late completions don't leak entries.
+#[derive(Default)]
+struct Bindings {
+    done: HashMap<String, (Arc<SequenceDatabase>, u64)>,
+    abandoned: HashSet<String>,
+}
+
+/// The engine-side executor: runs each job on the catalog's current
+/// generation and records which generation that was.
+struct NetExec {
+    catalog: IndexCatalog<ServedIndex>,
+    bindings: Mutex<Bindings>,
+}
+
+impl NetExec {
+    fn take_binding(&self, token: &str) -> Option<(Arc<SequenceDatabase>, u64)> {
+        self.bindings
+            .lock()
+            .expect("bindings poisoned")
+            .done
+            .remove(token)
+    }
+
+    /// The handler stopped waiting for `token` (deadline). If the result
+    /// already landed, drop it; otherwise flag the token so the worker
+    /// discards the binding on arrival.
+    fn abandon(&self, token: String) {
+        let mut b = self.bindings.lock().expect("bindings poisoned");
+        if b.done.remove(&token).is_none() {
+            b.abandoned.insert(token);
+        }
+    }
+
+    /// Remove every trace of `token` (used after a dead ticket).
+    fn forget(&self, token: &str) {
+        let mut b = self.bindings.lock().expect("bindings poisoned");
+        b.done.remove(token);
+        b.abandoned.remove(token);
+    }
+}
+
+impl QueryExecutor for NetExec {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        // One catalog snapshot covers the execution *and* the recorded
+        // identity, so a concurrent publish can never mismatch them.
+        let (outcome, db, generation) = self
+            .catalog
+            .with_current_info(|info, index| (index.execute(job), index.db().clone(), info.id));
+        let mut b = self.bindings.lock().expect("bindings poisoned");
+        if !b.abandoned.remove(&job.id) {
+            b.done.insert(job.id.clone(), (db, generation));
+        }
+        outcome
+    }
+}
+
+/// State shared between the accept loop, connection handlers, and
+/// [`ServerHandle`]s.
+struct Shared {
+    serving: ServingEngine<NetExec>,
+    scoring: Scoring,
+    karlin: Option<KarlinParams>,
+    pool_bytes: usize,
+    shutting_down: AtomicBool,
+    next_token: AtomicU64,
+}
+
+impl Shared {
+    fn exec(&self) -> &NetExec {
+        self.serving.executor()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.serving.shutdown();
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+}
+
+/// The network daemon: accepts connections and serves the wire protocol
+/// over a shared serving engine. See the module docs for semantics.
+pub struct OasisServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable handle for initiating shutdown from outside
+/// [`OasisServer::run`] (tests, signal handlers, the CLI).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin a graceful shutdown: stop accepting, close admission, drain
+    /// admitted work, close streams with a terminal frame.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+impl OasisServer {
+    /// Bind `addr` (port `0` picks an ephemeral port — see
+    /// [`local_addr`](OasisServer::local_addr)) and assemble the serving
+    /// stack over generation 0 = `index`. `scoring` is fixed for the
+    /// server's lifetime; reloaded generations must match its alphabet.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        index: ServedIndex,
+        scoring: Scoring,
+        config: ServerConfig,
+    ) -> Result<OasisServer, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+        let local_addr = listener.local_addr().map_err(ServerError::Io)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let freqs: Vec<f64> = match scoring.matrix.kind() {
+            AlphabetKind::Dna => background_dna().to_vec(),
+            AlphabetKind::Protein => background_protein().to_vec(),
+        };
+        let karlin = KarlinParams::estimate(&scoring.matrix, &freqs).ok();
+        let exec = NetExec {
+            catalog: IndexCatalog::new("boot", index),
+            bindings: Mutex::new(Bindings::default()),
+        };
+        let serving = ServingEngine::new(
+            exec,
+            ServingConfig {
+                workers,
+                queue_capacity: config.queue_capacity,
+            },
+        )
+        .map_err(ServerError::Config)?;
+        Ok(OasisServer {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                serving,
+                scoring,
+                karlin,
+                pool_bytes: config.pool_bytes,
+                shutting_down: AtomicBool::new(false),
+                next_token: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Run the accept loop until shutdown, then join every connection
+    /// handler (in-flight responses complete first) and return.
+    pub fn run(self) -> std::io::Result<()> {
+        // Non-blocking accept + short sleeps: the loop notices shutdown
+        // within one tick without needing a self-connection to wake it.
+        self.listener.set_nonblocking(true)?;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.is_shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = self.shared.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        // Connection-scoped failures (client vanished,
+                        // malformed frames) end that connection only.
+                        let _ = serve_connection(&shared, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE): back off.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        Ok(())
+    }
+}
+
+/// How the tolerant reader left the connection.
+enum Next {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The peer closed the connection cleanly.
+    Closed,
+    /// Shutdown began while the connection was idle.
+    ShuttingDown,
+}
+
+/// Read one frame, tolerating read timeouts so the handler can notice
+/// shutdown while idle. Partial reads are preserved across timeout ticks
+/// (a timeout can fire mid-frame without desyncing the stream); a frame
+/// that stalls mid-transfer for `STALL_TICKS` consecutive ticks is
+/// malformed.
+fn next_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Next, NetError> {
+    const STALL_TICKS: u32 = 300; // × 100ms read timeout ≈ 30s
+
+    let mut fill = |buf: &mut [u8], idle_abort: bool| -> Result<Option<()>, NetError> {
+        let mut got = 0usize;
+        let mut idle = 0u32;
+        while got < buf.len() {
+            match stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    if got == 0 && idle_abort {
+                        return Ok(None); // clean EOF between frames
+                    }
+                    return Err(NetError::Protocol(
+                        "connection closed mid-frame".to_string(),
+                    ));
+                }
+                Ok(n) => {
+                    got += n;
+                    idle = 0;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if got == 0 && idle_abort && shared.is_shutting_down() {
+                        return Err(NetError::Remote(ErrorFrame::new(
+                            ErrorCode::ShuttingDown,
+                            "server is shutting down",
+                        )));
+                    }
+                    idle += 1;
+                    // A frame that stalls mid-transfer is malformed. Only
+                    // the very start of the *header* may idle forever —
+                    // that is just a quiet connection between requests; a
+                    // payload read (idle_abort=false) is always mid-frame,
+                    // even at got == 0, and must not pin this handler (and
+                    // with it, graceful shutdown) on a half-written frame.
+                    if (got > 0 || !idle_abort) && idle >= STALL_TICKS {
+                        return Err(NetError::Protocol("frame stalled mid-transfer".to_string()));
+                    }
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        Ok(Some(()))
+    };
+
+    let mut header = [0u8; HEADER_LEN];
+    match fill(&mut header, true) {
+        Ok(Some(())) => {}
+        Ok(None) => return Ok(Next::Closed),
+        Err(NetError::Remote(e)) if e.code == ErrorCode::ShuttingDown => {
+            return Ok(Next::ShuttingDown)
+        }
+        Err(e) => return Err(e),
+    }
+    let (frame_type, len) = decode_header(header)?;
+    let mut payload = vec![0u8; len as usize];
+    if len > 0 {
+        // idle_abort=false: a clean EOF here is reported as mid-frame.
+        let _ = fill(&mut payload, false)?;
+    }
+    Ok(Next::Frame(Frame::decode(frame_type, &payload)?))
+}
+
+/// Send one frame and flush it immediately (hits must stream online, and
+/// small control frames must not sit in the buffer).
+fn send(writer: &mut BufWriter<TcpStream>, frame: &Frame) -> Result<(), NetError> {
+    write_frame(writer, frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+fn send_error(
+    writer: &mut BufWriter<TcpStream>,
+    code: ErrorCode,
+    message: impl Into<String>,
+) -> Result<(), NetError> {
+    send(writer, &Frame::Error(ErrorFrame::new(code, message)))
+}
+
+/// Serve one connection to completion.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+
+    if shared.is_shutting_down() {
+        // Raced past the accept loop during shutdown: refuse with the
+        // typed terminal frame instead of a greeting.
+        return send_error(
+            &mut writer,
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        );
+    }
+
+    // Server-first handshake: protocol version + serving generation.
+    let hello = shared.exec().catalog.with_current_info(|info, index| {
+        Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            generation: info.id,
+            generation_label: info.label.clone(),
+            alphabet: index.db().alphabet_kind(),
+            num_seqs: index.db().num_sequences(),
+            total_residues: index.db().total_residues(),
+        })
+    });
+    send(&mut writer, &hello)?;
+
+    loop {
+        match next_frame(&mut reader, shared) {
+            Ok(Next::Closed) => return Ok(()),
+            Ok(Next::ShuttingDown) => {
+                // Terminal frame: a graceful drain, not a crash.
+                return send_error(
+                    &mut writer,
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                );
+            }
+            Ok(Next::Frame(frame)) => match frame {
+                Frame::Search(req) => handle_search(shared, &mut writer, req)?,
+                Frame::StatsRequest => handle_stats(shared, &mut writer)?,
+                Frame::Reload(reload) => handle_reload(shared, &mut writer, &reload.path)?,
+                Frame::Shutdown => {
+                    shared.begin_shutdown();
+                    send(&mut writer, &Frame::ShutdownAck)?;
+                    // The next loop iteration observes the flag and closes
+                    // this stream with the terminal frame too.
+                }
+                other => {
+                    // A client sending server-side frames is out of sync;
+                    // answer with a typed error and drop the connection.
+                    send_error(
+                        &mut writer,
+                        ErrorCode::Malformed,
+                        format!("unexpected {} frame from a client", other.kind()),
+                    )?;
+                    return Ok(());
+                }
+            },
+            Err(NetError::Io(e)) => return Err(NetError::Io(e)), // client gone
+            Err(e) => {
+                // Malformed or truncated input: typed error, then close —
+                // the stream position is no longer trustworthy.
+                let _ = send_error(&mut writer, ErrorCode::Malformed, e.to_string());
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Run one search request end to end: admission, deadline-aware wait,
+/// and the streamed response.
+fn handle_search(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+    req: SearchRequest,
+) -> Result<(), NetError> {
+    // Encode with the current generation's alphabet and derive minScore
+    // against its database (the serving alphabet is authoritative, like
+    // the artifact alphabet on the local --index path).
+    let db = shared
+        .exec()
+        .catalog
+        .with_current(|index| index.db().clone());
+    let encoded = match db.alphabet().encode_str(&req.query) {
+        Ok(encoded) => encoded,
+        Err(e) => return send_error(writer, ErrorCode::Malformed, format!("query: {e}")),
+    };
+    let min_score: Score = match req.rule {
+        ScoreRule::MinScore(s) if s >= 1 => s,
+        ScoreRule::MinScore(s) => {
+            return send_error(
+                writer,
+                ErrorCode::Malformed,
+                format!("minScore must be at least 1 (got {s})"),
+            )
+        }
+        ScoreRule::Evalue(e) if e.is_finite() && e > 0.0 => match &shared.karlin {
+            Some(karlin) => {
+                karlin.min_score_for_evalue(encoded.len() as u64, db.total_residues(), e)
+            }
+            None => {
+                return send_error(
+                    writer,
+                    ErrorCode::Internal,
+                    "Karlin-Altschul statistics unavailable for the serving matrix; \
+                     use an explicit minScore",
+                )
+            }
+        },
+        ScoreRule::Evalue(e) => {
+            return send_error(
+                writer,
+                ErrorCode::Malformed,
+                format!("E-value must be finite and positive (got {e})"),
+            )
+        }
+    };
+    let mut params = OasisParams::with_min_score(min_score);
+    if req.all_occurrences {
+        params = params.all_occurrences();
+    }
+
+    let token = shared
+        .next_token
+        .fetch_add(1, Ordering::Relaxed)
+        .to_string();
+    let mut job = BatchQuery::named(token.clone(), encoded, params);
+    if let Some(top) = req.top {
+        job = job.with_limit(top as usize);
+    }
+    let submitted = Instant::now();
+    let ticket = match shared.serving.try_submit(job) {
+        Ok(ticket) => ticket,
+        Err(AdmissionError::QueueFull { capacity }) => {
+            return send_error(
+                writer,
+                ErrorCode::Busy,
+                format!("admission queue full ({capacity} queries queued); retry later"),
+            )
+        }
+        Err(AdmissionError::ShuttingDown) => {
+            return send_error(writer, ErrorCode::ShuttingDown, "server is shutting down")
+        }
+    };
+    let served = if let Some(ms) = req.deadline_ms {
+        match ticket.wait_timeout(Duration::from_millis(ms as u64)) {
+            None => {
+                // The query keeps running (admitted work is never
+                // cancelled) but nobody will read its binding: mark the
+                // token abandoned so the worker drops it on completion.
+                shared.exec().abandon(token);
+                return send_error(
+                    writer,
+                    ErrorCode::DeadlineExceeded,
+                    format!("deadline of {ms} ms elapsed ({:?} in)", submitted.elapsed()),
+                );
+            }
+            Some(outcome) => outcome,
+        }
+    } else {
+        ticket.wait()
+    };
+    let Some(served) = served else {
+        shared.exec().forget(&token);
+        return send_error(writer, ErrorCode::Internal, "query execution failed");
+    };
+    // Name hits against the generation that actually executed the query.
+    let (gen_db, generation) = shared
+        .exec()
+        .take_binding(&token)
+        .unwrap_or_else(|| (db.clone(), 0));
+    let hits = served.outcome.hits.len() as u32;
+    for hit in &served.outcome.hits {
+        send(
+            writer,
+            &Frame::Hit(RemoteHit {
+                seq: hit.seq,
+                score: hit.score,
+                t_start: hit.t_start,
+                t_len: hit.t_len,
+                q_end: hit.q_end,
+                name: gen_db.name(hit.seq).to_string(),
+            }),
+        )?;
+    }
+    send(
+        writer,
+        &Frame::Done(SearchDone {
+            hits,
+            min_score,
+            generation,
+            service_us: served.service.as_micros() as u64,
+            total_us: served.total.as_micros() as u64,
+        }),
+    )
+}
+
+fn handle_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> Result<(), NetError> {
+    let stats = shared.serving.stats();
+    let latency = shared.serving.latency_summary();
+    let info = shared.exec().catalog.current_info();
+    send(
+        writer,
+        &Frame::Stats(StatsReport {
+            served: stats.served,
+            rejected: stats.rejected,
+            queue_depth: shared.serving.queue_depth() as u32,
+            queue_capacity: shared.serving.queue_capacity() as u32,
+            latency_count: latency.count as u64,
+            p50_us: latency.p50.as_micros() as u64,
+            p95_us: latency.p95.as_micros() as u64,
+            p99_us: latency.p99.as_micros() as u64,
+            max_us: latency.max.as_micros() as u64,
+            generation: info.id,
+            generation_label: info.label,
+        }),
+    )
+}
+
+fn handle_reload(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+    path: &str,
+) -> Result<(), NetError> {
+    match ServedIndex::from_artifact(Path::new(path), shared.scoring.clone(), shared.pool_bytes) {
+        Ok(index) => {
+            let generation = shared.exec().catalog.publish(path, index);
+            eprintln!("oasis-net: published generation {generation} from {path}");
+            send(
+                writer,
+                &Frame::Reloaded(ReloadDone {
+                    generation,
+                    label: path.to_string(),
+                }),
+            )
+        }
+        Err(e) => send_error(writer, ErrorCode::Internal, format!("reload {path}: {e}")),
+    }
+}

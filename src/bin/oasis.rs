@@ -4,9 +4,13 @@
 //! oasis makedb <db.fasta> <db.oasisdb>
 //! oasis index  <db> <index.oasis> [--dna|--protein] [--block-size N]
 //! oasis index  build <db> --out <dir> [--shards N] [--block-size N]
+//! oasis index  inspect <dir>
 //! oasis search <db> <index.oasis> <QUERY> [options]
 //! oasis search <db> <index.oasis> --queries <queries.fasta> [options]
 //! oasis search --index <dir> <QUERY> [options]
+//! oasis serve  --index <dir> --addr <host:port> [options]
+//! oasis query  --remote <host:port> <QUERY> [options]
+//! oasis admin  --remote <host:port> stats|reload <dir>|shutdown
 //! oasis info   <index.oasis>
 //! ```
 //!
@@ -23,7 +27,15 @@
 //! against the shared index, and `--shards N` partitions the database
 //! into N balanced in-memory shard indexes whose merged results are
 //! byte-identical to the single-index search; `info` prints index
-//! geometry.
+//! geometry and `index inspect` prints an artifact's manifest without
+//! loading any trees.
+//!
+//! The network trio makes the serving stack an actual service: `serve`
+//! exposes an index artifact over the versioned wire protocol of
+//! `oasis-net` (bounded admission with `Busy` backpressure, per-request
+//! deadlines, hot `reload` of a new index generation), `query --remote`
+//! streams hits from such a server with stdout byte-identical to a local
+//! `search`, and `admin` issues stats/reload/shutdown requests.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -47,6 +59,15 @@ USAGE:
                [--threads N] [other search options]
   oasis search --index <dir> <QUERY> [other search options]
   oasis search --index <dir> --queries <queries.fasta> [other search options]
+  oasis index  inspect <dir>
+  oasis serve  --index <dir> --addr <host:port> [--workers N] [--queue N]
+               [--pool-mb M] [--matrix unit|blosum62|pam30] [--gap G]
+  oasis query  --remote <host:port> <QUERY> [--evalue E | --min-score S]
+               [--top K] [--deadline-ms D]
+  oasis query  --remote <host:port> --queries <queries.fasta> [same options]
+  oasis admin  --remote <host:port> stats
+  oasis admin  --remote <host:port> reload <dir>
+  oasis admin  --remote <host:port> shutdown
   oasis info   <index.oasis> [--block-size N]
 
 Database arguments accept FASTA or the binary .oasisdb format written by
@@ -67,9 +88,21 @@ construction, no --shards (the artifact fixes the shard layout; its
 alphabet is authoritative): one shard serves disk-resident through the
 buffer pool (--pool-mb applies), several reconstitute the in-memory
 fan-out engine. Results are byte-identical to a freshly built index.
+`index inspect` prints an artifact's manifest — version, shard table,
+per-section sizes and checksums — without loading any trees. `serve`
+exposes an artifact over TCP (the oasis-net wire protocol): bounded
+admission answers Busy backpressure instead of queueing unboundedly,
+requests may carry deadlines, and `admin reload` hot-swaps a freshly
+loaded artifact generation under live traffic. `query --remote` runs a
+search against such a server; its stdout is byte-identical to a local
+`search` over the same index (the scoring is fixed server-side at
+`serve` time). With port 0, `serve` prints the actual listening address
+on stdout.
+
 Defaults: --protein, --matrix pam30, --gap -10, --evalue 10, --pool-mb 64,
 --shards 1 for `index build`, --block-size 2048 for `index`/`index build`
-(search/info read the block size from the index header unless overridden).";
+(search/info read the block size from the index header unless overridden),
+--queue 64 and --workers = all cores for `serve`.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +110,9 @@ fn main() -> ExitCode {
         Some("makedb") => cmd_makedb(&args[1..]),
         Some("index") => cmd_index(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("admin") => cmd_admin(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -99,7 +135,7 @@ struct Flags {
     evalue: Option<f64>,
     min_score: Option<i32>,
     top: Option<usize>,
-    pool_mb: usize,
+    pool_mb: Option<usize>,
     matrix: String,
     gap: i32,
     queries: Option<String>,
@@ -107,6 +143,30 @@ struct Flags {
     shards: Option<usize>,
     out: Option<String>,
     index: Option<String>,
+    addr: Option<String>,
+    remote: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    deadline_ms: Option<u32>,
+}
+
+impl Flags {
+    /// The buffer-pool budget in bytes (`--pool-mb`, default 64 MB).
+    fn pool_bytes(&self) -> usize {
+        self.pool_mb.unwrap_or(64) * 1024 * 1024
+    }
+
+    /// `--pool-mb` only sizes the buffer pool behind a disk-resident
+    /// index; multi-shard backends are in-memory and never touch a pool.
+    /// Passing it there deserves a warning, not silence.
+    fn warn_pool_mb_ignored(&self) {
+        if self.pool_mb.is_some() {
+            eprintln!(
+                "warning: --pool-mb is ignored: multi-shard indexes are served \
+                 in-memory and do not use the buffer pool"
+            );
+        }
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -117,7 +177,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         evalue: None,
         min_score: None,
         top: None,
-        pool_mb: 64,
+        pool_mb: None,
         matrix: "pam30".to_string(),
         gap: -10,
         queries: None,
@@ -125,6 +185,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         shards: None,
         out: None,
         index: None,
+        addr: None,
+        remote: None,
+        workers: None,
+        queue: None,
+        deadline_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -159,9 +224,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--top" => f.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?),
             "--pool-mb" => {
-                f.pool_mb = value("--pool-mb")?
-                    .parse()
-                    .map_err(|e| format!("--pool-mb: {e}"))?
+                f.pool_mb = Some(
+                    value("--pool-mb")?
+                        .parse()
+                        .map_err(|e| format!("--pool-mb: {e}"))?,
+                )
             }
             "--matrix" => f.matrix = value("--matrix")?,
             "--gap" => f.gap = value("--gap")?.parse().map_err(|e| format!("--gap: {e}"))?,
@@ -182,6 +249,29 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--out" => f.out = Some(value("--out")?),
             "--index" => f.index = Some(value("--index")?),
+            "--addr" => f.addr = Some(value("--addr")?),
+            "--remote" => f.remote = Some(value("--remote")?),
+            "--workers" => {
+                f.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--queue" => {
+                f.queue = Some(
+                    value("--queue")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                f.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -249,10 +339,14 @@ fn scoring_from(flags: &Flags) -> Result<Scoring, String> {
 }
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
-    // `oasis index build …` is the artifact path; anything else is the
-    // legacy single-file tree image.
+    // `oasis index build …` is the artifact path, `oasis index inspect …`
+    // prints an artifact manifest; anything else is the legacy
+    // single-file tree image.
     if args.first().map(String::as_str) == Some("build") {
         return cmd_index_build(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("inspect") {
+        return cmd_index_inspect(&args[1..]);
     }
     let flags = parse_flags(args)?;
     let [db_path, index_path] = flags.positional.as_slice() else {
@@ -383,7 +477,7 @@ fn open_engine(
     let block_size = index_block_size(index_path, flags.block_size)?;
     let device =
         FileDevice::open(index_path, block_size).map_err(|e| format!("{index_path}: {e}"))?;
-    let tree = DiskSuffixTree::open(device, flags.pool_mb * 1024 * 1024)
+    let tree = DiskSuffixTree::open(device, flags.pool_bytes())
         .map_err(|e| format!("{index_path}: {e}"))?;
     let mut engine = OasisEngine::new(Arc::new(tree), db, scoring);
     if let Some(threads) = flags.threads {
@@ -414,6 +508,7 @@ impl SearchBackend {
             )?)),
             Some(0) => Err("--shards must be at least 1".to_string()),
             Some(n) => {
+                flags.warn_pool_mb_ignored();
                 let mut engine = ShardedEngine::build(db, scoring, n);
                 if let Some(threads) = flags.threads {
                     engine = engine.with_threads(threads);
@@ -485,7 +580,7 @@ fn open_artifact_backend(
             &manifest,
             db.clone(),
             scoring,
-            flags.pool_mb * 1024 * 1024,
+            flags.pool_bytes(),
         )
         .map_err(|e| format!("{dir}: {e}"))?;
         if let Some(threads) = flags.threads {
@@ -497,6 +592,7 @@ fn open_artifact_backend(
         );
         SearchBackend::Disk(engine)
     } else {
+        flags.warn_pool_mb_ignored();
         let mut engine =
             oasis::engine::sharded_engine_from_artifact(path, &manifest, db.clone(), scoring)
                 .map_err(|e| format!("{dir}: {e}"))?;
@@ -569,18 +665,43 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The single-query stdout line for one hit. One format, shared by the
+/// local and remote paths: `query --remote` promises stdout
+/// byte-identical to a local `search`, so the literal must never fork.
+fn hit_line(name: &str, hit: &Hit) -> String {
+    format!(
+        "{:<30} score={:<5} window={}..{} q_end={}",
+        name,
+        hit.score,
+        hit.t_start,
+        hit.t_start + hit.t_len,
+        hit.q_end
+    )
+}
+
+/// The batch-mode per-query header line (shared local/remote, as above).
+fn batch_header_line(id: &str, residues: usize, min_score: Score, hits: usize) -> String {
+    format!("# query {id} ({residues} residues, minScore {min_score}): {hits} hits")
+}
+
+/// The batch-mode per-hit line (shared local/remote, as above).
+fn batch_hit_line(id: &str, name: &str, hit: &Hit) -> String {
+    format!(
+        "{}\t{}\tscore={}\twindow={}..{}\tq_end={}",
+        id,
+        name,
+        hit.score,
+        hit.t_start,
+        hit.t_start + hit.t_len,
+        hit.q_end
+    )
+}
+
 /// Stream hits from an engine session to stdout, stopping at `limit`.
 fn print_hits(db: &SequenceDatabase, hits: impl Iterator<Item = Hit>, limit: usize) -> usize {
     let mut shown = 0usize;
     for hit in hits {
-        println!(
-            "{:<30} score={:<5} window={}..{} q_end={}",
-            db.name(hit.seq),
-            hit.score,
-            hit.t_start,
-            hit.t_start + hit.t_len,
-            hit.q_end
-        );
+        println!("{}", hit_line(db.name(hit.seq), &hit));
         shown += 1;
         if shown >= limit {
             break;
@@ -683,24 +804,18 @@ fn search_batch(
     let mut total_hits = 0usize;
     for (job, outcome) in jobs.iter().zip(&outcomes) {
         println!(
-            "# query {} ({} residues, minScore {}): {} hits",
-            job.id,
-            job.query.len(),
-            job.params.min_score,
-            outcome.hits.len()
+            "{}",
+            batch_header_line(
+                &job.id,
+                job.query.len(),
+                job.params.min_score,
+                outcome.hits.len()
+            )
         );
         // `--top` was already enforced inside the engine (BatchQuery::limit),
         // so every returned hit is printed.
         for hit in &outcome.hits {
-            println!(
-                "{}\t{}\tscore={}\twindow={}..{}\tq_end={}",
-                job.id,
-                db.name(hit.seq),
-                hit.score,
-                hit.t_start,
-                hit.t_start + hit.t_len,
-                hit.q_end
-            );
+            println!("{}", batch_hit_line(&job.id, db.name(hit.seq), hit));
         }
         total_hits += outcome.hits.len();
     }
@@ -734,4 +849,293 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("text length:    {}", tree.text_len());
     println!("internal nodes: {}", SuffixTreeAccess::num_internal(&tree));
     Ok(())
+}
+
+/// Print an artifact's manifest — version, geometry, shard boundary
+/// table, per-section sizes and checksums — without loading any trees.
+fn cmd_index_inspect(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err("usage: oasis index inspect <dir>".to_string());
+    };
+    let path = std::path::Path::new(dir);
+    let manifest = oasis::storage::read_manifest(path).map_err(|e| format!("{dir}: {e}"))?;
+    println!("artifact:      {dir}");
+    println!("version:       {}", manifest.version);
+    println!("block size:    {}", manifest.block_size);
+    println!("sequences:     {}", manifest.num_seqs);
+    println!("text length:   {}", manifest.text_len);
+    println!(
+        "total bytes:   {} ({:.2} MB)",
+        manifest.total_bytes(),
+        manifest.total_bytes() as f64 / 1e6
+    );
+    println!(
+        "database:      {}  {} bytes  checksum {:016x}",
+        manifest.database.file, manifest.database.bytes, manifest.database.checksum
+    );
+    println!("shards:        {}", manifest.shards.len());
+    for (i, shard) in manifest.shards.iter().enumerate() {
+        println!(
+            "  shard {i:04}   seqs {}..={}  {}  {} bytes  checksum {:016x}",
+            shard.seq_lo,
+            shard.seq_hi,
+            shard.section.file,
+            shard.section.bytes,
+            shard.section.checksum
+        );
+    }
+    Ok(())
+}
+
+/// Serve an index artifact over the oasis-net wire protocol.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut flags = parse_flags(args)?;
+    let dir = flags.index.clone().ok_or("serve requires --index <dir>")?;
+    let addr = flags
+        .addr
+        .clone()
+        .ok_or("serve requires --addr <host:port>")?;
+    if !flags.positional.is_empty() {
+        return Err("usage: oasis serve --index <dir> --addr <host:port> [...]".to_string());
+    }
+    let path = std::path::Path::new(&dir);
+    let manifest = oasis::storage::read_manifest(path).map_err(|e| format!("{dir}: {e}"))?;
+    let db = Arc::new(
+        manifest
+            .load_database(path)
+            .map_err(|e| format!("{dir}: {e}"))?,
+    );
+    // The artifact's alphabet is authoritative, exactly as on the local
+    // `search --index` path; the scoring is fixed for the server's life.
+    flags.alphabet = db.alphabet().clone();
+    let scoring = scoring_from(&flags)?;
+    if manifest.shards.len() > 1 {
+        flags.warn_pool_mb_ignored();
+    }
+    let served = oasis::net::ServedIndex::from_artifact_parts(
+        path,
+        &manifest,
+        db.clone(),
+        scoring.clone(),
+        flags.pool_bytes(),
+    )
+    .map_err(|e| format!("{dir}: {e}"))?;
+    let config = oasis::net::ServerConfig {
+        workers: flags.workers.unwrap_or(0),
+        queue_capacity: flags.queue.unwrap_or(64),
+        pool_bytes: flags.pool_bytes(),
+    };
+    let server = oasis::net::OasisServer::bind(addr.as_str(), served, scoring, config)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {dir}: {} sequences, {} shard(s), queue capacity {}",
+        db.num_sequences(),
+        manifest.shards.len(),
+        config.queue_capacity
+    );
+    // Machine-readable: scripts resolve `--addr host:0` from this line.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Remote search request shared by the single-query and batch paths.
+fn remote_request(
+    flags: &Flags,
+    id: &str,
+    query_text: &str,
+) -> Result<oasis::net::SearchRequest, String> {
+    let mut req = oasis::net::SearchRequest::new(query_text).with_id(id);
+    req = match flags.min_score {
+        Some(s) => {
+            if s < 1 {
+                return Err(format!("--min-score must be at least 1 (got {s})"));
+            }
+            req.with_min_score(s)
+        }
+        None => req.with_evalue(flags.evalue.unwrap_or(10.0)),
+    };
+    if let Some(top) = flags.top {
+        req = req.with_top(u32::try_from(top).map_err(|_| "--top is out of range")?);
+    }
+    if let Some(ms) = flags.deadline_ms {
+        req = req.with_deadline_ms(ms);
+    }
+    Ok(req)
+}
+
+/// Print one remote hit through the same formatter as the local path.
+fn print_remote_hit(hit: &oasis::net::RemoteHit) {
+    println!("{}", hit_line(&hit.name, &hit.hit()));
+}
+
+/// Run a search against a remote `oasis serve` daemon. Stdout is
+/// byte-identical to the local `search` paths over the same index.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = flags
+        .remote
+        .clone()
+        .ok_or("query requires --remote <host:port>")?;
+    let mut client =
+        oasis::net::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    eprintln!(
+        "connected: protocol v{}, generation {} ({}), {} sequences / {} residues",
+        client.hello().protocol,
+        client.hello().generation,
+        client.hello().generation_label,
+        client.hello().num_seqs,
+        client.hello().total_residues
+    );
+    match (flags.positional.as_slice(), &flags.queries) {
+        ([query_text], None) => query_single(&flags, &mut client, query_text),
+        ([], Some(queries_path)) => {
+            let queries_path = queries_path.clone();
+            query_batch(&flags, &mut client, &queries_path)
+        }
+        _ => Err("usage: oasis query --remote <host:port> <QUERY> [...]\n\
+             or:    oasis query --remote <host:port> --queries <queries.fasta> [...]"
+            .to_string()),
+    }
+}
+
+/// One remote query: stream hits online as frames arrive, mirroring the
+/// local single-query output format exactly.
+fn query_single(
+    flags: &Flags,
+    client: &mut oasis::net::Client,
+    query_text: &str,
+) -> Result<(), String> {
+    if query_text.is_empty() {
+        return Err("query is empty — nothing to search".to_string());
+    }
+    let req = remote_request(flags, "q", query_text)?;
+    let limit = flags.top.unwrap_or(usize::MAX);
+    let start = std::time::Instant::now();
+    let mut stream = client.search(req).map_err(|e| e.to_string())?;
+    let mut shown = 0usize;
+    while let Some(hit) = stream.next_hit().map_err(|e| e.to_string())? {
+        // The server already enforced --top via the request's limit, but
+        // respect it here too so the output contract matches print_hits.
+        if shown < limit {
+            print_remote_hit(&hit);
+            shown += 1;
+        }
+    }
+    let done = stream.finish().map_err(|e| e.to_string())?;
+    eprintln!("minScore = {}", done.min_score);
+    eprintln!(
+        "{shown} hits in {:.2?} (server: generation {}, service {:.2?}, total {:.2?})",
+        start.elapsed(),
+        done.generation,
+        std::time::Duration::from_micros(done.service_us),
+        std::time::Duration::from_micros(done.total_us)
+    );
+    Ok(())
+}
+
+/// A FASTA of queries against a remote server, printed in exactly the
+/// local batch format.
+fn query_batch(
+    flags: &Flags,
+    client: &mut oasis::net::Client,
+    queries_path: &str,
+) -> Result<(), String> {
+    // The serving alphabet comes from the handshake: parse the query
+    // FASTA with it, rejecting unknown residues exactly like the local
+    // batch path.
+    let alphabet = match client.hello().alphabet {
+        AlphabetKind::Dna => Alphabet::dna(),
+        AlphabetKind::Protein => Alphabet::protein(),
+    };
+    let bytes = std::fs::read(queries_path).map_err(|e| format!("{queries_path}: {e}"))?;
+    let records = parse_fasta(
+        BufReader::new(&bytes[..]),
+        &alphabet,
+        UnknownResiduePolicy::Reject,
+    )
+    .map_err(|e| format!("{queries_path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{queries_path}: no query records"));
+    }
+    let start = std::time::Instant::now();
+    let mut total_hits = 0usize;
+    let num_queries = records.len();
+    for seq in records {
+        let (name, codes) = seq.into_parts();
+        let text = alphabet.decode_all(&codes);
+        let req = remote_request(flags, &name, &text)?;
+        let (hits, done) = client
+            .search_collect(req)
+            .map_err(|e| format!("query {name}: {e}"))?;
+        println!(
+            "{}",
+            batch_header_line(&name, codes.len(), done.min_score, hits.len())
+        );
+        for hit in &hits {
+            println!("{}", batch_hit_line(&name, &hit.name, &hit.hit()));
+        }
+        total_hits += hits.len();
+    }
+    let elapsed = start.elapsed();
+    let qps = num_queries as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "{total_hits} hits across {num_queries} queries in {elapsed:.2?} ({qps:.1} queries/sec)"
+    );
+    Ok(())
+}
+
+/// Admin requests against a running server: stats, reload, shutdown.
+fn cmd_admin(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = flags
+        .remote
+        .clone()
+        .ok_or("admin requires --remote <host:port>")?;
+    let mut client =
+        oasis::net::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    match flags
+        .positional
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["stats"] => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            let us = std::time::Duration::from_micros;
+            println!(
+                "generation:   {} ({})",
+                stats.generation, stats.generation_label
+            );
+            println!("served:       {}", stats.served);
+            println!("rejected:     {}", stats.rejected);
+            println!(
+                "queue:        {}/{}",
+                stats.queue_depth, stats.queue_capacity
+            );
+            println!(
+                "latency:      p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?} ({} samples)",
+                us(stats.p50_us),
+                us(stats.p95_us),
+                us(stats.p99_us),
+                us(stats.max_us),
+                stats.latency_count
+            );
+            Ok(())
+        }
+        ["reload", dir] => {
+            let done = client.reload(*dir).map_err(|e| e.to_string())?;
+            println!("reloaded: generation {} ({})", done.generation, done.label);
+            Ok(())
+        }
+        ["shutdown"] => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server is shutting down");
+            Ok(())
+        }
+        _ => Err("usage: oasis admin --remote <host:port> stats|reload <dir>|shutdown".to_string()),
+    }
 }

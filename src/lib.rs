@@ -20,6 +20,9 @@
 //! * [`engine`] — the concurrent multi-query engine: a shared `Arc`
 //!   substrate (database + index + buffer pool) serving batches of queries
 //!   across worker threads with per-query statistics.
+//! * [`net`] — the network serving subsystem: the versioned binary wire
+//!   protocol, the `oasis serve` daemon over a shared serving engine, and
+//!   the remote client.
 //! * [`blast`] — a clean-room BLAST-like heuristic baseline.
 //! * [`workloads`] — deterministic synthetic SWISS-PROT / Drosophila /
 //!   ProClass-style workload generators.
@@ -55,6 +58,7 @@ pub use oasis_bioseq as bioseq;
 pub use oasis_blast as blast;
 pub use oasis_core as core;
 pub use oasis_engine as engine;
+pub use oasis_net as net;
 pub use oasis_storage as storage;
 pub use oasis_suffix as suffix;
 pub use oasis_workloads as workloads;

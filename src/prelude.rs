@@ -30,6 +30,12 @@ pub use oasis_engine::{
     ShardedSession,
 };
 
+pub use oasis_net::{
+    Client, ErrorCode, ErrorFrame, Hello, NetError, OasisServer, ReloadDone, RemoteHit, ScoreRule,
+    SearchDone, SearchRequest, ServedIndex, ServerConfig, ServerHandle, StatsReport,
+    PROTOCOL_VERSION,
+};
+
 pub use oasis_blast::{BlastParams, BlastSearch};
 
 pub use oasis_workloads::{

@@ -1,0 +1,295 @@
+//! End-to-end CLI coverage of the network path: `oasis serve` on an
+//! ephemeral port, `oasis query --remote` byte-identical to the local
+//! `oasis search --index`, and `oasis admin` stats/reload/shutdown.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oasis-cli-remote-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+fn oasis(args: &[&str], dir: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_oasis"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("launch oasis CLI")
+}
+
+/// A running `oasis serve` child that is killed on drop if the test did
+/// not shut it down gracefully first.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(dir: &PathBuf, extra: &[&str]) -> Server {
+    let mut args = vec![
+        "serve",
+        "--index",
+        "idx",
+        "--addr",
+        "127.0.0.1:0",
+        "--matrix",
+        "unit",
+        "--gap",
+        "-1",
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_oasis"))
+        .args(&args)
+        .current_dir(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn oasis serve");
+    // The daemon prints `listening on <addr>` once bound; resolve the
+    // ephemeral port from that line.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let start = Instant::now();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    break addr.to_string();
+                }
+            }
+            _ => panic!("serve exited before announcing its address"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "serve never announced its address"
+        );
+    };
+    Server { child, addr }
+}
+
+#[test]
+fn remote_query_is_byte_identical_to_local_search_and_admin_works() {
+    let dir = workdir("e2e");
+    std::fs::write(
+        dir.join("db.fa"),
+        ">s0\nAGTACGCCTAG\n>s1\nTACCG\n>s2\nGGTAGG\n>s3\nGATTACA\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("q.fa"), ">q0\nTACG\n>q1\nGATT\n").unwrap();
+    let out = oasis(
+        &[
+            "index",
+            "build",
+            "db.fa",
+            "--out",
+            "idx",
+            "--dna",
+            "--shards",
+            "2",
+            "--block-size",
+            "64",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "index build failed: {out:?}");
+    // A second artifact for the reload hop (same db, single shard).
+    let out = oasis(
+        &[
+            "index",
+            "build",
+            "db.fa",
+            "--out",
+            "idx1",
+            "--dna",
+            "--block-size",
+            "64",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "index build (idx1) failed: {out:?}");
+
+    let server = spawn_server(&dir, &[]);
+    let addr = server.addr.clone();
+
+    // Local reference output over the very same artifact.
+    let local = oasis(
+        &[
+            "search",
+            "--index",
+            "idx",
+            "TACG",
+            "--matrix",
+            "unit",
+            "--gap",
+            "-1",
+            "--min-score",
+            "2",
+        ],
+        &dir,
+    );
+    assert!(local.status.success(), "local search failed: {local:?}");
+
+    let remote = oasis(
+        &["query", "--remote", &addr, "TACG", "--min-score", "2"],
+        &dir,
+    );
+    assert!(remote.status.success(), "remote query failed: {remote:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout),
+        "remote stdout must be byte-identical to the local search"
+    );
+    assert!(
+        !remote.stdout.is_empty(),
+        "the diff above compared something"
+    );
+
+    // Batch mode parity.
+    let local = oasis(
+        &[
+            "search",
+            "--index",
+            "idx",
+            "--queries",
+            "q.fa",
+            "--matrix",
+            "unit",
+            "--gap",
+            "-1",
+            "--min-score",
+            "2",
+        ],
+        &dir,
+    );
+    let remote = oasis(
+        &[
+            "query",
+            "--remote",
+            &addr,
+            "--queries",
+            "q.fa",
+            "--min-score",
+            "2",
+        ],
+        &dir,
+    );
+    assert!(local.status.success() && remote.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout),
+        "remote batch stdout must be byte-identical to the local batch"
+    );
+
+    // E-value rule parity (server-side Equation 3 vs local conversion).
+    let local = oasis(
+        &[
+            "search", "--index", "idx", "TACG", "--matrix", "unit", "--gap", "-1", "--evalue",
+            "1.0",
+        ],
+        &dir,
+    );
+    let remote = oasis(
+        &["query", "--remote", &addr, "TACG", "--evalue", "1.0"],
+        &dir,
+    );
+    assert!(local.status.success() && remote.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout)
+    );
+
+    // Admin: stats answers, reload publishes generation 1.
+    let stats = oasis(&["admin", "--remote", &addr, "stats"], &dir);
+    assert!(stats.status.success(), "stats failed: {stats:?}");
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("generation:   0"), "{text}");
+    assert!(text.contains("served:"), "{text}");
+
+    let reload = oasis(&["admin", "--remote", &addr, "reload", "idx1"], &dir);
+    assert!(reload.status.success(), "reload failed: {reload:?}");
+    assert!(
+        String::from_utf8_lossy(&reload.stdout).contains("generation 1"),
+        "{reload:?}"
+    );
+    // Post-reload queries still serve identical results.
+    let local = oasis(
+        &[
+            "search",
+            "--index",
+            "idx1",
+            "TACG",
+            "--matrix",
+            "unit",
+            "--gap",
+            "-1",
+            "--min-score",
+            "2",
+        ],
+        &dir,
+    );
+    let remote = oasis(
+        &["query", "--remote", &addr, "TACG", "--min-score", "2"],
+        &dir,
+    );
+    assert!(local.status.success() && remote.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout)
+    );
+
+    // Graceful shutdown: the daemon exits 0.
+    let shutdown = oasis(&["admin", "--remote", &addr, "shutdown"], &dir);
+    assert!(shutdown.status.success(), "shutdown failed: {shutdown:?}");
+    let mut server = server;
+    let start = Instant::now();
+    let status = loop {
+        if let Some(status) = server.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "serve did not exit after admin shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "serve exited with {status}");
+}
+
+#[test]
+fn query_without_remote_and_bad_addr_fail_cleanly() {
+    let dir = workdir("errs");
+    let out = oasis(&["query", "TACG"], &dir);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--remote"),
+        "{out:?}"
+    );
+    // Nothing listens on this port: a clean connection error, no panic.
+    let out = oasis(
+        &[
+            "query",
+            "--remote",
+            "127.0.0.1:1",
+            "TACG",
+            "--min-score",
+            "2",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "{out:?}"
+    );
+}

@@ -102,6 +102,123 @@ fn pool_hit_ratio_reported_on_drained_and_top_k_paths() {
 }
 
 #[test]
+fn pool_mb_warns_when_ignored_by_in_memory_backends() {
+    let dir = setup("poolmb");
+    // Legacy --shards path: in-memory, --pool-mb does nothing → warn.
+    let sharded = search(&dir, &["TACG", "--shards", "2", "--pool-mb", "8"]);
+    assert!(
+        sharded.status.success(),
+        "sharded search failed: {sharded:?}"
+    );
+    let stderr = String::from_utf8_lossy(&sharded.stderr);
+    assert!(
+        stderr.contains("warning: --pool-mb is ignored"),
+        "expected a --pool-mb warning, got:\n{stderr}"
+    );
+    // Without --pool-mb there is nothing to warn about.
+    let quiet = search(&dir, &["TACG", "--shards", "2"]);
+    assert!(
+        !String::from_utf8_lossy(&quiet.stderr).contains("warning: --pool-mb"),
+        "spurious warning: {quiet:?}"
+    );
+    // The disk path genuinely uses the pool: no warning there either.
+    let disk = search(&dir, &["TACG", "--pool-mb", "8"]);
+    assert!(disk.status.success());
+    assert!(
+        !String::from_utf8_lossy(&disk.stderr).contains("warning: --pool-mb"),
+        "disk-resident search must not warn: {disk:?}"
+    );
+
+    // Artifact paths: multi-shard (in-memory) warns, single-shard
+    // (disk-resident through the pool) does not.
+    for (out, shards) in [("arti2", "2"), ("arti1", "1")] {
+        let built = oasis(
+            &[
+                "index",
+                "build",
+                "db.fa",
+                "--out",
+                out,
+                "--dna",
+                "--shards",
+                shards,
+                "--block-size",
+                "64",
+            ],
+            &dir,
+        );
+        assert!(built.status.success(), "index build failed: {built:?}");
+    }
+    let mut args = vec!["search", "--index", "arti2", "TACG", "--pool-mb", "8"];
+    args.extend_from_slice(COMMON);
+    let multi = oasis(&args, &dir);
+    assert!(multi.status.success(), "artifact search failed: {multi:?}");
+    assert!(
+        String::from_utf8_lossy(&multi.stderr).contains("warning: --pool-mb is ignored"),
+        "multi-shard artifact must warn: {multi:?}"
+    );
+    let mut args = vec!["search", "--index", "arti1", "TACG", "--pool-mb", "8"];
+    args.extend_from_slice(COMMON);
+    let single = oasis(&args, &dir);
+    assert!(
+        single.status.success(),
+        "artifact search failed: {single:?}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&single.stderr).contains("warning: --pool-mb"),
+        "single-shard artifact must not warn: {single:?}"
+    );
+}
+
+#[test]
+fn index_inspect_prints_the_manifest_without_loading_trees() {
+    let dir = setup("inspect");
+    let built = oasis(
+        &[
+            "index",
+            "build",
+            "db.fa",
+            "--out",
+            "arti",
+            "--dna",
+            "--shards",
+            "2",
+            "--block-size",
+            "64",
+        ],
+        &dir,
+    );
+    assert!(built.status.success(), "index build failed: {built:?}");
+    let out = oasis(&["index", "inspect", "arti"], &dir);
+    assert!(out.status.success(), "inspect failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "version:       1",
+        "block size:    64",
+        "sequences:     4",
+        "shards:        2",
+        "shard 0000",
+        "shard 0001",
+        "checksum",
+        "db-",
+    ] {
+        assert!(
+            needle.is_empty() || stdout.contains(needle),
+            "missing {needle:?} in:\n{stdout}"
+        );
+    }
+    // The shard boundary table tiles the database.
+    assert!(stdout.contains("seqs 0..="), "{stdout}");
+    // Inspecting a non-artifact directory fails cleanly.
+    let out = oasis(&["index", "inspect", "."], &dir);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "{out:?}"
+    );
+}
+
+#[test]
 fn degenerate_inputs_fail_cleanly() {
     let dir = setup("degenerate");
     let empty = search(&dir, &[""]);

@@ -1,0 +1,499 @@
+//! The network serving subsystem end to end, against the public API:
+//!
+//! * remote hits are byte-identical to the local engine's output —
+//!   including hit order — for serial and concurrent clients;
+//! * `Busy` backpressure surfaces on the wire when the admission queue
+//!   is full, and the connection stays usable;
+//! * per-request deadlines answer `DeadlineExceeded` without killing the
+//!   worker;
+//! * `reload` hot-swaps an index generation while clients are mid-stream
+//!   without corrupting a single response;
+//! * graceful shutdown stops admission, drains admitted work, and closes
+//!   idle streams with the typed terminal frame;
+//! * malformed bytes on the wire get a typed `Malformed` error, not a
+//!   hung or poisoned server.
+
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use oasis::prelude::*;
+
+fn dna_db(seqs: &[&str]) -> Arc<SequenceDatabase> {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    for (i, s) in seqs.iter().enumerate() {
+        b.push_str(format!("s{i}"), s).unwrap();
+    }
+    Arc::new(b.finish())
+}
+
+const SEQS: &[&str] = &[
+    "AGTACGCCTAG",
+    "TACCG",
+    "GGTAGG",
+    "CCCCCC",
+    "GATTACA",
+    "TACGTACG",
+    "ACGTACGTGT",
+];
+
+const QUERIES: &[&str] = &["TACG", "GATT", "CC", "GGTAGG", "ACGT", "TAC"];
+
+/// Start a server over a `ShardedEngine` for `db`; returns the address,
+/// the shutdown handle, and the join handle of the accept loop.
+fn start_server(
+    db: &Arc<SequenceDatabase>,
+    shards: usize,
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let scoring = Scoring::unit_dna();
+    let engine = oasis::engine::ShardedEngine::build(db.clone(), scoring.clone(), shards);
+    let index = ServedIndex::new(db.clone(), Box::new(engine));
+    let server = OasisServer::bind("127.0.0.1:0", index, scoring, config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+/// The local reference outcome for `query` at `min`.
+fn local_hits(db: &Arc<SequenceDatabase>, query: &str, min: Score) -> Vec<Hit> {
+    let engine = oasis::engine::ShardedEngine::build(db.clone(), Scoring::unit_dna(), 1);
+    let encoded = Alphabet::dna().encode_str(query).unwrap();
+    engine
+        .run_one(&encoded, &OasisParams::with_min_score(min))
+        .hits
+}
+
+fn assert_identical_response(
+    db: &Arc<SequenceDatabase>,
+    hits: &[RemoteHit],
+    query: &str,
+    min: Score,
+) {
+    let want = local_hits(db, query, min);
+    assert_eq!(
+        hits.len(),
+        want.len(),
+        "remote hit count for {query} at min {min}"
+    );
+    for (got, local) in hits.iter().zip(&want) {
+        assert_eq!(got.hit(), *local, "hit mismatch for {query} at min {min}");
+        assert_eq!(got.name, db.name(local.seq), "name mismatch for {query}");
+    }
+}
+
+#[test]
+fn remote_hits_byte_identical_to_local_for_serial_and_concurrent_clients() {
+    let db = dna_db(SEQS);
+    let (addr, handle, runner) = start_server(&db, 3, ServerConfig::default());
+
+    // Serial: one client, every query, several thresholds, in order.
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.hello().protocol, PROTOCOL_VERSION);
+    assert_eq!(client.hello().generation, 0);
+    assert_eq!(client.hello().num_seqs, db.num_sequences());
+    assert_eq!(client.hello().total_residues, db.total_residues());
+    for query in QUERIES {
+        for min in 1..=3 {
+            let (hits, done) = client
+                .search_collect(SearchRequest::new(*query).with_min_score(min))
+                .expect("remote search");
+            assert_eq!(done.hits as usize, hits.len());
+            assert_eq!(done.min_score, min);
+            assert_eq!(done.generation, 0);
+            assert_identical_response(&db, &hits, query, min);
+        }
+    }
+    // Top-k returns exactly the serial prefix.
+    let (top2, _) = client
+        .search_collect(SearchRequest::new("TACG").with_min_score(1).with_top(2))
+        .expect("top-k search");
+    let full = local_hits(&db, "TACG", 1);
+    assert_eq!(top2.len(), 2.min(full.len()));
+    for (got, want) in top2.iter().zip(&full) {
+        assert_eq!(got.hit(), *want);
+    }
+
+    // Concurrent: four clients hammering their own connections.
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..3 {
+                    for (qi, query) in QUERIES.iter().enumerate() {
+                        let min = 1 + ((w + qi + round) % 3) as Score;
+                        let (hits, _) = client
+                            .search_collect(SearchRequest::new(*query).with_min_score(min))
+                            .expect("remote search");
+                        assert_identical_response(&db, &hits, query, min);
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("concurrent client");
+    }
+
+    client.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+    drop(handle);
+}
+
+/// A gated executor: every query parks until the test releases it, and
+/// signals the test when it starts executing.
+struct Gate {
+    started: mpsc::Sender<()>,
+    release: Mutex<mpsc::Receiver<()>>,
+}
+
+impl QueryExecutor for Gate {
+    fn execute(&self, _job: &oasis::engine::BatchQuery) -> oasis::engine::SearchOutcome {
+        self.started.send(()).ok();
+        self.release.lock().unwrap().recv().unwrap();
+        oasis::engine::SearchOutcome {
+            hits: Vec::new(),
+            stats: SearchStats::default(),
+            pool_delta: PoolStatsSnapshot::default(),
+        }
+    }
+}
+
+#[test]
+fn busy_backpressure_surfaces_on_the_wire_when_the_queue_is_full() {
+    let db = dna_db(&["ACGTACGT"]);
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let index = ServedIndex::new(
+        db,
+        Box::new(Gate {
+            started: started_tx,
+            release: Mutex::new(release_rx),
+        }),
+    );
+    let server = OasisServer::bind(
+        "127.0.0.1:0",
+        index,
+        Scoring::unit_dna(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let runner = std::thread::spawn(move || server.run());
+
+    // Client A's query occupies the single worker…
+    let a = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect a");
+        client
+            .search_collect(SearchRequest::new("ACGT").with_min_score(1))
+            .expect("a completes")
+    });
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("a reached the worker");
+    // …client B's fills the queue (capacity 1)…
+    let b = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect b");
+        client
+            .search_collect(SearchRequest::new("ACGT").with_min_score(1))
+            .expect("b completes")
+    });
+    // Wait until B's submission is actually queued before C submits.
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while admin.stats().expect("stats").queue_depth < 1 {
+        assert!(std::time::Instant::now() < deadline, "b never queued");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // …so client C must be rejected with Busy — not blocked, not hung.
+    let mut c = Client::connect(addr).expect("connect c");
+    match c.search_collect(SearchRequest::new("ACGT").with_min_score(1)) {
+        Err(NetError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::Busy, "{e:?}");
+            assert!(e.message.contains("queue full"), "{}", e.message);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // The connection survives a Busy rejection: stats still answer.
+    let stats = admin.stats().expect("stats after busy");
+    assert!(stats.rejected >= 1, "rejection counted: {stats:?}");
+
+    // Release both gated queries; A and B complete with clean responses.
+    release_tx.send(()).unwrap();
+    release_tx.send(()).unwrap();
+    let (hits_a, _) = a.join().expect("a thread");
+    let (hits_b, _) = b.join().expect("b thread");
+    assert!(hits_a.is_empty() && hits_b.is_empty());
+    // And C's connection is still usable for a successful retry (which
+    // runs through the gate too, so pre-release it).
+    release_tx.send(()).unwrap();
+    let (hits_c, _) = c
+        .search_collect(SearchRequest::new("ACGT").with_min_score(1))
+        .expect("c retries fine");
+    assert!(hits_c.is_empty());
+
+    admin.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+}
+
+#[test]
+fn deadline_exceeded_is_typed_and_the_server_keeps_serving() {
+    let db = dna_db(&["ACGTACGT"]);
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let index = ServedIndex::new(
+        db,
+        Box::new(Gate {
+            started: started_tx,
+            release: Mutex::new(release_rx),
+        }),
+    );
+    let server = OasisServer::bind(
+        "127.0.0.1:0",
+        index,
+        Scoring::unit_dna(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let runner = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    match client.search_collect(
+        SearchRequest::new("ACGT")
+            .with_min_score(1)
+            .with_deadline_ms(50),
+    ) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::DeadlineExceeded, "{e:?}"),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("query reached the worker");
+    // The abandoned query still completes server-side (admitted work is
+    // never cancelled) and the same connection serves the next request.
+    release_tx.send(()).unwrap();
+    release_tx.send(()).unwrap(); // for the retry below
+    let (hits, done) = client
+        .search_collect(SearchRequest::new("ACGT").with_min_score(1))
+        .expect("connection still serves");
+    assert!(hits.is_empty());
+    assert_eq!(done.hits, 0);
+
+    client.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oasis-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn reload_hot_swaps_a_generation_under_live_streaming_clients() {
+    let db = dna_db(SEQS);
+    let dir_a = tmpdir("gen-a");
+    let dir_b = tmpdir("gen-b");
+    // Two artifacts over the same database with different shard layouts:
+    // results must be byte-identical across the swap, so any corruption a
+    // racing reload could cause is observable.
+    oasis::engine::build_index_artifact(&db, &dir_a, 2, 64).expect("artifact a");
+    oasis::engine::build_index_artifact(&db, &dir_b, 3, 64).expect("artifact b");
+
+    let scoring = Scoring::unit_dna();
+    let index = ServedIndex::from_artifact(&dir_a, scoring.clone(), 1 << 20).expect("load a");
+    let server = OasisServer::bind(
+        "127.0.0.1:0",
+        index,
+        scoring,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let runner = std::thread::spawn(move || server.run());
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let generations_seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+    let clients: Vec<_> = (0..3)
+        .map(|w| {
+            let db = db.clone();
+            let stop = stop.clone();
+            let generations_seen = generations_seen.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut rounds = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) || rounds < 10 {
+                    for (qi, query) in QUERIES.iter().enumerate() {
+                        let min = 1 + ((w + qi) % 3) as Score;
+                        let (hits, done) = client
+                            .search_collect(SearchRequest::new(*query).with_min_score(min))
+                            .expect("remote search during reload");
+                        // Mid-swap responses must stay exactly correct.
+                        assert_identical_response(&db, &hits, query, min);
+                        generations_seen.lock().unwrap().insert(done.generation);
+                    }
+                    rounds += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Let the clients run, then hot-swap generations twice mid-traffic.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let done = admin
+        .reload(dir_b.to_string_lossy().to_string())
+        .expect("reload to b");
+    assert_eq!(done.generation, 1);
+    std::thread::sleep(Duration::from_millis(100));
+    let done = admin
+        .reload(dir_a.to_string_lossy().to_string())
+        .expect("reload back to a");
+    assert_eq!(done.generation, 2);
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("streaming client");
+    }
+    // The swap really happened under traffic: responses were served by
+    // more than one generation.
+    assert!(
+        generations_seen.lock().unwrap().len() >= 2,
+        "expected responses from multiple generations, saw {:?}",
+        generations_seen.lock().unwrap()
+    );
+    // A fresh client's handshake reports the latest generation.
+    let client = Client::connect(addr).expect("connect post-swap");
+    assert_eq!(client.hello().generation, 2);
+
+    // Reloading garbage is a typed error, not a swap.
+    let missing = tmpdir("gen-missing");
+    match admin.reload(missing.to_string_lossy().to_string()) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::Internal, "{e:?}"),
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    assert_eq!(admin.stats().expect("stats").generation, 2);
+
+    admin.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn graceful_shutdown_stops_admission_drains_work_and_sends_terminal_frames() {
+    let db = dna_db(SEQS);
+    let (addr, handle, runner) = start_server(&db, 2, ServerConfig::default());
+
+    // An idle client sits connected; shutdown must close its stream with
+    // the typed terminal frame rather than a bare EOF.
+    let mut idle = Client::connect(addr).expect("connect idle");
+    handle.shutdown();
+    runner.join().expect("accept loop").expect("run ok");
+    match idle.search_collect(SearchRequest::new("TACG").with_min_score(1)) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::ShuttingDown, "{e:?}"),
+        // The terminal frame may already have been read as the response
+        // to nothing; either way the error is the typed shutdown, or the
+        // socket is gone entirely (server exited after the frame).
+        Err(NetError::Io(_)) => {}
+        other => panic!("expected ShuttingDown or EOF, got {other:?}"),
+    }
+    // New connections are refused or answered with the terminal frame.
+    match Client::connect(addr) {
+        Ok(_) => panic!("connect must fail after shutdown"),
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+        Err(_) => {} // refused outright: listener is gone
+    }
+}
+
+#[test]
+fn malformed_bytes_get_a_typed_error_and_unknown_residues_are_rejected() {
+    use std::io::Write;
+
+    let db = dna_db(SEQS);
+    let (addr, handle, runner) = start_server(&db, 1, ServerConfig::default());
+
+    // Raw garbage after the handshake → typed Malformed error frame.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).expect("raw connect");
+        match oasis::net::read_frame(&mut stream).expect("hello") {
+            oasis::net::Frame::Hello(h) => assert_eq!(h.protocol, PROTOCOL_VERSION),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        // An absurd declared length: 5-byte header claiming 4 GB.
+        stream
+            .write_all(&[0xFF, 0xFF, 0xFF, 0xFF, 0x02])
+            .expect("write garbage");
+        match oasis::net::read_frame(&mut stream) {
+            Ok(oasis::net::Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed, "{e:?}"),
+            other => panic!("expected Malformed error frame, got {other:?}"),
+        }
+    }
+
+    // A query with residues outside the serving alphabet → Malformed,
+    // and the connection keeps serving.
+    let mut client = Client::connect(addr).expect("connect");
+    match client.search_collect(SearchRequest::new("TACX!").with_min_score(1)) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::Malformed, "{e:?}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // An invalid minScore → Malformed too.
+    match client.search_collect(SearchRequest::new("TACG").with_min_score(0)) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::Malformed, "{e:?}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    let (hits, _) = client
+        .search_collect(SearchRequest::new("TACG").with_min_score(2))
+        .expect("still serving");
+    assert_identical_response(&db, &hits, "TACG", 2);
+
+    client.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+    drop(handle);
+}
+
+#[test]
+fn evalue_rule_matches_the_local_conversion() {
+    // The server derives minScore from an E-value exactly like the local
+    // CLI: same Karlin estimate, same database statistics.
+    let db = dna_db(SEQS);
+    let (addr, _handle, runner) = start_server(&db, 2, ServerConfig::default());
+
+    let scoring = Scoring::unit_dna();
+    let karlin = KarlinParams::estimate(&scoring.matrix, &oasis::align::background_dna())
+        .expect("dna statistics");
+    let mut client = Client::connect(addr).expect("connect");
+    for (query, evalue) in [("TACGTACG", 1.0), ("GATTACA", 0.5)] {
+        let encoded = Alphabet::dna().encode_str(query).unwrap();
+        let want_min =
+            karlin.min_score_for_evalue(encoded.len() as u64, db.total_residues(), evalue);
+        let (hits, done) = client
+            .search_collect(SearchRequest::new(query).with_evalue(evalue))
+            .expect("evalue search");
+        assert_eq!(done.min_score, want_min, "server-side Equation 3");
+        if want_min >= 1 {
+            assert_identical_response(&db, &hits, query, want_min);
+        }
+    }
+    client.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+}
