@@ -16,6 +16,7 @@ use oasis_core::{expand, heuristic_vector, root_node, ExpandScratch, SearchNode,
 use oasis_suffix::SuffixTreeAccess;
 
 #[derive(Clone, Copy, PartialEq)]
+// The shared `First` suffix is the point: these *are* the ordering policies.
 #[allow(clippy::enum_variant_names)]
 enum Order {
     BestFirst,

@@ -70,6 +70,8 @@ impl Default for PruneRules {
 /// populated; `h` is the heuristic vector; `seq` is the new node's
 /// deterministic tie-breaking sequence number. Each computed DP column
 /// increments `columns`, the filtering metric of the paper's Figure 4.
+// The arguments are the paper's Algorithm 3 inputs, kept positional so the
+// code reads against the pseudocode.
 #[allow(clippy::too_many_arguments)]
 pub fn expand<T: SuffixTreeAccess + ?Sized>(
     tree: &T,
@@ -99,6 +101,7 @@ pub fn expand<T: SuffixTreeAccess + ?Sized>(
 }
 
 /// [`expand`] with explicit pruning-rule control (ablation entry point).
+// Same signature as `expand` plus the rule toggles; see the note there.
 #[allow(clippy::too_many_arguments)]
 pub fn expand_with_rules<T: SuffixTreeAccess + ?Sized>(
     tree: &T,

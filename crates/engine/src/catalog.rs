@@ -46,7 +46,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, Weak};
+use std::sync::{Arc, PoisonError, RwLock, Weak};
 
 use crate::serving::QueryExecutor;
 use crate::{BatchQuery, SearchOutcome};
@@ -105,10 +105,14 @@ impl<E> IndexCatalog<E> {
             executor,
         });
         let old = {
-            let mut current = self.current.write().expect("catalog poisoned");
+            // The data under these locks (an Arc and a list of weak
+            // handles) stays valid across any panic, so a poisoned lock
+            // is recovered rather than cascading the panic into every
+            // later query on the serving path.
+            let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
             std::mem::replace(&mut *current, fresh)
         };
-        let mut retired = self.retired.write().expect("catalog poisoned");
+        let mut retired = self.retired.write().unwrap_or_else(PoisonError::into_inner);
         retired.push((
             GenerationInfo {
                 id: old.id,
@@ -125,7 +129,10 @@ impl<E> IndexCatalog<E> {
     /// read lock). The caller's clone keeps the generation alive for as
     /// long as it runs, independent of later publishes.
     fn snapshot(&self) -> Arc<Generation<E>> {
-        self.current.read().expect("catalog poisoned").clone()
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Identity of the generation new queries will run on.
@@ -163,7 +170,7 @@ impl<E> IndexCatalog<E> {
     /// every query admitted before the last publish has completed — the
     /// observable guarantee that old generations are dropped, not leaked.
     pub fn retired_in_flight(&self) -> Vec<GenerationInfo> {
-        let mut retired = self.retired.write().expect("catalog poisoned");
+        let mut retired = self.retired.write().unwrap_or_else(PoisonError::into_inner);
         retired.retain(|(_, weak)| weak.strong_count() > 0);
         retired.iter().map(|(info, _)| info.clone()).collect()
     }

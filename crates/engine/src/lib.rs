@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # oasis-engine
@@ -266,6 +267,7 @@ impl<T: SuffixTreeAccess + ?Sized> OasisEngine<T> {
         // because the trait demands `Sync`; nothing requires `T: Send`.
         let (tree, db, scoring) = (&*self.tree, &*self.db, &self.scoring);
         run_pooled(self.threads, jobs.len(), move |i| {
+            // oasis-lint: allow(panic-free-serving) — run_pooled only calls with i < jobs.len()
             let job = &jobs[i];
             run_query(tree, db, scoring, &job.query, &job.params, job.limit)
         })
@@ -297,6 +299,7 @@ where
                     break;
                 }
                 let outcome = run(i);
+                // oasis-lint: allow(panic-free-serving) — the cursor hands out each i < n exactly once
                 slots[i]
                     .set(outcome)
                     .unwrap_or_else(|_| unreachable!("slot {i} claimed twice"));
@@ -305,6 +308,7 @@ where
     });
     slots
         .into_iter()
+        // oasis-lint: allow(panic-free-serving) — scope join already propagated any worker panic, so every slot is set
         .map(|slot| slot.into_inner().expect("every slot filled"))
         .collect()
 }

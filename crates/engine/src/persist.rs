@@ -110,6 +110,7 @@ pub fn sharded_engine_from_artifact(
 ) -> Result<ShardedEngine, ArtifactError> {
     validate_coverage(manifest)?;
     let load_one = |i: usize| -> Result<Shard, ArtifactError> {
+        // oasis-lint: allow(panic-free-serving) — i ranges over 0..manifest.shards.len() below
         let meta = &manifest.shards[i];
         let tree = manifest.load_shard_tree(dir, i)?;
         let (lo, hi) = (meta.seq_lo as usize, meta.seq_hi as usize);
@@ -134,6 +135,7 @@ pub fn sharded_engine_from_artifact(
             .collect();
         handles
             .into_iter()
+            // oasis-lint: allow(panic-free-serving) — decode errors travel in the Result; a join error is a real loader bug worth propagating
             .map(|h| h.join().expect("shard load panicked"))
             .collect()
     });
@@ -173,6 +175,7 @@ pub fn disk_engine_from_artifact(
     // together — verify the image indexes exactly this database's text
     // (the sharded load path makes the same check per shard). The bytes
     // are then dropped; all serving reads go through the buffer pool.
+    // oasis-lint: allow(panic-free-serving) — shards.len() == 1 was checked above
     let image = load_section(dir, &manifest.shards[0].section)?;
     if image_text(&image)? != db.text() {
         return Err(ArtifactError::Corrupt(

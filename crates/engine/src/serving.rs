@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -225,14 +225,17 @@ impl LatencySummary {
         sorted.sort_unstable();
         let nearest_rank = |q: f64| {
             let rank = (q * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
+            sorted
+                .get(rank.clamp(1, sorted.len()) - 1)
+                .copied()
+                .unwrap_or_default()
         };
         LatencySummary {
             count: sorted.len(),
             p50: nearest_rank(0.50),
             p95: nearest_rank(0.95),
             p99: nearest_rank(0.99),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted.last().copied().unwrap_or_default(),
         }
     }
 }
@@ -263,7 +266,10 @@ impl LatencyRing {
         if self.samples.len() < LATENCY_WINDOW {
             self.samples.push(sample);
         } else {
-            self.samples[self.next] = sample;
+            // `next` stays below LATENCY_WINDOW == samples.len() here.
+            if let Some(slot) = self.samples.get_mut(self.next) {
+                *slot = sample;
+            }
             self.next = (self.next + 1) % LATENCY_WINDOW;
         }
     }
@@ -323,7 +329,16 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
     pub fn try_submit(&self, job: BatchQuery) -> Result<QueryTicket, AdmissionError> {
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            // Poisoning is recovered from throughout this module: worker
+            // panics are already confined by `catch_unwind`, and the data
+            // under these locks (a queue of submissions, a ring of
+            // samples) stays structurally valid across a panic — so a
+            // poisoned lock must not take the serving path down with it.
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             // The shutdown flag only flips while this lock is held, so
             // checking it here is race-free: if it is still false, any
             // subsequent shutdown() happens after our push and the workers
@@ -350,7 +365,11 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
 
     /// Queries waiting in the admission queue right now.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").len()
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// The configured queue capacity.
@@ -375,7 +394,7 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
                 .shared
                 .latencies
                 .lock()
-                .expect("latencies poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .samples,
         )
     }
@@ -394,7 +413,11 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
         // Flip the flag under the queue lock — see `Drop` for why storing
         // outside it could let a worker park past the notification.
         {
-            let _queue = self.shared.queue.lock().expect("queue poisoned");
+            let _queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             self.shared.shutdown.store(true, Ordering::Release);
         }
         self.shared.wake.notify_all();
@@ -420,7 +443,7 @@ impl<E: QueryExecutor + 'static> Drop for ServingEngine<E> {
 fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
     loop {
         let submission = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(s) = queue.pop_front() {
                     break s;
@@ -428,7 +451,10 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return; // queue drained and no more work will arrive
                 }
-                queue = shared.wake.wait(queue).expect("queue poisoned");
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let started = Instant::now();
@@ -457,7 +483,7 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
         shared
             .latencies
             .lock()
-            .expect("latencies poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(served.total);
         shared.served.fetch_add(1, Ordering::Relaxed);
         // The caller may have dropped its ticket — that only means nobody

@@ -94,6 +94,7 @@ impl Shard {
                 .collect();
             handles
                 .into_iter()
+                // oasis-lint: allow(panic-free-serving) — index build, not serving: a build-thread panic must propagate to the builder
                 .map(|h| h.join().expect("shard build panicked"))
                 .collect()
         })
@@ -229,6 +230,7 @@ impl ShardedEngine {
     /// query, returning outcomes **in job order** (same contract as
     /// [`crate::OasisEngine::run_batch`]).
     pub fn run_batch(&self, jobs: &[BatchQuery]) -> Vec<SearchOutcome> {
+        // oasis-lint: allow(panic-free-serving) — run_pooled only calls with i < jobs.len()
         run_pooled(self.threads, jobs.len(), |i| self.run_job(&jobs[i]))
     }
 }
@@ -262,6 +264,7 @@ impl<'a> DatabaseBuilderFor<'a> {
                 view.name.to_string(),
                 view.codes.to_vec(),
             ))
+            // oasis-lint: allow(panic-free-serving) — build-time invariant: the shard re-adds a strict subset of the source
             .expect("shard cannot exceed the source database's size");
     }
 

@@ -1,0 +1,12 @@
+//@ mount: crates/core/src/scratch.rs
+// Three violations: a bare attribute with no justification, an inline
+// escape with no reason text, and an escape naming an unknown rule.
+
+#[allow(dead_code)]
+fn bare_allow() {}
+
+// oasis-lint: allow(panic-free-serving)
+fn escape_without_reason() {}
+
+// oasis-lint: allow(no-such-rule) — the rule name is wrong
+fn unknown_rule() {}

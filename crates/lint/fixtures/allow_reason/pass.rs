@@ -1,0 +1,11 @@
+//@ mount: crates/core/src/scratch.rs
+// Every allow carries its justification.
+
+// Kept unreferenced on purpose: the fixture exercises the attribute.
+#[allow(dead_code)]
+fn justified_allow() {}
+
+fn checked(v: &[u8]) -> u8 {
+    // oasis-lint: allow(panic-free-serving) — not a serving path; kept as an escape-syntax example
+    v.first().copied().unwrap_or(0)
+}

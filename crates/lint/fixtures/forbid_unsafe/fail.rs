@@ -1,0 +1,3 @@
+//@ mount: crates/fixture/src/lib.rs
+//@ lib-root
+//! A crate root missing `#![forbid(unsafe_code)]`.

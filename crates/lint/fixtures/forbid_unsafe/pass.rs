@@ -1,0 +1,4 @@
+//@ mount: crates/fixture/src/lib.rs
+//@ lib-root
+#![forbid(unsafe_code)]
+//! A crate root that pins the no-unsafe guarantee.

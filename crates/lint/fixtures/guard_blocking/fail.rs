@@ -1,0 +1,16 @@
+//@ mount: crates/engine/src/pool.rs
+// Holds a mutex guard across a channel recv — the catalog/engine
+// deadlock shape — and chains an acquisition into a blocking call.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+fn drain(queue: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let mut held = queue.lock().unwrap();
+    let next = rx.recv().unwrap();
+    held.push(next);
+}
+
+fn chained(queue: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    queue.lock().unwrap().push(rx.recv().unwrap());
+}

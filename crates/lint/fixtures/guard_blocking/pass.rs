@@ -1,0 +1,34 @@
+//@ mount: crates/engine/src/pool.rs
+// Guard discipline the rule accepts: recv before locking, scoped
+// guards, an explicit drop, and a condvar wait that consumes the guard.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex};
+
+fn drain(queue: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let next = rx.recv().unwrap();
+    let mut held = queue.lock().unwrap();
+    held.push(next);
+}
+
+fn scoped(queue: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    {
+        let mut held = queue.lock().unwrap();
+        held.push(1);
+    }
+    let _ = rx.recv();
+}
+
+fn dropped(queue: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let mut held = queue.lock().unwrap();
+    held.push(1);
+    drop(held);
+    let _ = rx.recv();
+}
+
+fn waits(ready: &Mutex<bool>, cv: &Condvar) {
+    let mut flag = ready.lock().unwrap();
+    while !*flag {
+        flag = cv.wait(flag).unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+//@ mount: crates/storage/src/artifact.rs
+// Broken on two counts: the shard section never lands in the manifest,
+// and the collector does not recognize the shard naming pattern — an
+// orphaned shard image would survive every sweep.
+
+const MANIFEST_FILE: &str = "MANIFEST";
+
+struct SectionMeta {
+    file: String,
+}
+
+fn write_atomic(_dir: &str, _name: &str, _bytes: &[u8]) {}
+
+fn write_index_artifact(dir: &str, checksum: u64) -> Vec<SectionMeta> {
+    let db_name = format!("db-{checksum:016x}.oasisdb");
+    write_atomic(dir, &db_name, b"db");
+    let shard_name = format!("shard-{checksum:016x}.oasis");
+    write_atomic(dir, &shard_name, b"shard");
+    let sections = vec![SectionMeta { file: db_name }];
+    write_atomic(dir, MANIFEST_FILE, b"manifest");
+    sections
+}
+
+fn collect_garbage(name: &str) -> bool {
+    name.starts_with("db-") && name.ends_with(".oasisdb")
+}

@@ -1,0 +1,11 @@
+//@ mount: crates/net/src/server.rs
+// A serving-path module that panics three ways: an unwrap, a panic!
+// macro, and direct slice indexing. The rule must flag all of them.
+
+fn handle(frame: &[u8]) -> u8 {
+    let kind = frame.first().unwrap();
+    if *kind > 3 {
+        panic!("unknown frame kind");
+    }
+    frame[1]
+}

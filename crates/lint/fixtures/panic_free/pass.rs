@@ -1,0 +1,28 @@
+//@ mount: crates/net/src/server.rs
+// The same serving-path module, panic-free: checked access, a justified
+// escape, and test-only unwraps (which the rule ignores).
+
+fn handle(frame: &[u8]) -> Option<u8> {
+    let kind = frame.first()?;
+    if *kind > 3 {
+        return None;
+    }
+    frame.get(1).copied()
+}
+
+fn bounded(frame: &[u8]) -> u8 {
+    if frame.len() > 2 {
+        // oasis-lint: allow(panic-free-serving) — the length check above bounds the index
+        frame[2]
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!([7u8].first().copied().unwrap(), 7);
+    }
+}

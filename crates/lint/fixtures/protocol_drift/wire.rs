@@ -1,0 +1,52 @@
+//@ mount: crates/net/src/frame.rs
+// A miniature wire module the protocol-drift doc fixtures cross-check
+// against: two frame tags, two error codes, a version constant.
+
+pub const PROTOCOL_VERSION: u32 = 1;
+
+const TY_HELLO: u8 = 1;
+const TY_SEARCH: u8 = 2;
+
+pub enum Frame {
+    Hello,
+    Search,
+}
+
+pub enum ErrorCode {
+    Busy,
+    Internal,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello => TY_HELLO,
+            Frame::Search => TY_SEARCH,
+        }
+    }
+
+    fn decode(kind: u8) -> Option<Frame> {
+        match kind {
+            TY_HELLO => Some(Frame::Hello),
+            TY_SEARCH => Some(Frame::Search),
+            _ => None,
+        }
+    }
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Busy => 1,
+            ErrorCode::Internal => 2,
+        }
+    }
+
+    fn from_u16(code: u16) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::Busy),
+            2 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `oasis-lint` — the workspace invariant checker.
+//!
+//! The serving stack's correctness rests on invariants no one file can
+//! see: the wire spec in `docs/PROTOCOL.md` must match the tag constants
+//! in `crates/net`, every artifact section written must land in the
+//! checksum manifest, and nothing on a serving path may panic. This
+//! crate enforces those invariants as a dependency-free static-analysis
+//! pass over the workspace's own sources: a small hand-rolled
+//! [lexer] (comment-, string-, and `#[cfg(test)]`-aware — no
+//! `syn`, no crates.io) feeding a [rule engine](rules) that emits
+//! `file:line` [diagnostics](diag) with human and `--json` output.
+//!
+//! # Rules
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | `panic-free-serving` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/raw indexing in serving-path modules |
+//! | `guard-across-blocking` | no lock guard held across `wait`/`recv`/socket I/O in the same block |
+//! | `protocol-drift` | `docs/PROTOCOL.md` tables ⇔ `crates/net/src/frame.rs` constants and match arms |
+//! | `manifest-coverage` | every artifact section written is manifest-recorded and GC-recognized |
+//! | `allow-needs-reason` | every `#[allow(…)]` and every inline escape carries a justification |
+//! | `forbid-unsafe` | every crate root pins `#![forbid(unsafe_code)]` |
+//!
+//! # Escapes
+//!
+//! A finding is suppressed by an adjacent
+//! `// oasis-lint: allow(rule-name) — reason` comment (same line or the
+//! line above). The reason is mandatory; `allow-needs-reason` polices the
+//! escapes themselves and cannot be escaped. See `docs/LINTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{render_json, Diagnostic};
+pub use source::SourceFile;
+pub use workspace::{find_root, Workspace};

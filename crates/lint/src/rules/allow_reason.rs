@@ -1,0 +1,100 @@
+//! Rule `allow-needs-reason`: every lint suppression must say why.
+//! A `#[allow(…)]` / `#[expect(…)]` attribute outside test code needs an
+//! adjacent justification comment (above it or trailing it), and every
+//! inline `oasis-lint: allow(rule)` escape must carry reason text after
+//! the closing parenthesis. Doc comments do not count as justifications —
+//! they document the item, not the suppression.
+
+use crate::diag::Diagnostic;
+use crate::rules::RULES;
+use crate::source::SourceFile;
+
+/// This rule's name.
+pub const RULE: &str = "allow-needs-reason";
+
+/// Check suppression hygiene in `file`.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = file.code_indices();
+
+    // Lines on which a justification-capable comment sits (or ends).
+    let comment_lines: Vec<u32> = file
+        .tokens
+        .iter()
+        .filter(|t| t.is_comment())
+        .filter(|t| {
+            let stripped = t
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim();
+            // Doc comments (`///`, `//!`) and empty comments don't justify.
+            !t.text.starts_with("///") && !t.text.starts_with("//!") && stripped.len() >= 4
+        })
+        .map(|t| t.end_line())
+        .collect();
+
+    for (k, &ti) in code.iter().enumerate() {
+        if file.in_test[ti] || !file.tokens[ti].is_punct('#') {
+            continue;
+        }
+        let mut j = k + 1;
+        if code.get(j).is_some_and(|&t| file.tokens[t].is_punct('!')) {
+            j += 1;
+        }
+        if !code.get(j).is_some_and(|&t| file.tokens[t].is_punct('[')) {
+            continue;
+        }
+        let Some(&head) = code.get(j + 1) else {
+            continue;
+        };
+        let head = &file.tokens[head];
+        if !(head.is_ident("allow") || head.is_ident("expect")) {
+            continue;
+        }
+        let line = file.tokens[ti].line;
+        let justified = comment_lines.iter().any(|&cl| cl == line || cl + 1 == line);
+        if !justified {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                line,
+                format!(
+                    "`#[{}(…)]` has no justification; add a comment on the line \
+                     above (or trailing it) saying why the lint is suppressed",
+                    head.text
+                ),
+            ));
+        }
+    }
+
+    for e in &file.escapes {
+        if file.in_test.get(e.token).copied().unwrap_or(false) {
+            continue;
+        }
+        if !e.has_reason {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                e.line,
+                format!(
+                    "escape has no reason; write `// oasis-lint: allow({}) — reason`",
+                    e.rules.join(", ")
+                ),
+            ));
+        }
+        for r in &e.rules {
+            if !RULES.contains(&r.as_str()) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &file.path,
+                    e.line,
+                    format!(
+                        "escape names unknown rule `{r}`; known rules: {}",
+                        RULES.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Rule `forbid-unsafe`: the workspace contains no `unsafe` code, and
+//! each crate root pins that fact with `#![forbid(unsafe_code)]` so it
+//! cannot regress silently. This rule verifies the attribute is present
+//! in every lib root the workspace declares.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "forbid-unsafe";
+
+/// Check that every declared lib root carries the attribute.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for root in &ws.lib_roots {
+        // Exact match first: `src/lib.rs` must not suffix-match some
+        // `crates/*/src/lib.rs`.
+        let Some(file) = ws.files.iter().find(|f| &f.path == root).or_else(|| {
+            ws.files
+                .iter()
+                .find(|f| f.path.ends_with(&format!("/{root}")))
+        }) else {
+            diags.push(Diagnostic::new(
+                RULE,
+                root.clone(),
+                1,
+                "declared lib root is missing from the workspace sources",
+            ));
+            continue;
+        };
+        if !has_forbid_unsafe(file) {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`; the workspace is \
+                 unsafe-free and every crate must pin that",
+            ));
+        }
+    }
+}
+
+/// Does the file contain a `forbid(…)` attribute listing `unsafe_code`?
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let code = file.code_indices();
+    for k in 0..code.len() {
+        if !file.tokens[code[k]].is_ident("forbid")
+            || !code
+                .get(k + 1)
+                .is_some_and(|&t| file.tokens[t].is_punct('('))
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        for &ti in code.iter().skip(k + 1) {
+            let t = &file.tokens[ti];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("unsafe_code") {
+                return true;
+            }
+        }
+    }
+    false
+}

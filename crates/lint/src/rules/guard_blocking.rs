@@ -1,0 +1,316 @@
+//! Rule `guard-across-blocking`: a `Mutex`/`RwLock` guard must not stay
+//! live across a blocking call — `Condvar::wait`, channel `recv`, thread
+//! `join`/`sleep`, socket `accept`/`connect`, or stream I/O (the
+//! `IndexCatalog` + `ServingEngine` deadlock shape).
+//!
+//! Two shapes are detected, outside test code:
+//!
+//! 1. a `let` binding whose initialiser acquires a lock (a zero-argument
+//!    `.lock()` / `.read()` / `.write()`), followed by a blocking call
+//!    before the binding's block ends (or before `drop(guard)`);
+//! 2. a single expression chaining an acquisition into a blocking call
+//!    (`x.lock()…recv()…` inside one statement).
+//!
+//! A blocking call that receives the guard *as an argument* is exempt:
+//! `condvar.wait(guard)` consumes the guard by design.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// This rule's name.
+pub const RULE: &str = "guard-across-blocking";
+
+/// Zero-argument methods that acquire a lock guard.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Methods that block the calling thread.
+const BLOCKING_METHODS: &[&str] = &[
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "accept",
+    "connect",
+    "join",
+    "sleep",
+    "park",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+];
+
+/// Free functions that block (this workspace's framed socket I/O).
+const BLOCKING_FNS: &[&str] = &["read_frame", "write_frame", "sleep", "park"];
+
+struct Guard {
+    name: String,
+    line: u32,
+    /// Code index after which the guard is live (its `let`'s `;`).
+    born: usize,
+    /// Code index at which the guard dies (block close or `drop(...)`).
+    dies: usize,
+}
+
+/// Scan `file` for guards held across blocking calls.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = file.code_indices();
+
+    // Brace depth *before* each code token.
+    let mut depth_at = Vec::with_capacity(code.len());
+    let mut depth = 0i32;
+    for &ti in &code {
+        depth_at.push(depth);
+        if file.tokens[ti].is_punct('{') {
+            depth += 1;
+        } else if file.tokens[ti].is_punct('}') {
+            depth -= 1;
+        }
+    }
+
+    let guards = collect_guards(file, &code, &depth_at);
+
+    for k in 0..code.len() {
+        let ti = code[k];
+        if file.in_test[ti] {
+            continue;
+        }
+        let Some((callee_line, callee, args)) = blocking_call_at(file, &code, k) else {
+            continue;
+        };
+        for g in &guards {
+            if g.born < k && k < g.dies && !args_name(file, &code, &args, &g.name) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &file.path,
+                    callee_line,
+                    format!(
+                        "lock guard `{}` (acquired on line {}) is still live across \
+                         blocking call `{}`; drop the guard first, or pass it into \
+                         the wait",
+                        g.name, g.line, callee
+                    ),
+                ));
+            }
+        }
+        // Shape 2: an acquisition chained into this same statement.
+        if let Some(acq_line) = chained_acquisition(file, &code, k) {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                callee_line,
+                format!(
+                    "temporary lock guard acquired on line {acq_line} is chained \
+                     into blocking call `{callee}` in the same statement; bind \
+                     and drop the guard before blocking"
+                ),
+            ));
+        }
+    }
+}
+
+/// If the code token at `k` is the callee identifier of a blocking call,
+/// return `(line, rendered name, argument code-index range)`.
+fn blocking_call_at(
+    file: &SourceFile,
+    code: &[usize],
+    k: usize,
+) -> Option<(u32, String, std::ops::Range<usize>)> {
+    let t = &file.tokens[code[k]];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let prev_dot = k
+        .checked_sub(1)
+        .is_some_and(|p| file.tokens[code[p]].is_punct('.'));
+    let next_paren = code
+        .get(k + 1)
+        .is_some_and(|&n| file.tokens[n].is_punct('('));
+    if !next_paren {
+        return None;
+    }
+    let name = t.text.as_str();
+    let is_blocking = if prev_dot {
+        BLOCKING_METHODS.contains(&name)
+    } else {
+        BLOCKING_FNS.contains(&name)
+    };
+    if !is_blocking {
+        return None;
+    }
+    // Zero-argument `.read()` / `.write()` never blocks here — it is the
+    // lock-acquisition shape, which `ACQUIRE_METHODS` handles instead.
+    let args = paren_range(file, code, k + 1);
+    if prev_dot && matches!(name, "read" | "write") && args.is_empty() {
+        return None;
+    }
+    let rendered = if prev_dot {
+        format!(".{name}(...)")
+    } else {
+        format!("{name}(...)")
+    };
+    Some((t.line, rendered, args))
+}
+
+/// The code-index range of the arguments inside the paren opening at
+/// code index `open` (exclusive of both parens).
+fn paren_range(file: &SourceFile, code: &[usize], open: usize) -> std::ops::Range<usize> {
+    let mut depth = 0i32;
+    for (k, &ti) in code.iter().enumerate().skip(open) {
+        let t = &file.tokens[ti];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return open + 1..k;
+            }
+        }
+    }
+    open + 1..code.len()
+}
+
+/// Does the ident `name` appear in the argument range?
+fn args_name(file: &SourceFile, code: &[usize], args: &std::ops::Range<usize>, name: &str) -> bool {
+    code[args.start.min(code.len())..args.end.min(code.len())]
+        .iter()
+        .any(|&ti| file.tokens[ti].is_ident(name))
+}
+
+/// Is the code token at `k` a zero-argument lock acquisition
+/// (`.lock()` / `.read()` / `.write()`)?
+fn acquisition_at(file: &SourceFile, code: &[usize], k: usize) -> bool {
+    let t = &file.tokens[code[k]];
+    if t.kind != TokenKind::Ident || !ACQUIRE_METHODS.contains(&t.text.as_str()) {
+        return false;
+    }
+    let prev_dot = k
+        .checked_sub(1)
+        .is_some_and(|p| file.tokens[code[p]].is_punct('.'));
+    prev_dot
+        && code
+            .get(k + 1)
+            .is_some_and(|&n| file.tokens[n].is_punct('('))
+        && paren_range(file, code, k + 1).is_empty()
+}
+
+/// Walk backwards from the blocking call at `k` to the start of its
+/// statement; if an acquisition occurs in between (same statement, so
+/// the guard is a live temporary), return the acquisition's line. Braced
+/// regions passed on the way back (earlier nested blocks, struct
+/// literals) are skipped whole — their contents belong to other
+/// statements.
+fn chained_acquisition(file: &SourceFile, code: &[usize], k: usize) -> Option<u32> {
+    let mut nest = 0i32;
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        let t = &file.tokens[code[j]];
+        if t.is_punct('}') {
+            nest += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            if nest > 0 {
+                nest -= 1;
+                continue;
+            }
+            // The enclosing block opens here: statement start.
+            return None;
+        }
+        if nest > 0 {
+            continue;
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        if acquisition_at(file, code, j) {
+            return Some(t.line);
+        }
+    }
+    None
+}
+
+/// Find every `let <name> = … .lock()/.read()/.write() …;` binding and
+/// compute its live range.
+fn collect_guards(file: &SourceFile, code: &[usize], depth_at: &[i32]) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        if !file.tokens[code[k]].is_ident("let") || file.in_test[code[k]] {
+            k += 1;
+            continue;
+        }
+        let let_depth = depth_at[k];
+        let mut j = k + 1;
+        if code.get(j).is_some_and(|&t| file.tokens[t].is_ident("mut")) {
+            j += 1;
+        }
+        let Some(&name_ti) = code.get(j) else { break };
+        let name_tok = &file.tokens[name_ti];
+        if name_tok.kind != TokenKind::Ident {
+            // Destructuring pattern; a guard never binds through one here.
+            k = j;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        // Find the `=` (skipping an optional type annotation) and the
+        // terminating `;` at the let's depth.
+        let mut eq = None;
+        let mut end = None;
+        let mut nest = 0i32;
+        for (i, &ti) in code.iter().enumerate().skip(j + 1) {
+            let t = &file.tokens[ti];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                nest -= 1;
+            } else if nest == 0 && t.is_punct('=') && eq.is_none() {
+                eq = Some(i);
+            } else if nest == 0 && t.is_punct(';') {
+                end = Some(i);
+                break;
+            }
+            if nest < 0 {
+                break;
+            }
+        }
+        let (Some(eq), Some(end)) = (eq, end) else {
+            k += 1;
+            continue;
+        };
+        let acquires = (eq + 1..end).any(|i| acquisition_at(file, code, i));
+        if acquires {
+            // Live from the `;` until the enclosing block closes or an
+            // explicit `drop(name)`.
+            let mut dies = code.len();
+            for i in end + 1..code.len() {
+                if depth_at[i] < let_depth
+                    || (file.tokens[code[i]].is_punct('}') && depth_at[i] <= let_depth)
+                {
+                    dies = i;
+                    break;
+                }
+                if file.tokens[code[i]].is_ident("drop")
+                    && args_name(file, code, &paren_range(file, code, i + 1), &name)
+                {
+                    dies = i;
+                    break;
+                }
+            }
+            guards.push(Guard {
+                name,
+                line,
+                born: end,
+                dies,
+            });
+        }
+        k = end;
+    }
+    guards
+}

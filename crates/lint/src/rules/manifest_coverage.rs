@@ -1,0 +1,349 @@
+//! Rule `manifest-coverage`: every section file that
+//! `storage::artifact::write_index_artifact` writes must be recorded in
+//! the checksum manifest, the `MANIFEST` itself must be the *last* write
+//! (crash atomicity: a manifest names only fully-written sections), and
+//! the garbage collector must recognize every section naming pattern it
+//! may need to sweep.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// This rule's name.
+pub const RULE: &str = "manifest-coverage";
+
+const WRITER_FN: &str = "write_index_artifact";
+const GC_FN: &str = "collect_garbage";
+const MANIFEST_CONST: &str = "MANIFEST_FILE";
+
+/// A section-name format template found in the writer, e.g.
+/// `"db-{checksum:016x}.oasisdb"`.
+struct Template {
+    line: u32,
+    /// Code index of the string token.
+    at: usize,
+    text: String,
+    /// Up to and including the first `-`.
+    prefix: String,
+    /// From the final `.`.
+    ext: String,
+}
+
+/// Check the artifact writer/GC invariants on `storage/src/artifact.rs`.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = file.code_indices();
+
+    let Some(body) = fn_body(file, &code, WRITER_FN) else {
+        diags.push(Diagnostic::new(
+            RULE,
+            &file.path,
+            1,
+            format!("expected `fn {WRITER_FN}` was not found; the manifest invariants cannot be checked"),
+        ));
+        return;
+    };
+
+    check_write_order(file, &code, &body, diags);
+
+    let templates = find_templates(file, &code, &body);
+    if templates.is_empty() {
+        diags.push(Diagnostic::new(
+            RULE,
+            &file.path,
+            file.tokens[code[body.start]].line,
+            format!(
+                "`{WRITER_FN}` contains no section-name templates; section writes are untracked"
+            ),
+        ));
+        return;
+    }
+
+    for t in &templates {
+        if !recorded_in_manifest(file, &code, &body, t) {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                t.line,
+                format!(
+                    "section file `{}` is written but never recorded in a manifest \
+                     `SectionMeta {{ file: … }}` entry",
+                    t.text
+                ),
+            ));
+        }
+    }
+
+    match fn_body(file, &code, GC_FN) {
+        None => diags.push(Diagnostic::new(
+            RULE,
+            &file.path,
+            1,
+            format!("expected `fn {GC_FN}` was not found; orphaned sections would never be swept"),
+        )),
+        Some(gc) => {
+            let starts = literal_args(file, &code, &gc, "starts_with");
+            let ends = literal_args(file, &code, &gc, "ends_with");
+            for t in &templates {
+                if !starts.contains(&t.prefix) || !ends.contains(&t.ext) {
+                    diags.push(Diagnostic::new(
+                        RULE,
+                        &file.path,
+                        t.line,
+                        format!(
+                            "section pattern `{}…{}` (from `{}`) is not recognized by \
+                             `{GC_FN}`; orphans of this section kind would never be swept",
+                            t.prefix, t.ext, t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Every `write_atomic` call in the writer: the manifest write must exist,
+/// be unique, come last, and no section may be written under a hard-coded
+/// literal name (sections are content-addressed through their templates).
+fn check_write_order(
+    file: &SourceFile,
+    code: &[usize],
+    body: &std::ops::Range<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut calls: Vec<(u32, bool, bool)> = Vec::new(); // (line, is_manifest, literal_name)
+    for k in body.clone() {
+        let t = &file.tokens[code[k]];
+        if !t.is_ident("write_atomic")
+            || !code
+                .get(k + 1)
+                .is_some_and(|&n| file.tokens[n].is_punct('('))
+        {
+            continue;
+        }
+        let args = paren_range(file, code, k + 1);
+        // The file-name argument is the second one.
+        let name_arg = nth_arg(file, code, &args, 1);
+        let is_manifest = name_arg
+            .clone()
+            .any(|i| file.tokens[code[i]].is_ident(MANIFEST_CONST));
+        let literal_name = name_arg
+            .clone()
+            .any(|i| file.tokens[code[i]].kind == TokenKind::Str);
+        calls.push((t.line, is_manifest, literal_name));
+    }
+    let manifest_writes = calls.iter().filter(|c| c.1).count();
+    match (manifest_writes, calls.last()) {
+        (0, _) => diags.push(Diagnostic::new(
+            RULE,
+            &file.path,
+            file.tokens[code[body.start]].line,
+            format!(
+                "`{WRITER_FN}` never writes `{MANIFEST_CONST}`; sections would be unreferenced"
+            ),
+        )),
+        (_, Some(&(line, is_manifest, _))) if !is_manifest || manifest_writes > 1 => {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                line,
+                format!(
+                    "`{MANIFEST_CONST}` must be written exactly once and last \
+                     (crash atomicity: the manifest may only name fully-written sections)"
+                ),
+            ));
+        }
+        _ => {}
+    }
+    for &(line, is_manifest, literal_name) in &calls {
+        if !is_manifest && literal_name {
+            diags.push(Diagnostic::new(
+                RULE,
+                &file.path,
+                line,
+                "section written under a hard-coded file name; sections must be \
+                 content-addressed via a checksum template and recorded in the manifest",
+            ));
+        }
+    }
+}
+
+/// String tokens in the writer body shaped like a section-name template:
+/// `prefix-{…}….ext`.
+fn find_templates(
+    file: &SourceFile,
+    code: &[usize],
+    body: &std::ops::Range<usize>,
+) -> Vec<Template> {
+    let mut out = Vec::new();
+    for k in body.clone() {
+        let t = &file.tokens[code[k]];
+        if t.kind != TokenKind::Str {
+            continue;
+        }
+        let content = t.text.trim_matches('"');
+        let Some(dash) = content.find('-') else {
+            continue;
+        };
+        let Some(dot) = content.rfind('.') else {
+            continue;
+        };
+        let ext = &content[dot..];
+        if dash == 0
+            || dot <= dash
+            || !content.contains('{')
+            || ext.len() < 2
+            || !ext[1..].chars().all(|c| c.is_ascii_alphanumeric())
+        {
+            continue;
+        }
+        out.push(Template {
+            line: t.line,
+            at: k,
+            text: content.to_string(),
+            prefix: content[..=dash].to_string(),
+            ext: ext.to_string(),
+        });
+    }
+    out
+}
+
+/// Is the template's file name recorded in a `SectionMeta { file: … }`?
+/// Either the `format!` feeds `file:` directly, or it is bound by
+/// `let name = format!(…)` and `file: name` appears later in the body.
+fn recorded_in_manifest(
+    file: &SourceFile,
+    code: &[usize],
+    body: &std::ops::Range<usize>,
+    t: &Template,
+) -> bool {
+    // Walk back over `format ! (` to the tokens introducing the call.
+    let mut k = t.at;
+    let mut steps = 0;
+    while k > body.start && steps < 6 {
+        k -= 1;
+        steps += 1;
+        if file.tokens[code[k]].is_ident("format") {
+            break;
+        }
+    }
+    if !file.tokens[code[k]].is_ident("format") || k < 2 {
+        return false;
+    }
+    let before = |off: usize| &file.tokens[code[k - off]];
+    // `file : format ! ( "…" )` — recorded directly.
+    if before(2).is_ident("file") && before(1).is_punct(':') {
+        return true;
+    }
+    // `let name = format ! ( "…" )` — find `file : name` downstream.
+    if before(3).is_ident("let") && before(1).is_punct('=') {
+        let name = &before(2).text;
+        return (t.at..body.end).any(|i| {
+            file.tokens[code[i]].is_ident("file")
+                && code
+                    .get(i + 1)
+                    .is_some_and(|&n| file.tokens[n].is_punct(':'))
+                && code
+                    .get(i + 2)
+                    .is_some_and(|&n| file.tokens[n].is_ident(name))
+        });
+    }
+    false
+}
+
+/// All string-literal first arguments of `name(…)` calls in `range`.
+fn literal_args(
+    file: &SourceFile,
+    code: &[usize],
+    range: &std::ops::Range<usize>,
+    name: &str,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in range.clone() {
+        if !file.tokens[code[k]].is_ident(name) {
+            continue;
+        }
+        if let Some(&arg) = code.get(k + 2) {
+            let t = &file.tokens[arg];
+            if file.tokens[code[k + 1]].is_punct('(') && t.kind == TokenKind::Str {
+                out.push(t.text.trim_matches('"').to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The code-token range of the body of `fn name`, if present.
+fn fn_body(file: &SourceFile, code: &[usize], name: &str) -> Option<std::ops::Range<usize>> {
+    for k in 0..code.len() {
+        if !file.tokens[code[k]].is_ident("fn")
+            || !code
+                .get(k + 1)
+                .is_some_and(|&n| file.tokens[n].is_ident(name))
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        for (i, &ti) in code.iter().enumerate().skip(k + 2) {
+            let t = &file.tokens[ti];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 2..i);
+                }
+            }
+        }
+        return Some(k + 2..code.len());
+    }
+    None
+}
+
+/// The code-index range inside the parens opening at `open`.
+fn paren_range(file: &SourceFile, code: &[usize], open: usize) -> std::ops::Range<usize> {
+    let mut depth = 0i32;
+    for (k, &ti) in code.iter().enumerate().skip(open) {
+        let t = &file.tokens[ti];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return open + 1..k;
+            }
+        }
+    }
+    open + 1..code.len()
+}
+
+/// The code-index range of the `n`th (0-based) top-level argument in an
+/// argument range.
+fn nth_arg(
+    file: &SourceFile,
+    code: &[usize],
+    args: &std::ops::Range<usize>,
+    n: usize,
+) -> std::ops::Range<usize> {
+    let mut start = args.start;
+    let mut seen = 0usize;
+    let mut nest = 0i32;
+    for k in args.clone() {
+        let t = &file.tokens[code[k]];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            nest -= 1;
+        } else if nest == 0 && t.is_punct(',') {
+            if seen == n {
+                return start..k;
+            }
+            seen += 1;
+            start = k + 1;
+        }
+    }
+    if seen == n {
+        start..args.end
+    } else {
+        args.end..args.end
+    }
+}

@@ -1,0 +1,101 @@
+//! Rule `panic-free-serving`: serving-path modules must not contain a
+//! reachable panic. Banned outside test code: `.unwrap()` / `.expect()`
+//! (and their `_err` variants), the `panic!` / `todo!` / `unimplemented!`
+//! macros, and direct slice indexing (`buf[i]`, `buf[a..b]`) — each
+//! indexing site either becomes a checked `.get()` or carries a justified
+//! escape explaining why the bounds hold.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// This rule's name.
+pub const RULE: &str = "panic-free-serving";
+
+const BANNED_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const BANNED_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Keywords that may directly precede a `[` that *starts* an expression
+/// (array literal or slice pattern) rather than indexing one.
+const NON_INDEXABLE_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+/// Scan a serving-path file for reachable panics.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = file.code_indices();
+    for (k, &ti) in code.iter().enumerate() {
+        if file.in_test[ti] {
+            continue;
+        }
+        let tok = &file.tokens[ti];
+        let prev = k.checked_sub(1).map(|p| &file.tokens[code[p]]);
+        let next = code.get(k + 1).map(|&n| &file.tokens[n]);
+
+        if tok.kind == TokenKind::Ident && BANNED_METHODS.contains(&tok.text.as_str()) {
+            let is_method_call =
+                prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('('));
+            if is_method_call {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &file.path,
+                    tok.line,
+                    format!(
+                        "`.{}()` can panic on the serving path; return a typed error \
+                         (or add `// oasis-lint: allow({RULE}) — reason` if the panic \
+                         is provably unreachable)",
+                        tok.text
+                    ),
+                ));
+            }
+            continue;
+        }
+
+        if tok.kind == TokenKind::Ident && BANNED_MACROS.contains(&tok.text.as_str()) {
+            if next.is_some_and(|n| n.is_punct('!')) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &file.path,
+                    tok.line,
+                    format!(
+                        "`{}!` is banned on the serving path; surface the failure as a \
+                         typed error instead",
+                        tok.text
+                    ),
+                ));
+            }
+            continue;
+        }
+
+        // Indexing: a `[` whose previous token ends an expression. `#[`
+        // attributes, array literals (`= [`, `([`, `, [`), macro bangs
+        // (`vec![`) and type positions (`: [u8; 4]`) are all excluded
+        // because their previous token is not expression-ending.
+        if tok.is_punct('[') {
+            let indexes_expression = match prev {
+                Some(p) => match p.kind {
+                    TokenKind::Ident => !NON_INDEXABLE_KEYWORDS.contains(&p.text.as_str()),
+                    TokenKind::Punct => p.is_punct(']') || p.is_punct(')'),
+                    _ => false,
+                },
+                None => false,
+            };
+            if indexes_expression {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &file.path,
+                    tok.line,
+                    format!(
+                        "direct slice indexing can panic on the serving path; use \
+                         `.get(..)` and handle `None` (or add \
+                         `// oasis-lint: allow({RULE}) — reason` stating why the \
+                         bounds hold)"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! A lexed source file plus the two per-file analyses every rule needs:
+//! which tokens live inside test code, and which lines carry an
+//! `oasis-lint` escape.
+
+use crate::lexer::{lex, Token};
+
+/// An inline rule escape parsed from a comment. The syntax is
+/// `// oasis-lint: allow(rule-name) — reason text`; the escape covers its
+/// own line(s) and the line immediately after, so it can sit either above
+/// the flagged code or trailing on the same line.
+#[derive(Debug, Clone)]
+pub struct Escape {
+    /// Index of the comment token carrying the escape.
+    pub token: usize,
+    /// First line the escape covers.
+    pub line: u32,
+    /// Last line the escape covers (start of the *next* code line).
+    pub end_line: u32,
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether justification text follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// One lexed, analysed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The raw text (rules that read line content use this).
+    pub text: String,
+    /// The token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Parallel to `tokens`: true for tokens inside `#[cfg(test)]` or
+    /// `#[test]` items, which the serving-path rules skip.
+    pub in_test: Vec<bool>,
+    /// Inline escapes found in comments.
+    pub escapes: Vec<Escape>,
+}
+
+impl SourceFile {
+    /// Lex and analyse `text` as the file at `path`.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let path = path.into().replace('\\', "/");
+        let text = text.into();
+        let tokens = lex(&text);
+        let in_test = mark_test_regions(&tokens);
+        let escapes = find_escapes(&tokens);
+        SourceFile {
+            path,
+            text,
+            tokens,
+            in_test,
+            escapes,
+        }
+    }
+
+    /// True if an escape for `rule` covers `line`.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.escapes
+            .iter()
+            .any(|e| e.line <= line && line <= e.end_line && e.rules.iter().any(|r| r == rule))
+    }
+
+    /// Indices of the non-comment tokens, in order. Most rules walk this
+    /// so that comments never split a syntactic pattern.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+}
+
+/// Mark every token that belongs to a `#[test]` function or a
+/// `#[cfg(test)]` item (typically `mod tests { … }`). Detection is
+/// attribute-driven: on a test attribute, the following item — through
+/// any further attributes, to its closing `;` or matching `}` — is
+/// marked. `#[cfg(not(test))]` and other cfg shapes are *not* treated as
+/// test code.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        if let Some((attr_end, is_test)) = parse_attribute(tokens, &code, k) {
+            if is_test {
+                let item_end = find_item_end(tokens, &code, attr_end);
+                // Mark from the opening `#` through the end of the item,
+                // comments in between included.
+                let from = code[k];
+                let to = code.get(item_end.min(code.len() - 1)).copied().unwrap_or(0);
+                for flag in in_test.iter_mut().take(to + 1).skip(from) {
+                    *flag = true;
+                }
+                k = item_end + 1;
+                continue;
+            }
+            k = attr_end;
+            continue;
+        }
+        k += 1;
+    }
+    in_test
+}
+
+/// If `code[k]` opens an attribute (`#[...]` or `#![...]`), return the
+/// code index just past its `]` and whether it is `#[test]`/`#[cfg(test)]`.
+fn parse_attribute(tokens: &[Token], code: &[usize], k: usize) -> Option<(usize, bool)> {
+    let tok = |i: usize| -> Option<&Token> { code.get(i).map(|&t| &tokens[t]) };
+    if !tok(k)?.is_punct('#') {
+        return None;
+    }
+    let mut j = k + 1;
+    if tok(j)?.is_punct('!') {
+        j += 1;
+    }
+    if !tok(j)?.is_punct('[') {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    let mut end = open;
+    for i in open..code.len() {
+        match &tokens[code[i]] {
+            t if t.is_punct('[') => depth += 1,
+            t if t.is_punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if i + 1 == code.len() {
+            end = i;
+        }
+    }
+    // Inner tokens, brackets excluded.
+    let inner: Vec<&Token> = (open + 1..end).filter_map(tok).collect();
+    let is_test = match inner.as_slice() {
+        [t] => t.is_ident("test"),
+        [c, p, t, q] => {
+            c.is_ident("cfg") && p.is_punct('(') && t.is_ident("test") && q.is_punct(')')
+        }
+        _ => false,
+    };
+    Some((end + 1, is_test))
+}
+
+/// From code index `k` (just past an attribute), skip further attributes
+/// and return the code index of the token ending the annotated item: the
+/// `;` of a bodiless item, or the `}` matching its first body brace.
+fn find_item_end(tokens: &[Token], code: &[usize], mut k: usize) -> usize {
+    while let Some((attr_end, _)) = parse_attribute(tokens, code, k) {
+        k = attr_end;
+    }
+    let mut depth = 0i32;
+    for i in k..code.len() {
+        let t = &tokens[code[i]];
+        if depth == 0 && t.is_punct(';') {
+            return i;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Scan comment tokens for `oasis-lint: allow(rule, …)` escapes.
+fn find_escapes(tokens: &[Token]) -> Vec<Escape> {
+    const MARKER: &str = "oasis-lint:";
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        // Doc comments never carry escapes: documentation may *describe*
+        // the escape syntax without enacting it.
+        if tok.text.starts_with("///") || tok.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = tok.text.find(MARKER) else {
+            continue;
+        };
+        let after = tok.text[at + MARKER.len()..].trim_start();
+        let Some(rest) = after.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut tail = rest[close + 1..].trim_start();
+        for sep in ["—", "--", "-", ":", ","] {
+            if let Some(t) = tail.strip_prefix(sep) {
+                tail = t;
+                break;
+            }
+        }
+        let reason = tail.trim().trim_end_matches("*/").trim();
+        out.push(Escape {
+            token: i,
+            line: tok.line,
+            end_line: tok.end_line() + 1,
+            rules,
+            has_reason: reason.len() >= 3,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let f = SourceFile::new(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() { x.unwrap(); }\n}\nfn tail() {}\n",
+        );
+        let unwrap_at = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(f.in_test[unwrap_at]);
+        let tail_at = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("tail"))
+            .expect("tail token");
+        assert!(!f.in_test[tail_at]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let f = SourceFile::new("x.rs", "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n");
+        assert!(f.in_test.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn test_attr_with_stacked_attrs() {
+        let f = SourceFile::new(
+            "x.rs",
+            "#[test]\n#[ignore]\nfn t() { boom(); }\nfn live() {}\n",
+        );
+        let boom = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("boom"))
+            .expect("boom");
+        let live = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .expect("live");
+        assert!(f.in_test[boom]);
+        assert!(!f.in_test[live]);
+    }
+
+    #[test]
+    fn escape_parsing() {
+        let f = SourceFile::new(
+            "x.rs",
+            "// oasis-lint: allow(panic-free-serving) — bounds checked above\nlet x = v[0];\n// oasis-lint: allow(guard-across-blocking)\nlet y = 1;\n",
+        );
+        assert_eq!(f.escapes.len(), 2);
+        assert!(f.escapes[0].has_reason);
+        assert!(f.allows("panic-free-serving", 2));
+        assert!(!f.escapes[1].has_reason);
+        assert!(f.allows("guard-across-blocking", 4));
+        assert!(!f.allows("panic-free-serving", 4));
+    }
+}

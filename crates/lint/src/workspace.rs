@@ -1,0 +1,253 @@
+//! Workspace loading: gather the Rust sources and normative documents
+//! the rules read, either from disk (the real tree) or from in-memory
+//! `(path, text)` pairs (fixtures and break-the-invariant self-tests).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::rules;
+use crate::source::SourceFile;
+
+/// The sources a lint run sees.
+pub struct Workspace {
+    /// Rust sources, paths workspace-relative with `/` separators.
+    pub files: Vec<SourceFile>,
+    /// Non-Rust documents the rules cross-check (e.g. `docs/PROTOCOL.md`),
+    /// as `(path, text)` pairs.
+    pub docs: Vec<(String, String)>,
+    /// Crate roots that must carry `#![forbid(unsafe_code)]`.
+    pub lib_roots: Vec<String>,
+}
+
+impl Workspace {
+    /// Build a workspace from in-memory sources. `docs` and `lib_roots`
+    /// follow the same path conventions as [`Workspace::load`].
+    pub fn from_sources(
+        files: Vec<(String, String)>,
+        docs: Vec<(String, String)>,
+        lib_roots: Vec<String>,
+    ) -> Workspace {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, t)| SourceFile::new(p, t))
+                .collect(),
+            docs,
+            lib_roots,
+        }
+    }
+
+    /// Build a workspace from fixture files on disk. Fixtures declare
+    /// where they mount via header directives — `//@ mount: <path>` in
+    /// Rust files, `<!--@ mount: <path> -->` in documents — plus
+    /// `//@ with: <sibling>` to pull in a companion file from the same
+    /// directory and `//@ lib-root` to register the mount as a crate
+    /// root. Without a `mount:` directive, documents mount at
+    /// `docs/PROTOCOL.md` and Rust files under `crates/fixture/src/`.
+    pub fn from_fixtures(paths: &[PathBuf]) -> io::Result<Workspace> {
+        let mut queue: Vec<PathBuf> = paths.to_vec();
+        let mut loaded: Vec<PathBuf> = Vec::new();
+        let mut files = Vec::new();
+        let mut docs = Vec::new();
+        let mut lib_roots = Vec::new();
+        let mut at = 0usize;
+        while let Some(path) = queue.get(at).cloned() {
+            at += 1;
+            if loaded.contains(&path) {
+                continue;
+            }
+            loaded.push(path.clone());
+            let text = fs::read_to_string(&path)?;
+            let is_doc = path.extension().is_some_and(|e| e == "md");
+            let mut mount: Option<String> = None;
+            let mut is_lib_root = false;
+            for line in text.lines() {
+                let l = line.trim();
+                let Some(body) = l
+                    .strip_prefix("//@")
+                    .or_else(|| l.strip_prefix("<!--@").and_then(|r| r.strip_suffix("-->")))
+                else {
+                    continue;
+                };
+                let body = body.trim();
+                if let Some(m) = body.strip_prefix("mount:") {
+                    mount = Some(m.trim().to_string());
+                } else if let Some(w) = body.strip_prefix("with:") {
+                    let dir = path.parent().unwrap_or(Path::new("."));
+                    queue.push(dir.join(w.trim()));
+                } else if body == "lib-root" {
+                    is_lib_root = true;
+                }
+            }
+            let mount = mount.unwrap_or_else(|| {
+                if is_doc {
+                    "docs/PROTOCOL.md".to_string()
+                } else {
+                    let name = path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "fixture.rs".to_string());
+                    format!("crates/fixture/src/{name}")
+                }
+            });
+            if is_lib_root {
+                lib_roots.push(mount.clone());
+            }
+            if mount.ends_with(".md") {
+                docs.push((mount, text));
+            } else {
+                files.push(SourceFile::new(mount, text));
+            }
+        }
+        Ok(Workspace {
+            files,
+            docs,
+            lib_roots,
+        })
+    }
+
+    /// Load the workspace rooted at `root` from disk: every `.rs` file
+    /// under `crates/*/src` and the root `src/`, plus `docs/PROTOCOL.md`.
+    /// Fixture corpora (`crates/*/fixtures`) are deliberately excluded —
+    /// they exist to *fail* rules.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rel_files = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut krates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            krates.sort();
+            for krate in krates {
+                let src = krate.join("src");
+                if src.is_dir() {
+                    walk_rs(&src, &mut rel_files)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            walk_rs(&root_src, &mut rel_files)?;
+        }
+
+        let mut files = Vec::new();
+        for path in &rel_files {
+            let text = fs::read_to_string(path)?;
+            files.push(SourceFile::new(relative(root, path), text));
+        }
+
+        let mut docs = Vec::new();
+        let protocol = root.join("docs").join("PROTOCOL.md");
+        if protocol.is_file() {
+            docs.push((relative(root, &protocol), fs::read_to_string(&protocol)?));
+        }
+
+        let mut lib_roots: Vec<String> = files
+            .iter()
+            .map(|f| f.path.clone())
+            .filter(|p| {
+                (p.starts_with("crates/") && p.ends_with("/src/lib.rs")) || p == "src/lib.rs"
+            })
+            .collect();
+        lib_roots.sort();
+
+        Ok(Workspace {
+            files,
+            docs,
+            lib_roots,
+        })
+    }
+
+    /// Run every rule; returns the surviving findings, sorted.
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        rules::run_all(self)
+    }
+
+    /// Replace the text of the file or doc at `path` (suffix-matched),
+    /// re-analysing it. Returns false if no such source exists. The
+    /// break-the-invariant self-tests use this to corrupt one file of the
+    /// real tree in memory and assert the right rule fires.
+    pub fn patch(&mut self, path: &str, text: impl Into<String>) -> bool {
+        let text = text.into();
+        if let Some(f) = self
+            .files
+            .iter_mut()
+            .find(|f| f.path == path || f.path.ends_with(path))
+        {
+            *f = SourceFile::new(f.path.clone(), text);
+            return true;
+        }
+        if let Some(d) = self
+            .docs
+            .iter_mut()
+            .find(|(p, _)| p == path || p.ends_with(path))
+        {
+            d.1 = text;
+            return true;
+        }
+        false
+    }
+
+    /// A read handle on the text of the source at `path` (suffix-matched).
+    pub fn text_of(&self, path: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .find(|f| f.path == path || f.path.ends_with(path))
+            .map(|f| f.text.as_str())
+            .or_else(|| {
+                self.docs
+                    .iter()
+                    .find(|(p, _)| p == path || p.ends_with(path))
+                    .map(|(_, t)| t.as_str())
+            })
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping fixture corpora.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root at or above `start`: the nearest directory
+/// holding both a `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    for _ in 0..16 {
+        let d = dir?;
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,59 @@
+//! Lexer property tests: the lexer is total (never panics, keeps line
+//! numbers sane on arbitrary byte soup) and tracks string/comment state
+//! exactly across randomized interleavings of tricky fragments.
+
+use oasis_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Self-delimiting fragments with their expected token kinds. Each ends
+/// cleanly (line comments carry their own newline), so any concatenation
+/// with single-space separators must lex to the concatenated kinds — if
+/// the lexer ever mis-tracks a string or comment boundary, a following
+/// fragment lexes wrong and the comparison fails.
+const FRAGMENTS: &[(&str, &[TokenKind])] = &[
+    ("\"a \\\" b\"", &[TokenKind::Str]),
+    ("'x'", &[TokenKind::Char]),
+    ("'\\n'", &[TokenKind::Char]),
+    ("'lt", &[TokenKind::Lifetime]),
+    ("// to end of line\n", &[TokenKind::LineComment]),
+    ("/* block /* nested */ done */", &[TokenKind::BlockComment]),
+    ("r#\"raw \" quote\"#", &[TokenKind::Str]),
+    ("b\"bytes\"", &[TokenKind::Str]),
+    ("ident_9", &[TokenKind::Ident]),
+    ("0xFF_u8", &[TokenKind::Number]),
+    ("->", &[TokenKind::Punct, TokenKind::Punct]),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&text);
+        let line_count = text.split('\n').count() as u32;
+        for t in &tokens {
+            prop_assert!(t.line >= 1 && t.line <= line_count);
+            prop_assert!(!t.text.is_empty());
+        }
+        for w in tokens.windows(2) {
+            prop_assert!(w[1].line >= w[0].line, "line numbers went backwards");
+        }
+    }
+
+    #[test]
+    fn lexer_tracks_string_and_comment_state(
+        seeds in prop::collection::vec(0usize..FRAGMENTS.len(), 1..12)
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<TokenKind> = Vec::new();
+        for &s in &seeds {
+            let (frag, kinds) = FRAGMENTS[s];
+            src.push_str(frag);
+            src.push(' ');
+            expected.extend_from_slice(kinds);
+        }
+        let got: Vec<TokenKind> = lex(&src).into_iter().map(|t| t.kind).collect();
+        prop_assert_eq!(got, expected, "source: {src:?}");
+    }
+}

@@ -192,6 +192,10 @@ impl HitStream<'_> {
     /// Drain any remaining hits and return the terminal [`SearchDone`].
     pub fn finish(mut self) -> Result<SearchDone, NetError> {
         while self.next_hit()?.is_some() {}
-        Ok(self.done.expect("next_hit() returned None only after Done"))
+        // `next_hit` only answers `None` once `done` is set, so this is
+        // unreachable — but a protocol error beats a client panic.
+        self.done.take().ok_or_else(|| {
+            NetError::Protocol("search response ended without a Done frame".to_string())
+        })
     }
 }

@@ -590,13 +590,14 @@ impl Frame {
 
 /// Parse and validate a frame header: `(frame_type, payload_len)`.
 pub(crate) fn decode_header(header: [u8; HEADER_LEN]) -> Result<(u8, u32), NetError> {
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let (len_bytes, rest) = header.split_first_chunk::<4>().unwrap_or((&[0; 4], &[]));
+    let len = u32::from_le_bytes(*len_bytes);
     if len > MAX_FRAME_BYTES {
         return Err(NetError::Protocol(format!(
             "declared frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"
         )));
     }
-    Ok((header[4], len))
+    Ok((rest.first().copied().unwrap_or_default(), len))
 }
 
 /// Read exactly one frame from `r`.
@@ -691,18 +692,25 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
-        let end = self
-            .at
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let slice = end
+            .and_then(|e| self.buf.get(self.at..e))
             .ok_or_else(|| NetError::Protocol("frame payload is truncated".to_string()))?;
-        let slice = &self.buf[self.at..end];
-        self.at = end;
+        self.at = self.at.saturating_add(n);
         Ok(slice)
     }
 
+    /// `take`, as a fixed-size array (the checked spelling of
+    /// `take(N)?.try_into().unwrap()`).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], NetError> {
+        self.take(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or_else(|| NetError::Protocol("frame payload is truncated".to_string()))
+    }
+
     fn u8(&mut self) -> Result<u8, NetError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     fn bool(&mut self) -> Result<bool, NetError> {
@@ -716,19 +724,19 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, NetError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2B")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, NetError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, NetError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i32(&mut self) -> Result<i32, NetError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+        Ok(i32::from_le_bytes(self.array()?))
     }
 
     fn str_of(&mut self, len: usize) -> Result<String, NetError> {

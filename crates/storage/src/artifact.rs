@@ -171,7 +171,7 @@ impl IndexManifest {
     /// Load and checksum-verify the database section.
     pub fn load_database(&self, dir: &Path) -> Result<SequenceDatabase, ArtifactError> {
         let bytes = load_section(dir, &self.database)?;
-        let db = oasis_bioseq::read_database(&bytes[..])
+        let db = oasis_bioseq::read_database(bytes.as_slice())
             .map_err(|e| ArtifactError::Corrupt(format!("database section: {e}")))?;
         if db.num_sequences() != self.num_seqs || db.text_len() != self.text_len {
             return Err(ArtifactError::Corrupt(
@@ -183,13 +183,22 @@ impl IndexManifest {
 
     /// Load, checksum-verify, and decode shard `i`'s tree into memory.
     pub fn load_shard_tree(&self, dir: &Path, i: usize) -> Result<SuffixTree, ArtifactError> {
-        let image = load_section(dir, &self.shards[i].section)?;
+        let shard = self
+            .shards
+            .get(i)
+            .ok_or_else(|| ArtifactError::Corrupt(format!("shard index {i} out of range")))?;
+        let image = load_section(dir, &shard.section)?;
         decode_tree(&image)
     }
 
     /// Path of shard `i`'s image file (for opening it disk-resident).
+    /// Out-of-range indices resolve to a name no artifact writer emits,
+    /// so the subsequent open fails with a clean `NotFound`.
     pub fn shard_path(&self, dir: &Path, i: usize) -> PathBuf {
-        dir.join(&self.shards[i].section.file)
+        match self.shards.get(i) {
+            Some(shard) => dir.join(&shard.section.file),
+            None => dir.join(format!("shard-{i}-out-of-range")),
+        }
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -219,14 +228,16 @@ impl IndexManifest {
 
     fn decode(bytes: &[u8]) -> Result<Self, ArtifactError> {
         let corrupt = |what: &str| ArtifactError::Corrupt(format!("manifest: {what}"));
-        if bytes.len() < 8 || &bytes[..8] != MANIFEST_MAGIC {
+        if bytes.first_chunk::<8>() != Some(MANIFEST_MAGIC) {
             return Err(ArtifactError::NotAnArtifact);
         }
         if bytes.len() < 8 + 8 {
             return Err(corrupt("truncated"));
         }
-        let (body, trailer) = bytes.split_at(bytes.len() - 8);
-        let declared = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let Some((body, trailer)) = bytes.split_last_chunk::<8>() else {
+            return Err(corrupt("truncated"));
+        };
+        let declared = u64::from_le_bytes(*trailer);
         if fnv1a64(body) != declared {
             return Err(ArtifactError::ChecksumMismatch {
                 file: MANIFEST_FILE.to_string(),
@@ -275,30 +286,34 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
-        let end = self
+        let slice = self
             .at
             .checked_add(n)
-            .filter(|&e| e <= self.body.len())
+            .and_then(|end| self.body.get(self.at..end))
             .ok_or_else(|| ArtifactError::Corrupt("manifest: truncated".to_string()))?;
-        let slice = &self.body[self.at..end];
-        self.at = end;
+        self.at = self.at.saturating_add(n);
         Ok(slice)
     }
 
+    /// A fixed-width field. `take` returns exactly `N` bytes on success,
+    /// so the error arm only fires on truncation.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ArtifactError> {
+        self.take(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or_else(|| ArtifactError::Corrupt("manifest: truncated".to_string()))
+    }
+
     fn u32(&mut self) -> Result<u32, ArtifactError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, ArtifactError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn section(&mut self) -> Result<SectionMeta, ArtifactError> {
-        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")) as usize;
+        let len = u16::from_le_bytes(self.array()?) as usize;
         let file = std::str::from_utf8(self.take(len)?)
             .map_err(|_| ArtifactError::Corrupt("manifest: file name is not utf-8".to_string()))?
             .to_string();
@@ -451,25 +466,45 @@ pub fn read_manifest(dir: &Path) -> Result<IndexManifest, ArtifactError> {
 /// database it is paired with — checksums prove each section is intact,
 /// not that the manifest paired the right sections together.
 pub fn image_text(image: &[u8]) -> Result<&[u8], ArtifactError> {
-    if image.len() < HEADER_LEN || &image[0..8] != TREE_MAGIC {
+    if image.len() < HEADER_LEN || image.first_chunk::<8>() != Some(TREE_MAGIC) {
         return Err(ArtifactError::Corrupt(
             "tree image has bad magic or truncated header".to_string(),
         ));
     }
-    let bs = u32::from_le_bytes(image[8..12].try_into().expect("4 bytes")) as usize;
+    let bs = u32_in(image, 8) as usize;
     if bs < 64 || !bs.is_multiple_of(16) {
         return Err(ArtifactError::Corrupt(format!(
             "tree image has invalid block size {bs}"
         )));
     }
-    let text_len = u32::from_le_bytes(image[12..16].try_into().expect("4 bytes")) as usize;
-    let symbols_start = u64::from_le_bytes(image[32..40].try_into().expect("8 bytes")) as usize;
+    let text_len = u32_in(image, 12) as usize;
+    let symbols_start = u64_in(image, 32) as usize;
     symbols_start
         .checked_mul(bs)
         .and_then(|from| from.checked_add(text_len).map(|to| (from, to)))
-        .filter(|&(_, to)| to <= image.len())
-        .map(|(from, to)| &image[from..to])
+        .and_then(|(from, to)| image.get(from..to))
         .ok_or_else(|| ArtifactError::Corrupt("symbols region out of bounds".to_string()))
+}
+
+/// `u32::from_le_bytes` over `bytes[at..at + 4]`, or 0 when out of range.
+/// The decode paths only call this after establishing the bounds (header
+/// length, region extents), so the zero fallback is unreachable; it keeps
+/// every read total instead of letting a slip panic a loading server.
+fn u32_in(bytes: &[u8], at: usize) -> u32 {
+    bytes
+        .get(at..at.saturating_add(4))
+        .and_then(|s| s.first_chunk::<4>())
+        .map(|b| u32::from_le_bytes(*b))
+        .unwrap_or_default()
+}
+
+/// The eight-byte sibling of [`u32_in`].
+fn u64_in(bytes: &[u8], at: usize) -> u64 {
+    bytes
+        .get(at..at.saturating_add(8))
+        .and_then(|s| s.first_chunk::<8>())
+        .map(|b| u64::from_le_bytes(*b))
+        .unwrap_or_default()
 }
 
 /// Reconstitute an in-memory [`SuffixTree`] from a §3.4 disk-tree image
@@ -482,11 +517,11 @@ pub fn decode_tree(image: &[u8]) -> Result<SuffixTree, ArtifactError> {
     if image.len() < HEADER_LEN {
         return Err(corrupt("tree image shorter than its header".into()));
     }
-    if &image[0..8] != TREE_MAGIC {
+    if image.first_chunk::<8>() != Some(TREE_MAGIC) {
         return Err(corrupt("tree image has bad magic".into()));
     }
-    let u32_at = |o: usize| u32::from_le_bytes(image[o..o + 4].try_into().expect("4 bytes"));
-    let u64_at = |o: usize| u64::from_le_bytes(image[o..o + 8].try_into().expect("8 bytes"));
+    let u32_at = |o: usize| u32_in(image, o);
+    let u64_at = |o: usize| u64_in(image, o);
     let bs = u32_at(8) as usize;
     if bs < 64 || !bs.is_multiple_of(16) {
         return Err(corrupt(format!("tree image has invalid block size {bs}")));
@@ -500,12 +535,11 @@ pub fn decode_tree(image: &[u8]) -> Result<SuffixTree, ArtifactError> {
     let leaves_start = u64_at(48) as usize;
     let total_blocks = u64_at(56) as usize;
     let region = |start_block: usize, bytes: usize, what: &str| -> Result<&[u8], ArtifactError> {
-        let from = start_block.checked_mul(bs);
-        let to = from.and_then(|f| f.checked_add(bytes));
-        match (from, to) {
-            (Some(f), Some(t)) if t <= image.len() => Ok(&image[f..t]),
-            _ => Err(corrupt(format!("{what} region out of bounds"))),
-        }
+        start_block
+            .checked_mul(bs)
+            .and_then(|f| f.checked_add(bytes).map(|t| (f, t)))
+            .and_then(|(f, t)| image.get(f..t))
+            .ok_or_else(|| corrupt(format!("{what} region out of bounds")))
     };
     if total_blocks.checked_mul(bs).is_none_or(|t| t > image.len()) {
         return Err(corrupt("tree image is truncated".into()));
@@ -518,9 +552,7 @@ pub fn decode_tree(image: &[u8]) -> Result<SuffixTree, ArtifactError> {
     // block because their sizes divide the block size), so each region is
     // one slice of the image.
     let meta = region(meta_start, (num_seqs + 1) * 4, "metadata")?;
-    let seq_starts: Vec<u32> = (0..=num_seqs)
-        .map(|i| u32::from_le_bytes(meta[i * 4..i * 4 + 4].try_into().expect("4 bytes")))
-        .collect();
+    let seq_starts: Vec<u32> = (0..=num_seqs).map(|i| u32_in(meta, i * 4)).collect();
     let text = region(symbols_start, text_len, "symbols")?.to_vec();
     let internal = region(
         internal_start,
@@ -529,16 +561,16 @@ pub fn decode_tree(image: &[u8]) -> Result<SuffixTree, ArtifactError> {
     )?;
     let leaves = region(leaves_start, text_len * 4, "leaves")?;
 
+    // Every caller range-checks the record index (`child >= num_internal`,
+    // `pos >= text_len`) before dereferencing, so the helpers' zero
+    // fallbacks are unreachable.
     let rec = |i: u32| -> (u32, bool, u32, u32, u32) {
         let base = i as usize * INTERNAL_REC;
-        let f = |o: usize| u32::from_le_bytes(internal[base + o..base + o + 4].try_into().unwrap());
+        let f = |o: usize| u32_in(internal, base + o);
         let d = f(0);
         (d & !LAST_SIBLING, d & LAST_SIBLING != 0, f(4), f(8), f(12))
     };
-    let leaf_rsib = |pos: u32| -> u32 {
-        let at = pos as usize * 4;
-        u32::from_le_bytes(leaves[at..at + 4].try_into().expect("4 bytes"))
-    };
+    let leaf_rsib = |pos: u32| -> u32 { u32_in(leaves, pos as usize * 4) };
 
     let mut assembler = TreeAssembler::new(text, seq_starts, num_internal)
         .map_err(|e| corrupt(format!("tree reassembly: {e}")))?;

@@ -83,6 +83,8 @@ fn mutate(
     out
 }
 
+// The knobs mirror the paper's workload table one-to-one; bundling them
+// into a config struct would just rename the problem.
 #[allow(clippy::too_many_arguments)]
 fn generate_with(
     kind: AlphabetKind,

@@ -69,6 +69,7 @@ USAGE:
   oasis admin  --remote <host:port> reload <dir>
   oasis admin  --remote <host:port> shutdown
   oasis info   <index.oasis> [--block-size N]
+  oasis lint   [--json] [--root <DIR>]
 
 Database arguments accept FASTA or the binary .oasisdb format written by
 `makedb` (detected by magic). Residues outside the alphabet are skipped
@@ -99,6 +100,11 @@ search against such a server; its stdout is byte-identical to a local
 `serve` time). With port 0, `serve` prints the actual listening address
 on stdout.
 
+`lint` runs the workspace invariant checker (oasis-lint) over this
+repository's own sources — serving-path panic-freedom, lock discipline,
+wire-spec and artifact-manifest drift — and exits non-zero on findings;
+see docs/LINTS.md for the rules and the escape syntax.
+
 Defaults: --protein, --matrix pam30, --gap -10, --evalue 10, --pool-mb 64,
 --shards 1 for `index build`, --block-size 2048 for `index`/`index build`
 (search/info read the block size from the index header unless overridden),
@@ -114,6 +120,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("admin") => cmd_admin(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -886,6 +893,71 @@ fn cmd_index_inspect(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Run the workspace invariant checker (`oasis-lint`, see
+/// `docs/LINTS.md`). Exit status follows the standalone binary: 0 clean,
+/// 1 findings, 2 usage or I/O error.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown lint argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| oasis::lint::find_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "error: could not find the workspace root (no Cargo.toml + crates/ above \
+                 the cwd); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match oasis::lint::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: cannot load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diags = ws.lint();
+    if json {
+        println!("{}", oasis::lint::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "oasis lint: clean — {} files, {} rules",
+            ws.files.len(),
+            oasis::lint::rules::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oasis lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
 }
 
 /// Serve an index artifact over the oasis-net wire protocol.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # OASIS — Online and Accurate Search for Inferring local alignments on Sequences
@@ -58,6 +59,7 @@ pub use oasis_bioseq as bioseq;
 pub use oasis_blast as blast;
 pub use oasis_core as core;
 pub use oasis_engine as engine;
+pub use oasis_lint as lint;
 pub use oasis_net as net;
 pub use oasis_storage as storage;
 pub use oasis_suffix as suffix;

@@ -1,0 +1,27 @@
+//! The tree lints clean: `oasis-lint`'s whole rule set — serving-path
+//! panic-freedom, lock discipline, protocol/manifest drift, escape
+//! justifications, `forbid(unsafe_code)` pins — holds over the
+//! workspace's own sources. Any regression turns up here as the exact
+//! `file:line: [rule] message` the linter prints.
+
+use std::path::Path;
+
+use oasis::lint::Workspace;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ws = Workspace::load(root).expect("load the workspace sources");
+    assert!(
+        !ws.files.is_empty(),
+        "the loader found no sources; the clean result would be vacuous"
+    );
+    let diags = ws.lint();
+    let listing: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "oasis-lint found {} problem(s):\n{}",
+        diags.len(),
+        listing.join("\n")
+    );
+}
