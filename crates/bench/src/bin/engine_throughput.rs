@@ -14,15 +14,210 @@
 //! startup cost of a cold index build vs. loading that artifact, the
 //! restart-time metric the index lifecycle exists to improve.
 
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use oasis_bench::{banner, fmt_duration, print_table, Scale, Testbed};
-use oasis_engine::{
-    AdmissionError, QueryTicket, SearchOutcome, ServingConfig, ServingEngine, ShardedEngine,
+use oasis_bench::{banner, fmt_duration, mean_duration, print_table, Scale, Testbed};
+use oasis_core::node::QueueEntry;
+use oasis_core::{
+    expand_reference, expand_with_rules, heuristic_vector, root_node, ExpandScratch, PruneRules,
+    Status,
 };
+use oasis_engine::{
+    AdmissionError, IndexBackend, LatencySummary, QueryTicket, SearchOutcome, ServingConfig,
+    ServingEngine, ShardedEngine,
+};
+use oasis_suffix::{EsaIndex, SuffixTreeAccess};
+use oasis_workloads::{generate_queries, QuerySpec};
+
+/// Which expand kernel the hot-path walk uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    /// The scalar Algorithm 3 transcription (`expand_reference`) — the
+    /// kernel previous releases shipped.
+    Reference,
+    /// The production profile + two-pass + live-mask kernel.
+    Fast,
+}
+
+/// One best-first query over `index` with an explicit kernel choice;
+/// mirrors `OasisSearch` (first-report-wins per sequence). Returns the
+/// reported `(sequence, score)` set so all four backend × kernel cells
+/// can be asserted identical.
+fn hot_path_query<T: SuffixTreeAccess + ?Sized>(
+    index: &T,
+    tb: &Testbed,
+    query: &[u8],
+    min_score: i32,
+    kernel: Kernel,
+    scratch: &mut ExpandScratch,
+) -> Vec<(u32, i32)> {
+    let h = heuristic_vector(query, &tb.scoring);
+    let mut heap = BinaryHeap::new();
+    if let Some(root) = root_node(query, &h, min_score) {
+        heap.push(QueueEntry(root));
+    }
+    let mut columns = 0u64;
+    let mut kids = Vec::new();
+    let mut seq_no = 1u64;
+    let mut reported = vec![false; tb.workload.db.num_sequences() as usize];
+    let mut results = Vec::new();
+    while let Some(QueueEntry(node)) = heap.pop() {
+        match node.status {
+            Status::Accepted => {
+                let mut leaves = Vec::new();
+                index.leaves_under(node.handle, &mut |p| leaves.push(p));
+                leaves.sort_unstable();
+                for p in leaves {
+                    let s = tb.workload.db.seq_of_position(p);
+                    if !reported[s as usize] {
+                        reported[s as usize] = true;
+                        results.push((s, node.gmax));
+                    }
+                }
+            }
+            Status::Viable => {
+                index.children_into(node.handle, &mut kids);
+                for &child in &kids {
+                    let new = match kernel {
+                        Kernel::Fast => expand_with_rules(
+                            index,
+                            &node,
+                            child,
+                            query,
+                            &tb.scoring,
+                            &h,
+                            min_score,
+                            seq_no,
+                            scratch,
+                            &mut columns,
+                            PruneRules::default(),
+                        ),
+                        Kernel::Reference => expand_reference(
+                            index,
+                            &node,
+                            child,
+                            query,
+                            &tb.scoring,
+                            &h,
+                            min_score,
+                            seq_no,
+                            scratch,
+                            &mut columns,
+                            PruneRules::default(),
+                        ),
+                    };
+                    seq_no += 1;
+                    if new.status != Status::Unviable {
+                        heap.push(QueueEntry(new));
+                    }
+                }
+            }
+            Status::Unviable => unreachable!(),
+        }
+    }
+    results.sort_unstable();
+    results
+}
+
+/// Per-query samples for one backend × kernel cell over one query set.
+fn hot_path_cell<T: SuffixTreeAccess + ?Sized>(
+    index: &T,
+    tb: &Testbed,
+    queries: &[Vec<u8>],
+    evalue: f64,
+    kernel: Kernel,
+) -> (Vec<Duration>, Vec<Vec<(u32, i32)>>) {
+    let mut scratch = ExpandScratch::default();
+    let mut samples = Vec::with_capacity(queries.len());
+    let mut results = Vec::with_capacity(queries.len());
+    for q in queries {
+        let min = tb.min_score(q.len(), evalue);
+        let start = Instant::now();
+        let r = hot_path_query(index, tb, q, min, kernel, &mut scratch);
+        samples.push(start.elapsed());
+        results.push(r);
+    }
+    (samples, results)
+}
+
+/// All four backend × kernel cells over one query set, asserting every
+/// cell reports result sets identical to the baseline cell.
+fn hot_path_cells(
+    tree: &oasis_suffix::SuffixTree,
+    esa: &EsaIndex,
+    tb: &Testbed,
+    queries: &[Vec<u8>],
+    evalue: f64,
+) -> [(&'static str, Vec<Duration>); 4] {
+    let (tr, tr_res) = hot_path_cell(tree, tb, queries, evalue, Kernel::Reference);
+    let (tf, tf_res) = hot_path_cell(tree, tb, queries, evalue, Kernel::Fast);
+    let (er, er_res) = hot_path_cell(esa, tb, queries, evalue, Kernel::Reference);
+    let (ef, ef_res) = hot_path_cell(esa, tb, queries, evalue, Kernel::Fast);
+    for (name, results) in [
+        ("tree + fast kernel", &tf_res),
+        ("esa + reference kernel", &er_res),
+        ("esa + fast kernel", &ef_res),
+    ] {
+        assert_eq!(
+            results, &tr_res,
+            "{name}: hot-path results must match the baseline cell"
+        );
+    }
+    [
+        ("tree + reference kernel", tr),
+        ("tree + fast kernel", tf),
+        ("esa  + reference kernel", er),
+        ("esa  + fast kernel", ef),
+    ]
+}
+
+/// Print one backend × kernel latency table.
+fn print_hot_table(title: &str, cells: &[(&'static str, Vec<Duration>); 4]) {
+    let mut rows = Vec::new();
+    for (name, samples) in cells {
+        let l = LatencySummary::from_samples(samples);
+        rows.push(vec![
+            name.to_string(),
+            fmt_duration(mean_duration(samples)),
+            fmt_duration(l.p50),
+            fmt_duration(l.p95),
+            fmt_duration(l.p99),
+        ]);
+    }
+    print_table(&[title, "mean", "p50", "p95", "p99"], &rows);
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// `"p50_us": 12.3, "p95_us": 45.6, "p99_us": 78.9, "max_us": 90.1` from a
+/// sample set (hand-rolled JSON; the workspace carries no serializer).
+fn json_latency(samples: &[Duration]) -> String {
+    let l = LatencySummary::from_samples(samples);
+    format!(
+        "\"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"max_us\": {:.1}",
+        micros(mean_duration(samples)),
+        micros(l.p50),
+        micros(l.p95),
+        micros(l.p99),
+        micros(l.max)
+    )
+}
 
 fn main() {
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--json").map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            })
+        })
+    };
     let scale = Scale::from_env();
     banner(
         "Engine throughput + tail latency",
@@ -78,6 +273,87 @@ fn main() {
         ]);
     }
     print_table(&["shards", "batch time", "queries/sec"], &rows);
+
+    // Index hot path: backend × kernel over two query regimes. The
+    // baseline cell (suffix tree + scalar reference kernel) is what
+    // previous releases shipped; the enhanced cell (packed ESA +
+    // vectorized kernel) is this release's hot path. All cells of a
+    // regime must report identical result sets — the speedup is pure
+    // work elimination, never accuracy.
+    //
+    // Short queries are the paper's ProClass-like mix (mean ≈ 16), which
+    // both kernels run through the same fused scalar loop — those cells
+    // isolate the traversal backends. Long queries (128–512 symbols, the
+    // full-sequence regime) are where the profile layout and live-mask
+    // block skipping pay: the headline speedup is measured there.
+    println!();
+    let evalue = 20_000.0;
+    let start = Instant::now();
+    let esa = EsaIndex::build(&tb.workload.db);
+    let esa_build_time = start.elapsed();
+    let long_queries = {
+        let count = (tb.queries.len() / 4).clamp(6, 24);
+        let lengths = (0..count).map(|i| 128 + 64 * (i as u32 % 7)).collect();
+        generate_queries(
+            &tb.workload,
+            &QuerySpec {
+                lengths,
+                mutation: 0.1,
+                seed: 0xFACE,
+            },
+        )
+    };
+    let short_cells = hot_path_cells(&tb.tree, &esa, &tb, &tb.queries, evalue);
+    let long_cells = hot_path_cells(&tb.tree, &esa, &tb, &long_queries, evalue);
+    let speedup_of = |cells: &[(&'static str, Vec<Duration>); 4]| {
+        mean_duration(&cells[0].1).as_secs_f64()
+            / mean_duration(&cells[3].1).as_secs_f64().max(1e-12)
+    };
+    let short_speedup = speedup_of(&short_cells);
+    let long_speedup = speedup_of(&long_cells);
+    print_hot_table("index hot path (short queries)", &short_cells);
+    println!("  short-query speedup (baseline -> enhanced): {short_speedup:.2}x");
+    println!();
+    print_hot_table("index hot path (long queries)", &long_cells);
+    println!("  long-query speedup (baseline -> enhanced): {long_speedup:.2}x");
+
+    // Engine-level per-query latency over each backend (production
+    // kernel, single worker): what run_one costs end to end.
+    let esa_arc = Arc::new(esa);
+    let tree_engine = tb.engine_with_threads(1);
+    let esa_engine =
+        oasis_engine::OasisEngine::new(esa_arc.clone(), tb.workload.db.clone(), tb.scoring.clone())
+            .with_threads(1);
+    let mut tree_samples = Vec::with_capacity(tb.queries.len());
+    let mut esa_samples = Vec::with_capacity(tb.queries.len());
+    for (q, want) in tb.queries.iter().zip(&serial) {
+        let params = oasis_core::OasisParams::with_min_score(tb.min_score(q.len(), evalue));
+        let start = Instant::now();
+        let via_tree = tree_engine.run_one(q, &params);
+        tree_samples.push(start.elapsed());
+        let start = Instant::now();
+        let via_esa = esa_engine.run_one(q, &params);
+        esa_samples.push(start.elapsed());
+        assert_eq!(via_tree.hits, want.hits, "tree run_one vs serial batch");
+        assert_eq!(via_esa.hits, want.hits, "esa run_one vs serial batch");
+    }
+    let engine_samples: [(&str, Vec<Duration>); 2] = [("tree", tree_samples), ("esa", esa_samples)];
+    println!();
+    let mut rows = Vec::new();
+    for (name, samples) in &engine_samples {
+        let l = LatencySummary::from_samples(samples);
+        rows.push(vec![
+            name.to_string(),
+            fmt_duration(mean_duration(samples)),
+            fmt_duration(l.p50),
+            fmt_duration(l.p95),
+            fmt_duration(l.p99),
+        ]);
+    }
+    print_table(
+        &["engine backend (run_one)", "mean", "p50", "p95", "p99"],
+        &rows,
+    );
 
     // Serving front end: non-blocking submission with a bounded queue;
     // full-queue rejections back off by completing the oldest in-flight
@@ -180,6 +456,37 @@ fn main() {
         "artifact-loaded engine",
     );
     drop(cold);
+
+    // Same lifecycle through the packed-ESA section kind: the loaded
+    // payload is served directly (no tree reconstitution), so its load
+    // path must not cost more than decoding a tree image.
+    let esa_dir = std::env::temp_dir().join(format!(
+        "oasis-engine-throughput-esa-artifact-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&esa_dir);
+    let start = Instant::now();
+    let cold_esa = ShardedEngine::build_with_backend(
+        tb.workload.db.clone(),
+        tb.scoring.clone(),
+        lifecycle_shards,
+        IndexBackend::Esa,
+    );
+    let esa_cold_time = start.elapsed();
+    let start = Instant::now();
+    oasis_engine::persist_sharded_engine(&cold_esa, &esa_dir, 2048).expect("esa artifact persists");
+    let esa_persist_time = start.elapsed();
+    let start = Instant::now();
+    let esa_loaded = oasis_engine::load_sharded_engine(&esa_dir, tb.scoring.clone())
+        .expect("esa artifact loads");
+    let esa_load_time = start.elapsed();
+    std::fs::remove_dir_all(&esa_dir).ok();
+    assert_identical(
+        &esa_loaded.with_threads(hardware).run_batch(&jobs),
+        &serial,
+        "esa-artifact-loaded engine",
+    );
+    drop(cold_esa);
     println!();
     let speedup = |t: std::time::Duration| {
         format!(
@@ -191,22 +498,40 @@ fn main() {
         &["startup path", "shards", "time", "vs cold build"],
         &[
             vec![
-                "cold build".to_string(),
+                "cold build (tree)".to_string(),
                 lifecycle_shards.to_string(),
                 fmt_duration(cold_time),
                 "1.0x".to_string(),
             ],
             vec![
-                "persist artifact".to_string(),
+                "persist artifact (tree)".to_string(),
                 lifecycle_shards.to_string(),
                 fmt_duration(persist_time),
                 speedup(persist_time),
             ],
             vec![
-                "artifact load".to_string(),
+                "artifact load (tree)".to_string(),
                 lifecycle_shards.to_string(),
                 fmt_duration(load_time),
                 speedup(load_time),
+            ],
+            vec![
+                "cold build (esa)".to_string(),
+                lifecycle_shards.to_string(),
+                fmt_duration(esa_cold_time),
+                speedup(esa_cold_time),
+            ],
+            vec![
+                "persist artifact (esa)".to_string(),
+                lifecycle_shards.to_string(),
+                fmt_duration(esa_persist_time),
+                speedup(esa_persist_time),
+            ],
+            vec![
+                "artifact load (esa)".to_string(),
+                lifecycle_shards.to_string(),
+                fmt_duration(esa_load_time),
+                speedup(esa_load_time),
             ],
         ],
     );
@@ -274,6 +599,70 @@ fn main() {
             row("loopback tcp (end-to-end)", &loopback),
         ],
     );
+
+    if let Some(path) = &json_path {
+        let hot_block = |cells: &[(&'static str, Vec<Duration>); 4], count: usize, speedup: f64| {
+            let keys = [
+                "tree_reference_kernel",
+                "tree_fast_kernel",
+                "esa_reference_kernel",
+                "esa_fast_kernel",
+            ];
+            let body: Vec<String> = cells
+                .iter()
+                .zip(keys)
+                .map(|((_, samples), key)| {
+                    format!("    \"{key}\": {{ {} }}", json_latency(samples))
+                })
+                .collect();
+            format!(
+                "{{\n{},\n    \"queries\": {count},\n    \
+                 \"speedup_baseline_to_enhanced\": {speedup:.2}\n  }}",
+                body.join(",\n")
+            )
+        };
+        let engine_json: Vec<String> = engine_samples
+            .iter()
+            .map(|(name, samples)| format!("    \"{name}\": {{ {} }}", json_latency(samples)))
+            .collect();
+        let serving_block = format!(
+            "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}",
+            micros(latency.p50),
+            micros(latency.p95),
+            micros(latency.p99),
+            micros(latency.max)
+        );
+        let json = format!(
+            "{{\n  \"bench\": \"index_hot_path\",\n  \"scale\": \"{scale:?}\",\n  \
+             \"evalue\": {evalue},\n  \
+             \"baseline\": \"suffix tree + scalar reference kernel\",\n  \
+             \"enhanced\": \"packed esa + vectorized kernel\",\n  \
+             \"headline_speedup\": {long_speedup:.2},\n  \
+             \"hot_path_short_queries\": {short_block},\n  \
+             \"hot_path_long_queries\": {long_block},\n  \
+             \"engine_run_one\": {{\n{engine_block}\n  }},\n  \
+             \"serving_front_end\": {{ {serving_block} }},\n  \
+             \"lifecycle_seconds\": {{\n    \
+             \"tree_cold_build\": {tcb:.4},\n    \"tree_artifact_persist\": {tap:.4},\n    \
+             \"tree_artifact_load\": {tal:.4},\n    \"esa_cold_build\": {ecb:.4},\n    \
+             \"esa_artifact_persist\": {eap:.4},\n    \"esa_artifact_load\": {eal:.4},\n    \
+             \"esa_standalone_build\": {esb:.4},\n    \
+             \"esa_load_vs_tree_load\": {lvl:.2}\n  }}\n}}\n",
+            short_block = hot_block(&short_cells, tb.queries.len(), short_speedup),
+            long_block = hot_block(&long_cells, long_queries.len(), long_speedup),
+            engine_block = engine_json.join(",\n"),
+            tcb = cold_time.as_secs_f64(),
+            tap = persist_time.as_secs_f64(),
+            tal = load_time.as_secs_f64(),
+            ecb = esa_cold_time.as_secs_f64(),
+            eap = esa_persist_time.as_secs_f64(),
+            eal = esa_load_time.as_secs_f64(),
+            esb = esa_build_time.as_secs_f64(),
+            lvl = esa_load_time.as_secs_f64() / load_time.as_secs_f64().max(1e-12),
+        );
+        std::fs::write(path, json).expect("write --json output");
+        println!("\nwrote {path}");
+    }
 
     println!("\n(hardware parallelism here: {hardware} thread(s))");
     println!("paper shape: the index is read-shared, so query throughput scales");

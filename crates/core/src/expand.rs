@@ -18,6 +18,23 @@
 //! `f` falls below `minScore` the node is *unviable*. A terminator symbol
 //! ends a leaf arc the same way ("we simply set f and g to the maximum
 //! value seen along the path", §3.3).
+//!
+//! ## Kernel layout
+//!
+//! The hot column loop is split into two passes over a cache-friendly
+//! layout. A **query profile** (`profile[t · n + i] = S(q_{i+1}, t)`,
+//! built once per query and cached in [`ExpandScratch`]) turns the
+//! substitution lookup into a contiguous streamed row. Pass 1 computes the
+//! carry-free part of the recurrence — `max(replace, delete)` — which has
+//! no loop-carried dependency and compiles to straight-line vector code;
+//! pass 2 folds in the sequential insertion chain and applies the pruning
+//! rules, `Gmax`, and the column bounds in the exact left-to-right order
+//! of Algorithm 3. A per-column **live mask** (one bit per surviving `C`
+//! cell) lets whole 64-cell blocks whose inputs are all pruned be skipped
+//! outright — valid precisely when rule 1 is active, because rule 1 pins
+//! every dead cell to exactly `NEG_INF`. The scalar transcription is kept
+//! as [`expand_reference`]; a property test pins the fast kernel to it
+//! byte for byte.
 
 use oasis_align::{Score, Scoring, NEG_INF};
 use oasis_bioseq::TERMINATOR;
@@ -26,12 +43,71 @@ use oasis_suffix::{NodeHandle, SuffixTreeAccess};
 use crate::node::{SearchNode, Status};
 
 /// Reusable buffers for [`expand`], so the hot loop performs no allocation
-/// except for the `C` vector of nodes that stay viable.
+/// except for the `C` vector of nodes that stay viable. Also caches the
+/// query substitution profile across expansions of the same query.
 #[derive(Debug, Default)]
 pub struct ExpandScratch {
     prev: Vec<Score>,
     cur: Vec<Score>,
     chunk: Vec<u8>,
+    /// Pass-1 output: `max(replace, delete)` per cell, no carried state.
+    tmp: Vec<Score>,
+    /// `profile[t * n + i] = scoring.sub(query[i], t)` for every residue
+    /// code `t` of the alphabet — the matrix transposed into rows indexed
+    /// by *target* symbol, so one arc symbol streams one contiguous row.
+    profile: Vec<Score>,
+    /// The (query, scoring) the profile was built for.
+    profile_query: Vec<u8>,
+    profile_scoring: Option<Scoring>,
+    /// Bit `i` set ⇔ `prev[i] != NEG_INF` (only maintained when rule 1 is
+    /// active; see the module doc).
+    live_prev: Vec<u64>,
+    live_cur: Vec<u64>,
+}
+
+impl ExpandScratch {
+    /// (Re)build the cached query profile if the query or scoring changed.
+    fn ensure_profile(&mut self, query: &[u8], scoring: &Scoring) {
+        let n = query.len();
+        let nsyms = scoring.matrix.alphabet_len();
+        if self.profile_query == query
+            && self.profile_scoring.as_ref() == Some(scoring)
+            && self.profile.len() == nsyms * n
+        {
+            return;
+        }
+        self.profile.clear();
+        self.profile.resize(nsyms * n, 0);
+        for t in 0..nsyms {
+            let row = &mut self.profile[t * n..(t + 1) * n];
+            for (cell, &q) in row.iter_mut().zip(query) {
+                *cell = scoring.sub(q, t as u8);
+            }
+        }
+        self.profile_query.clear();
+        self.profile_query.extend_from_slice(query);
+        self.profile_scoring = Some(scoring.clone());
+    }
+}
+
+/// True if any bit in `mask[lo..=hi]` (bit indices) is set.
+#[inline]
+fn any_live(mask: &[u64], lo: usize, hi: usize) -> bool {
+    let (wl, wh) = (lo / 64, hi / 64);
+    let lo_bits = !0u64 << (lo % 64);
+    let hi_bits = !0u64 >> (63 - hi % 64);
+    if wl == wh {
+        mask[wl] & lo_bits & hi_bits != 0
+    } else {
+        mask[wl] & lo_bits != 0
+            || mask[wh] & hi_bits != 0
+            || mask[wl + 1..wh].iter().any(|&w| w != 0)
+    }
+}
+
+#[inline]
+fn set_live(mask: &mut [u64], i: usize) {
+    mask[i / 64] |= 1 << (i % 64);
 }
 
 /// How many arc symbols are pulled from the tree per `arc_fill` call.
@@ -100,10 +176,245 @@ pub fn expand<T: SuffixTreeAccess + ?Sized>(
     )
 }
 
+/// Queries shorter than this run the fused scalar column loop instead of
+/// the two-pass layout: below it a column fits comfortably in registers
+/// and L1, so profile rows and live-mask upkeep cost more than the fused
+/// dependency chain they replace. At and above it the carry-free first
+/// pass auto-vectorizes and whole 64-cell blocks of dead cells are
+/// skipped, which is where the layout pays for itself.
+const FUSED_SCALAR_CUTOFF: usize = 48;
+
 /// [`expand`] with explicit pruning-rule control (ablation entry point).
+///
+/// This is the production kernel: query-profile rows, a vectorizable
+/// carry-free first pass, and live-mask block skipping (see the module
+/// doc) for queries of at least [`FUSED_SCALAR_CUTOFF`] symbols, and the
+/// fused scalar loop below that. It is byte-identical to
+/// [`expand_reference`] on both sides of the cutoff — a property test
+/// straddling the boundary holds the two together.
 // Same signature as `expand` plus the rule toggles; see the note there.
 #[allow(clippy::too_many_arguments)]
 pub fn expand_with_rules<T: SuffixTreeAccess + ?Sized>(
+    tree: &T,
+    parent: &SearchNode,
+    child: NodeHandle,
+    query: &[u8],
+    scoring: &Scoring,
+    h: &[Score],
+    min_score: Score,
+    seq: u64,
+    scratch: &mut ExpandScratch,
+    columns: &mut u64,
+    rules: PruneRules,
+) -> SearchNode {
+    if query.len() < FUSED_SCALAR_CUTOFF {
+        return expand_reference(
+            tree, parent, child, query, scoring, h, min_score, seq, scratch, columns, rules,
+        );
+    }
+    debug_assert_eq!(parent.status, Status::Viable);
+    debug_assert_eq!(parent.c.len(), query.len() + 1);
+    let n = query.len();
+    let gap = scoring.gap.linear_per_symbol();
+    let parent_depth = parent.depth;
+    let arc_total = tree.arc_len(parent_depth, child);
+
+    let mut gmax = parent.gmax;
+    let mut gmax_depth = parent.gmax_depth;
+    let mut gmax_qend = parent.gmax_qend;
+
+    scratch.ensure_profile(query, scoring);
+    scratch.prev.clear();
+    scratch.prev.extend_from_slice(&parent.c);
+    scratch.cur.resize(n + 1, NEG_INF);
+    scratch.tmp.resize(n + 1, NEG_INF);
+    scratch.chunk.resize(ARC_CHUNK, 0);
+
+    // Rule 1 pins every pruned cell to exactly NEG_INF, which is what
+    // makes a zero live mask a proof that a whole block stays dead.
+    let block_skip = rules.non_positive;
+    let words = (n + 1).div_ceil(64);
+    scratch.live_prev.clear();
+    scratch.live_prev.resize(words, 0);
+    scratch.live_cur.clear();
+    scratch.live_cur.resize(words, 0);
+    if block_skip {
+        for (i, &v) in scratch.prev.iter().enumerate() {
+            if v != NEG_INF {
+                set_live(&mut scratch.live_prev, i);
+            }
+        }
+    }
+
+    let mut depth = parent_depth;
+    let mut consumed = 0u32;
+    let mut f_col = NEG_INF;
+    let mut g_col = NEG_INF;
+
+    let terminal = |gmax: Score, gmax_depth: u32, gmax_qend: u32, depth: u32| SearchNode {
+        handle: child,
+        depth,
+        f: gmax,
+        g: gmax,
+        gmax,
+        gmax_depth,
+        gmax_qend,
+        status: if gmax >= min_score {
+            Status::Accepted
+        } else {
+            Status::Unviable
+        },
+        c: Box::new([]),
+        e: Box::new([]),
+        seq,
+    };
+
+    while consumed < arc_total {
+        let got = tree.arc_fill(parent_depth, child, consumed, &mut scratch.chunk);
+        debug_assert!(got > 0, "arc_fill must make progress");
+        for k in 0..got {
+            let t = scratch.chunk[k];
+            if t == TERMINATOR {
+                // End of a leaf arc: "no further expansion is possible".
+                return terminal(gmax, gmax_depth, gmax_qend, depth);
+            }
+            *columns += 1;
+            depth += 1;
+            let ExpandScratch {
+                prev,
+                cur,
+                tmp,
+                profile,
+                live_prev,
+                live_cur,
+                ..
+            } = &mut *scratch;
+            let row = &profile[t as usize * n..t as usize * n + n];
+
+            let pruned = |v: Score, hi: Score, gmax: Score| -> bool {
+                (rules.non_positive && v <= 0)
+                    || (rules.no_improvement && v + hi <= gmax)
+                    || (rules.threshold && v + hi < min_score)
+            };
+
+            // Row 0: the empty query prefix can only extend by a deletion;
+            // resets to zero are "not permitted outside of the seed entry".
+            let v0 = prev[0] + gap;
+            cur[0] = if pruned(v0, h[0], gmax) { NEG_INF } else { v0 };
+            f_col = if cur[0] == NEG_INF {
+                NEG_INF
+            } else {
+                cur[0] + h[0]
+            };
+            g_col = cur[0];
+            if block_skip {
+                live_cur.fill(0);
+                if cur[0] != NEG_INF {
+                    set_live(live_cur, 0);
+                }
+            }
+
+            // Cells 1..=n, in 64-cell blocks. A block whose diagonal,
+            // vertical, and carry inputs are all dead cannot produce a
+            // positive score, so rule 1 would prune every cell in it:
+            // write the NEG_INFs and move on without computing anything.
+            let mut lo = 1usize;
+            while lo <= n {
+                let hi_cell = (lo + 63).min(n);
+                if block_skip && cur[lo - 1] == NEG_INF && !any_live(live_prev, lo - 1, hi_cell) {
+                    cur[lo..=hi_cell].fill(NEG_INF);
+                    lo = hi_cell + 1;
+                    continue;
+                }
+                // Pass 1: replace/delete have no carried state — this
+                // loop is pure elementwise max over contiguous rows.
+                {
+                    let dst = &mut tmp[lo..=hi_cell];
+                    let diag = &prev[lo - 1..hi_cell];
+                    let up = &prev[lo..=hi_cell];
+                    let sub = &row[lo - 1..hi_cell];
+                    for (((d, &pd), &pu), &s) in dst.iter_mut().zip(diag).zip(up).zip(sub) {
+                        *d = (pd + s).max(pu + gap);
+                    }
+                }
+                // Pass 2: fold in the sequential insertion chain and the
+                // pruning rules in Algorithm 3's left-to-right order
+                // (pruning reads `gmax`, which this same pass advances).
+                for i in lo..=hi_cell {
+                    let best = tmp[i].max(cur[i - 1] + gap);
+                    if pruned(best, h[i], gmax) {
+                        cur[i] = NEG_INF;
+                    } else {
+                        cur[i] = best;
+                        if block_skip {
+                            set_live(live_cur, i);
+                        }
+                        if best > gmax {
+                            gmax = best;
+                            gmax_depth = depth;
+                            gmax_qend = i as u32;
+                        }
+                        f_col = f_col.max(best + h[i]);
+                        g_col = g_col.max(best);
+                    }
+                }
+                lo = hi_cell + 1;
+            }
+
+            // Early exits (§3.2): no improvement possible along this path…
+            if f_col <= gmax {
+                return terminal(gmax, gmax_depth, gmax_qend, depth);
+            }
+            // …or the threshold is out of reach.
+            if rules.threshold && f_col < min_score {
+                return SearchNode {
+                    handle: child,
+                    depth,
+                    f: f_col,
+                    g: g_col,
+                    gmax,
+                    gmax_depth,
+                    gmax_qend,
+                    status: Status::Unviable,
+                    c: Box::new([]),
+                    e: Box::new([]),
+                    seq,
+                };
+            }
+            std::mem::swap(prev, cur);
+            if block_skip {
+                std::mem::swap(live_prev, live_cur);
+            }
+        }
+        consumed += got as u32;
+    }
+
+    // Whole arc consumed without a terminator: an internal node, still
+    // promising — keep its final column for the children.
+    debug_assert!(!child.is_leaf(), "leaf arcs end with a terminator");
+    SearchNode {
+        handle: child,
+        depth,
+        f: f_col,
+        g: g_col,
+        gmax,
+        gmax_depth,
+        gmax_qend,
+        status: Status::Viable,
+        c: scratch.prev.clone().into_boxed_slice(),
+        e: Box::new([]),
+        seq,
+    }
+}
+
+/// The plain scalar transcription of Algorithm 3 — one fused loop per
+/// column, no profile, no blocks. Kept as the differential oracle for the
+/// production kernel: `expand_with_rules` must match it byte for byte on
+/// every field of the returned node and on the column count.
+// Mirrors the `expand_with_rules` signature exactly so the two kernels are
+// drop-in interchangeable in the differential tests; see the note there.
+#[allow(clippy::too_many_arguments)]
+pub fn expand_reference<T: SuffixTreeAccess + ?Sized>(
     tree: &T,
     parent: &SearchNode,
     child: NodeHandle,
@@ -526,6 +837,75 @@ mod tests {
         // The loose expansion keeps at least as many live C entries.
         let live = |n: &SearchNode| n.c.iter().filter(|&&v| v > NEG_INF / 2).count();
         assert!(live(&loose) >= live(&strict));
+    }
+
+    #[test]
+    fn fast_kernel_matches_reference_on_walkthrough_tree() {
+        // Every (node, minScore, rule-set) cell of the §3.3 tree: the
+        // production kernel and the scalar oracle must agree on every
+        // field of the returned node and on the column count.
+        let db = figure2_db();
+        let tree = SuffixTree::build(&db);
+        let scoring = Scoring::unit_dna();
+        let query = Alphabet::dna().encode_str("TACG").unwrap();
+        let h = heuristic_vector(&query, &scoring);
+        let rule_sets = [
+            PruneRules::default(),
+            PruneRules {
+                non_positive: false,
+                no_improvement: true,
+                threshold: true,
+            },
+            PruneRules {
+                non_positive: true,
+                no_improvement: false,
+                threshold: false,
+            },
+            PruneRules {
+                non_positive: false,
+                no_improvement: false,
+                threshold: false,
+            },
+        ];
+        for min_score in 1..=4 {
+            let Some(root) = root_node(&query, &h, min_score) else {
+                continue;
+            };
+            for label in ["A", "C", "G", "TA"] {
+                let child = node_by_label(&tree, label);
+                for rules in rule_sets {
+                    let mut s1 = ExpandScratch::default();
+                    let mut s2 = ExpandScratch::default();
+                    let (mut c1, mut c2) = (0u64, 0u64);
+                    let fast = expand_with_rules(
+                        &tree, &root, child, &query, &scoring, &h, min_score, 7, &mut s1, &mut c1,
+                        rules,
+                    );
+                    let slow = expand_reference(
+                        &tree, &root, child, &query, &scoring, &h, min_score, 7, &mut s2, &mut c2,
+                        rules,
+                    );
+                    assert_eq!(fast, slow, "label={label} min={min_score} rules={rules:?}");
+                    assert_eq!(c1, c2, "column count label={label} min={min_score}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_is_rebuilt_when_scoring_changes() {
+        // Same query, different matrix, same scratch: the cached profile
+        // must not leak across scoring configurations.
+        let query = vec![0u8, 1, 2, 3];
+        let mut scratch = ExpandScratch::default();
+        scratch.ensure_profile(&query, &Scoring::unit_dna());
+        let unit = scratch.profile.clone();
+        let mut skewed = Scoring::unit_dna();
+        skewed.gap = oasis_align::GapModel::linear(-3);
+        scratch.ensure_profile(&query, &skewed);
+        // Gap change alone: substitution rows identical but key differs.
+        assert_eq!(scratch.profile, unit);
+        assert_eq!(scratch.profile_scoring.as_ref(), Some(&skewed));
     }
 
     #[test]

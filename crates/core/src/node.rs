@@ -22,7 +22,7 @@ pub enum Status {
 }
 
 /// One node of the OASIS search tree. Field names follow §3 of the paper.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchNode {
     /// `pt`: the corresponding suffix-tree node.
     pub handle: NodeHandle,

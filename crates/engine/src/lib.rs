@@ -93,7 +93,7 @@ pub use serving::{
     AdmissionError, LatencySummary, QueryExecutor, QueryTicket, ServedOutcome, ServingConfig,
     ServingConfigError, ServingEngine, ServingStats,
 };
-pub use shard::{ShardedEngine, ShardedSession};
+pub use shard::{IndexBackend, ShardedEngine, ShardedSession};
 
 /// One query of a batch: the encoded sequence plus its search parameters
 /// (per-query, because `minScore` typically depends on query length via

@@ -26,39 +26,44 @@ use std::sync::Arc;
 use oasis_align::Scoring;
 use oasis_bioseq::{SeqId, SequenceDatabase};
 use oasis_storage::{
-    image_text, load_section, read_manifest, write_index_artifact, ArtifactError, DiskSuffixTree,
-    FileDevice, IndexManifest,
+    decode_esa, image_text, load_section, read_manifest, write_index_artifact, ArtifactError,
+    DiskSuffixTree, FileDevice, IndexManifest, SectionKind, ShardPayload,
 };
 
-use crate::shard::Shard;
-use crate::{OasisEngine, ShardedEngine};
+use crate::shard::{Shard, ShardBackend};
+use crate::{IndexBackend, OasisEngine, ShardedEngine};
 
 /// The artifact writer's view of a shard list: each shard's inclusive
-/// global sequence range plus its tree.
-fn artifact_entries(shards: &[Shard]) -> Vec<(u32, u32, &oasis_suffix::SuffixTree)> {
+/// global sequence range plus its index payload.
+fn artifact_entries(shards: &[Shard]) -> Vec<(u32, u32, ShardPayload<'_>)> {
     shards
         .iter()
         .map(|shard| {
             let lo = shard.seq_offset;
             let hi = lo + shard.db.num_sequences() - 1;
-            (lo, hi, &shard.tree)
+            let payload = match &shard.index {
+                ShardBackend::Tree(tree) => ShardPayload::Tree(tree),
+                ShardBackend::Esa(esa) => ShardPayload::Esa(esa),
+            };
+            (lo, hi, payload)
         })
         .collect()
 }
 
-/// Build the index for `db` — `shards` balanced partitions, one suffix
-/// tree each — and persist it into the artifact directory `dir`
-/// (`block_size` is the §3.4 disk-image block size; the paper uses 2048).
-/// Returns the written manifest. To persist an index that is already
-/// built and serving, use [`persist_sharded_engine`] instead of paying
-/// for construction twice.
+/// Build the index for `db` — `shards` balanced partitions, one
+/// `backend` index each — and persist it into the artifact directory
+/// `dir` (`block_size` is the §3.4 disk-image block size; the paper uses
+/// 2048; packed ESA sections ignore it). Returns the written manifest. To
+/// persist an index that is already built and serving, use
+/// [`persist_sharded_engine`] instead of paying for construction twice.
 pub fn build_index_artifact(
     db: &SequenceDatabase,
     dir: &Path,
     shards: usize,
     block_size: usize,
+    backend: IndexBackend,
 ) -> Result<IndexManifest, ArtifactError> {
-    let built = Shard::build_all(db, shards);
+    let built = Shard::build_all(db, shards, backend);
     write_index_artifact(dir, db, &artifact_entries(&built), block_size)
 }
 
@@ -112,19 +117,30 @@ pub fn sharded_engine_from_artifact(
     let load_one = |i: usize| -> Result<Shard, ArtifactError> {
         // oasis-lint: allow(panic-free-serving) — i ranges over 0..manifest.shards.len() below
         let meta = &manifest.shards[i];
-        let tree = manifest.load_shard_tree(dir, i)?;
         let (lo, hi) = (meta.seq_lo as usize, meta.seq_hi as usize);
         let shard_db = Shard::database_for(&db, lo, hi);
-        // The decoded tree must index exactly the shard's text; anything
-        // else means the manifest pairs a tree with the wrong range.
-        if tree.text() != shard_db.text() {
+        let index = match meta.kind {
+            SectionKind::TreeImage => ShardBackend::Tree(manifest.load_shard_tree(dir, i)?),
+            // The packed payload revalidates against the shard database
+            // inside `decode_esa` (geometry + text checksum), which covers
+            // the pairing check below as well.
+            SectionKind::PackedEsa => {
+                let bytes = manifest.load_shard_section(dir, i)?;
+                ShardBackend::Esa(decode_esa(bytes, &shard_db).map_err(|e| {
+                    ArtifactError::Corrupt(format!("shard {i} (sequences {lo}..={hi}): {e}"))
+                })?)
+            }
+        };
+        // The decoded index must cover exactly the shard's text; anything
+        // else means the manifest pairs a section with the wrong range.
+        if index.text() != shard_db.text() {
             return Err(ArtifactError::Corrupt(format!(
-                "shard {i}: tree does not index sequences {lo}..={hi}"
+                "shard {i}: index does not cover sequences {lo}..={hi}"
             )));
         }
         Ok(Shard {
             db: shard_db,
-            tree,
+            index,
             seq_offset: lo as SeqId,
             text_offset: db.seq_start(lo as SeqId),
         })
@@ -168,6 +184,17 @@ pub fn disk_engine_from_artifact(
             "disk-resident load needs a single-shard artifact (this one has {})",
             manifest.shards.len()
         )));
+    }
+    if manifest
+        .shards
+        .iter()
+        .any(|s| s.kind != SectionKind::TreeImage)
+    {
+        return Err(ArtifactError::Corrupt(
+            "disk-resident load needs a tree-image shard (this one is packed-esa; \
+             load it through the in-memory sharded path instead)"
+                .to_string(),
+        ));
     }
     validate_coverage(manifest)?;
     // One full pass for integrity, and — since checksums only prove each
@@ -224,7 +251,7 @@ mod tests {
     fn roundtrip_matches_cold_build() {
         let db = dna_db(SEQS);
         let dir = tmpdir("roundtrip");
-        let manifest = build_index_artifact(&db, &dir, 3, 64).unwrap();
+        let manifest = build_index_artifact(&db, &dir, 3, 64, IndexBackend::Tree).unwrap();
         assert_eq!(manifest.shards.len(), 3);
         let fresh = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 3);
         let loaded = load_sharded_engine(&dir, Scoring::unit_dna()).unwrap();
@@ -242,10 +269,52 @@ mod tests {
     }
 
     #[test]
+    fn esa_artifact_roundtrips_and_matches_tree_hits() {
+        let db = dna_db(SEQS);
+        let dir = tmpdir("esa-roundtrip");
+        let manifest = build_index_artifact(&db, &dir, 2, 64, IndexBackend::Esa).unwrap();
+        assert!(manifest
+            .shards
+            .iter()
+            .all(|s| s.kind == SectionKind::PackedEsa));
+        let loaded = load_sharded_engine(&dir, Scoring::unit_dna()).unwrap();
+        let fresh = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 2);
+        let q = Alphabet::dna().encode_str("TACG").unwrap();
+        for min in 1..=4 {
+            let params = OasisParams::with_min_score(min);
+            assert_eq!(
+                loaded.run_one(&q, &params).hits,
+                fresh.run_one(&q, &params).hits,
+                "min={min}"
+            );
+        }
+        // Persisting the loaded engine re-emits packed sections verbatim.
+        let dir2 = tmpdir("esa-repersist");
+        let m2 = persist_sharded_engine(&loaded, &dir2, 64).unwrap();
+        assert!(m2.shards.iter().all(|s| s.kind == SectionKind::PackedEsa));
+        assert_eq!(
+            m2.shards[0].section.checksum,
+            manifest.shards[0].section.checksum
+        );
+        // A single-shard ESA artifact refuses the disk-resident path with
+        // a typed error instead of misreading the payload as an image.
+        let dir3 = tmpdir("esa-disk");
+        let m3 = build_index_artifact(&db, &dir3, 1, 64, IndexBackend::Esa).unwrap();
+        let err = disk_engine_from_artifact(&dir3, &m3, db, Scoring::unit_dna(), 1 << 16)
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_default();
+        assert!(err.contains("packed-esa"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+        std::fs::remove_dir_all(&dir3).ok();
+    }
+
+    #[test]
     fn disk_resident_load_serves_through_the_pool() {
         let db = dna_db(SEQS);
         let dir = tmpdir("diskres");
-        let manifest = build_index_artifact(&db, &dir, 1, 64).unwrap();
+        let manifest = build_index_artifact(&db, &dir, 1, 64, IndexBackend::Tree).unwrap();
         let engine =
             disk_engine_from_artifact(&dir, &manifest, db.clone(), Scoring::unit_dna(), 1 << 16)
                 .unwrap();
@@ -257,7 +326,7 @@ mod tests {
         assert_eq!(outcome.hits, fresh.run_one(&q, &params).hits);
         // Multi-shard artifacts refuse the disk-resident path.
         let dir2 = tmpdir("diskres2");
-        let m2 = build_index_artifact(engine.db(), &dir2, 2, 64).unwrap();
+        let m2 = build_index_artifact(engine.db(), &dir2, 2, 64, IndexBackend::Tree).unwrap();
         let db2 = Arc::new(m2.load_database(&dir2).unwrap());
         assert!(matches!(
             disk_engine_from_artifact(&dir2, &m2, db2, Scoring::unit_dna(), 1 << 16),
@@ -294,8 +363,8 @@ mod tests {
         let db_b = dna_db(&["TTTTTTTT"]); // same text length as A
         let dir_a = tmpdir("pair-a");
         let dir_b = tmpdir("pair-b");
-        let ma = build_index_artifact(&db_a, &dir_a, 1, 64).unwrap();
-        let mb = build_index_artifact(&db_b, &dir_b, 1, 64).unwrap();
+        let ma = build_index_artifact(&db_a, &dir_a, 1, 64, IndexBackend::Tree).unwrap();
+        let mb = build_index_artifact(&db_b, &dir_b, 1, 64, IndexBackend::Tree).unwrap();
         std::fs::copy(
             mb.shard_path(&dir_b, 0),
             dir_a.join(&mb.shards[0].section.file),
@@ -327,7 +396,7 @@ mod tests {
     fn empty_database_roundtrips() {
         let db = dna_db(&[]);
         let dir = tmpdir("empty");
-        let manifest = build_index_artifact(&db, &dir, 4, 64).unwrap();
+        let manifest = build_index_artifact(&db, &dir, 4, 64, IndexBackend::Tree).unwrap();
         assert!(manifest.shards.is_empty());
         let loaded = load_sharded_engine(&dir, Scoring::unit_dna()).unwrap();
         assert_eq!(loaded.num_shards(), 0);
@@ -340,7 +409,7 @@ mod tests {
     fn mismatched_shard_table_is_rejected() {
         let db = dna_db(SEQS);
         let dir = tmpdir("tamper");
-        build_index_artifact(&db, &dir, 2, 64).unwrap();
+        build_index_artifact(&db, &dir, 2, 64, IndexBackend::Tree).unwrap();
         let mut manifest = read_manifest(&dir).unwrap();
         // Claim a gap between the shards.
         manifest.shards[1].seq_lo += 1;

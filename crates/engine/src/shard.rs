@@ -32,16 +32,110 @@ use oasis_align::{Score, Scoring};
 use oasis_bioseq::{SeqId, Sequence, SequenceDatabase};
 use oasis_core::{Hit, OasisParams, SearchDriver, SearchStats, StepOutcome};
 use oasis_storage::{balanced_ranges, PoolDeltaScope, PoolStatsSnapshot};
-use oasis_suffix::SuffixTree;
+use oasis_suffix::{EsaIndex, NodeHandle, SuffixTree, SuffixTreeAccess};
 
 use crate::{run_pooled, BatchQuery, SearchOutcome};
+
+/// Which index substrate a shard (and hence an engine or artifact) is
+/// built on. Both produce byte-identical hit streams; they differ in
+/// memory layout, build cost, and artifact encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// The compact in-memory suffix tree (the default).
+    #[default]
+    Tree,
+    /// The enhanced suffix array: SA + LCP intervals with a two-byte
+    /// bucket LUT, persisted as a packed payload served in place.
+    Esa,
+}
+
+impl IndexBackend {
+    /// Name used by the CLI (`--backend`) and `index inspect`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IndexBackend::Tree => "tree",
+            IndexBackend::Esa => "esa",
+        }
+    }
+}
+
+/// A shard's index: one of the two in-memory [`SuffixTreeAccess`]
+/// substrates. Every trait method delegates, so a `SearchDriver` over a
+/// `ShardBackend` traverses exactly what it would traverse over the
+/// underlying index directly.
+pub(crate) enum ShardBackend {
+    Tree(SuffixTree),
+    Esa(EsaIndex),
+}
+
+impl ShardBackend {
+    /// The indexed text (ranked codes + terminators) — the pairing check
+    /// loaders run against the shard database.
+    pub(crate) fn text(&self) -> &[u8] {
+        match self {
+            ShardBackend::Tree(t) => t.text(),
+            ShardBackend::Esa(e) => e.text(),
+        }
+    }
+}
+
+impl SuffixTreeAccess for ShardBackend {
+    fn root(&self) -> NodeHandle {
+        match self {
+            ShardBackend::Tree(t) => t.root(),
+            ShardBackend::Esa(e) => e.root(),
+        }
+    }
+
+    fn text_len(&self) -> u32 {
+        match self {
+            ShardBackend::Tree(t) => t.text_len(),
+            ShardBackend::Esa(e) => e.text_len(),
+        }
+    }
+
+    fn num_internal(&self) -> u32 {
+        match self {
+            ShardBackend::Tree(t) => t.num_internal(),
+            ShardBackend::Esa(e) => e.num_internal(),
+        }
+    }
+
+    fn depth(&self, h: NodeHandle) -> u32 {
+        match self {
+            ShardBackend::Tree(t) => t.depth(h),
+            ShardBackend::Esa(e) => e.depth(h),
+        }
+    }
+
+    fn children_into(&self, h: NodeHandle, out: &mut Vec<NodeHandle>) {
+        match self {
+            ShardBackend::Tree(t) => t.children_into(h, out),
+            ShardBackend::Esa(e) => e.children_into(h, out),
+        }
+    }
+
+    fn arc_fill(&self, parent_depth: u32, h: NodeHandle, offset: u32, out: &mut [u8]) -> usize {
+        match self {
+            ShardBackend::Tree(t) => t.arc_fill(parent_depth, h, offset, out),
+            ShardBackend::Esa(e) => e.arc_fill(parent_depth, h, offset, out),
+        }
+    }
+
+    fn leaves_under(&self, h: NodeHandle, visit: &mut dyn FnMut(u32)) {
+        match self {
+            ShardBackend::Tree(t) => t.leaves_under(h, visit),
+            ShardBackend::Esa(e) => e.leaves_under(h, visit),
+        }
+    }
+}
 
 /// One partition: a contiguous run of database sequences with its own
 /// index, plus the offsets that map shard-local results back to global
 /// coordinates.
 pub(crate) struct Shard {
     pub(crate) db: SequenceDatabase,
-    pub(crate) tree: SuffixTree,
+    pub(crate) index: ShardBackend,
     /// Global id of the shard's first sequence.
     pub(crate) seq_offset: SeqId,
     /// Global text position of the shard's first symbol.
@@ -67,10 +161,14 @@ impl Shard {
     }
 
     /// Partition `db` into at most `max_shards` balanced shards (by
-    /// residue count, whole sequences only) and index each one — shards
-    /// are independent, so they are built concurrently and startup is
-    /// bounded by the slowest single shard, not the sum.
-    pub(crate) fn build_all(db: &SequenceDatabase, max_shards: usize) -> Vec<Shard> {
+    /// residue count, whole sequences only) and index each one with
+    /// `backend` — shards are independent, so they are built concurrently
+    /// and startup is bounded by the slowest single shard, not the sum.
+    pub(crate) fn build_all(
+        db: &SequenceDatabase,
+        max_shards: usize,
+        backend: IndexBackend,
+    ) -> Vec<Shard> {
         let weights: Vec<usize> = (0..db.num_sequences())
             // Terminators count too, so weights sum to the text length and
             // empty sequences still carry weight.
@@ -79,10 +177,13 @@ impl Shard {
         let ranges = balanced_ranges(&weights, max_shards.max(1));
         let build_one = |&(lo, hi): &(usize, usize)| {
             let shard_db = Shard::database_for(db, lo, hi);
-            let tree = SuffixTree::build(&shard_db);
+            let index = match backend {
+                IndexBackend::Tree => ShardBackend::Tree(SuffixTree::build(&shard_db)),
+                IndexBackend::Esa => ShardBackend::Esa(EsaIndex::build(&shard_db)),
+            };
             Shard {
                 db: shard_db,
-                tree,
+                index,
                 seq_offset: lo as SeqId,
                 text_offset: db.seq_start(lo as SeqId),
             }
@@ -126,7 +227,20 @@ impl ShardedEngine {
     /// by the slowest single shard, not the sum. Fewer shards may result
     /// when the database has fewer sequences than requested.
     pub fn build(db: Arc<SequenceDatabase>, scoring: Scoring, shards: usize) -> Self {
-        let shards = Shard::build_all(&db, shards);
+        Self::build_with_backend(db, scoring, shards, IndexBackend::Tree)
+    }
+
+    /// [`build`](ShardedEngine::build) with an explicit index substrate:
+    /// [`IndexBackend::Esa`] indexes each shard with an enhanced suffix
+    /// array instead of a suffix tree. Hit streams are byte-identical
+    /// either way (asserted by `tests/engine_equivalence.rs`).
+    pub fn build_with_backend(
+        db: Arc<SequenceDatabase>,
+        scoring: Scoring,
+        shards: usize,
+        backend: IndexBackend,
+    ) -> Self {
+        let shards = Shard::build_all(&db, shards, backend);
         Self::from_shards(db, scoring, shards)
     }
 
@@ -192,7 +306,13 @@ impl ShardedEngine {
             self.shards
                 .iter()
                 .map(|shard| ShardCursor {
-                    driver: SearchDriver::new(&shard.tree, &shard.db, query, &self.scoring, params),
+                    driver: SearchDriver::new(
+                        &shard.index,
+                        &shard.db,
+                        query,
+                        &self.scoring,
+                        params,
+                    ),
                     head: None,
                     exhausted: false,
                     seq_offset: shard.seq_offset,
@@ -275,7 +395,7 @@ impl<'a> DatabaseBuilderFor<'a> {
 
 /// One shard's position in an in-progress merge.
 struct ShardCursor<'e> {
-    driver: SearchDriver<'e, SuffixTree>,
+    driver: SearchDriver<'e, ShardBackend>,
     /// The shard's next hit, already remapped to global coordinates.
     head: Option<Hit>,
     exhausted: bool,
@@ -452,6 +572,28 @@ mod tests {
             for k in [1usize, 2, 3, 7, 20] {
                 let engine = ShardedEngine::build(db.clone(), Scoring::unit_dna(), k);
                 assert!(engine.num_shards() <= k.max(1));
+                let got = engine.run_one(&q, &params);
+                assert_eq!(got.hits, want.hits, "k={k} min={min}");
+                assert_eq!(got.stats.hits_emitted, want.stats.hits_emitted);
+            }
+        }
+    }
+
+    #[test]
+    fn esa_backend_equals_tree_backend_for_all_k() {
+        let db = dna_db(SEQS);
+        let reference = unsharded(&db);
+        let q = Alphabet::dna().encode_str("TACG").unwrap();
+        for min in 1..=4 {
+            let params = OasisParams::with_min_score(min);
+            let want = reference.run_one(&q, &params);
+            for k in [1usize, 3, 7] {
+                let engine = ShardedEngine::build_with_backend(
+                    db.clone(),
+                    Scoring::unit_dna(),
+                    k,
+                    IndexBackend::Esa,
+                );
                 let got = engine.run_one(&q, &params);
                 assert_eq!(got.hits, want.hits, "k={k} min={min}");
                 assert_eq!(got.stats.hits_emitted, want.stats.hits_emitted);

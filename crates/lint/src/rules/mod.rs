@@ -39,6 +39,7 @@ pub const SERVING_PATHS: &[&str] = &[
     "crates/engine/src/shard.rs",
     "crates/engine/src/persist.rs",
     "crates/storage/src/artifact.rs",
+    "crates/suffix/src/esa.rs",
 ];
 
 /// True if `path` is one of the serving-path modules.

@@ -164,6 +164,26 @@ fn an_unwrap_in_the_net_server_fires_panic_free() {
 }
 
 #[test]
+fn the_esa_backend_is_on_the_serving_path_list() {
+    // The packed-ESA index serves loaded artifact bytes directly, so its
+    // decoder and traversal sit on the serving path like the artifact
+    // reader does: an injected unwrap (or a direct index) must fire.
+    let mut ws = real_tree();
+    let src = ws
+        .text_of("crates/suffix/src/esa.rs")
+        .expect("esa source")
+        .to_string();
+    let broken = format!("{src}\nfn oops(v: &[u8]) -> u8 {{ v.first().copied().unwrap() }}\n");
+    assert!(ws.patch("crates/suffix/src/esa.rs", broken));
+    assert!(fires(&ws.lint(), "panic-free-serving"));
+
+    let mut ws = real_tree();
+    let indexed = format!("{src}\nfn oops2(v: &[u8]) -> u8 {{ v[0] }}\n");
+    assert!(ws.patch("crates/suffix/src/esa.rs", indexed));
+    assert!(fires(&ws.lint(), "panic-free-serving"));
+}
+
+#[test]
 fn a_guard_across_recv_fires_guard_blocking() {
     let mut ws = real_tree();
     let src = ws

@@ -62,7 +62,7 @@ use oasis_engine::{
     disk_engine_from_artifact, sharded_engine_from_artifact, AdmissionError, BatchQuery,
     IndexCatalog, QueryExecutor, SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
 };
-use oasis_storage::{read_manifest, ArtifactError, IndexManifest};
+use oasis_storage::{read_manifest, ArtifactError, IndexManifest, SectionKind};
 
 use crate::frame::{
     decode_header, write_frame, ErrorCode, ErrorFrame, Frame, Hello, ReloadDone, RemoteHit,
@@ -116,7 +116,13 @@ impl ServedIndex {
                 scoring.matrix.kind()
             )));
         }
-        let executor: Box<dyn QueryExecutor> = if manifest.shards.len() == 1 {
+        // Packed-ESA shards are in-memory only, so any ESA section routes
+        // the whole artifact through the sharded loader — even one shard.
+        let all_tree = manifest
+            .shards
+            .iter()
+            .all(|s| s.kind == SectionKind::TreeImage);
+        let executor: Box<dyn QueryExecutor> = if manifest.shards.len() == 1 && all_tree {
             Box::new(disk_engine_from_artifact(
                 dir,
                 manifest,

@@ -10,9 +10,16 @@
 //! <dir>/
 //!   MANIFEST                       versioned header + shard table + checksums
 //!   db-<checksum>.oasisdb          the sequence database (oasis-bioseq binary)
-//!   shard-0000-<checksum>.oasis    one §3.4 disk-tree image per shard
-//!   shard-0001-<checksum>.oasis    …
+//!   shard-0000-<checksum>.oasis    a §3.4 disk-tree image shard, and/or
+//!   esa-0001-<checksum>.oasisesa   a packed enhanced-suffix-array shard
 //! ```
+//!
+//! Since format version 2 every shard entry records its [`SectionKind`]:
+//! a **tree image** (servable disk-resident through the buffer pool or
+//! decoded into an in-memory [`SuffixTree`]) or a **packed ESA** payload
+//! (bit-compressed SA/LCP/node/LUT streams that
+//! [`oasis_suffix::EsaIndex::from_parts`] validates and serves in place —
+//! no tree reconstitution on load).
 //!
 //! Every section (database and each shard image) carries an FNV-1a 64-bit
 //! checksum in the manifest, and the manifest itself ends with a checksum
@@ -50,7 +57,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use oasis_bioseq::SequenceDatabase;
-use oasis_suffix::{NodeHandle, SuffixTree, TreeAssembler};
+use oasis_suffix::{EsaIndex, NodeHandle, SuffixTree, TreeAssembler};
 
 use crate::layout::{
     DiskTreeBuilder, HEADER_LEN, INTERNAL_REC, LAST_SIBLING, MAGIC as TREE_MAGIC, NONE,
@@ -58,8 +65,8 @@ use crate::layout::{
 
 /// Magic bytes opening the manifest file.
 const MANIFEST_MAGIC: &[u8; 8] = b"OASISMF1";
-/// Current artifact format version.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Current artifact format version (2 added per-shard section kinds).
+pub const ARTIFACT_VERSION: u32 = 2;
 /// File name of the manifest inside an artifact directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -122,6 +129,58 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
+/// What a shard section's bytes encode. Recorded per shard in the
+/// manifest since format version 2 so loaders route each section to the
+/// right decoder without sniffing magic bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// A §3.4 disk-tree image (`shard-….oasis`): servable disk-resident
+    /// through the buffer pool, or decoded via [`decode_tree`].
+    TreeImage,
+    /// A packed enhanced-suffix-array payload (`esa-….oasisesa`): the
+    /// bit-compressed SA/LCP/node/LUT streams [`decode_esa`] validates
+    /// and serves in place.
+    PackedEsa,
+}
+
+impl SectionKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            SectionKind::TreeImage => 0,
+            SectionKind::PackedEsa => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ArtifactError> {
+        match b {
+            0 => Ok(SectionKind::TreeImage),
+            1 => Ok(SectionKind::PackedEsa),
+            other => Err(ArtifactError::Corrupt(format!(
+                "manifest: unknown shard section kind {other}"
+            ))),
+        }
+    }
+
+    /// Human-readable kind name, as shown by `oasis index inspect`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SectionKind::TreeImage => "tree-image",
+            SectionKind::PackedEsa => "packed-esa",
+        }
+    }
+}
+
+/// A built shard index handed to [`write_index_artifact`]: either an
+/// in-memory suffix tree (serialized as a §3.4 disk-tree image) or an
+/// enhanced suffix array (serialized as its packed payload, verbatim).
+#[derive(Debug, Clone, Copy)]
+pub enum ShardPayload<'a> {
+    /// Serialize as a [`SectionKind::TreeImage`] section.
+    Tree(&'a SuffixTree),
+    /// Serialize as a [`SectionKind::PackedEsa`] section.
+    Esa(&'a EsaIndex),
+}
+
 /// One checksummed file of the artifact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionMeta {
@@ -140,7 +199,9 @@ pub struct ShardMeta {
     pub seq_lo: u32,
     /// Last global sequence id in the shard (inclusive).
     pub seq_hi: u32,
-    /// The shard's serialized tree image.
+    /// What the shard's section bytes encode.
+    pub kind: SectionKind,
+    /// The shard's serialized index section.
     pub section: SectionMeta,
 }
 
@@ -182,13 +243,31 @@ impl IndexManifest {
     }
 
     /// Load, checksum-verify, and decode shard `i`'s tree into memory.
+    /// Fails with a typed error when the shard is not a tree image.
     pub fn load_shard_tree(&self, dir: &Path, i: usize) -> Result<SuffixTree, ArtifactError> {
         let shard = self
             .shards
             .get(i)
             .ok_or_else(|| ArtifactError::Corrupt(format!("shard index {i} out of range")))?;
+        if shard.kind != SectionKind::TreeImage {
+            return Err(ArtifactError::Corrupt(format!(
+                "shard {i} is a {} section, not a tree image",
+                shard.kind.as_str()
+            )));
+        }
         let image = load_section(dir, &shard.section)?;
         decode_tree(&image)
+    }
+
+    /// Load and checksum-verify shard `i`'s raw section bytes without
+    /// decoding them — the load path for [`SectionKind::PackedEsa`]
+    /// sections, whose bytes are served in place after validation.
+    pub fn load_shard_section(&self, dir: &Path, i: usize) -> Result<Vec<u8>, ArtifactError> {
+        let shard = self
+            .shards
+            .get(i)
+            .ok_or_else(|| ArtifactError::Corrupt(format!("shard index {i} out of range")))?;
+        load_section(dir, &shard.section)
     }
 
     /// Path of shard `i`'s image file (for opening it disk-resident).
@@ -219,6 +298,7 @@ impl IndexManifest {
         for shard in &self.shards {
             out.extend_from_slice(&shard.seq_lo.to_le_bytes());
             out.extend_from_slice(&shard.seq_hi.to_le_bytes());
+            out.push(shard.kind.to_byte());
             push_section(&mut out, &shard.section);
         }
         let trailer = fnv1a64(&out);
@@ -257,10 +337,12 @@ impl IndexManifest {
         for _ in 0..num_shards {
             let seq_lo = cur.u32()?;
             let seq_hi = cur.u32()?;
+            let kind = SectionKind::from_byte(u8::from_le_bytes(cur.array()?))?;
             let section = cur.section()?;
             shards.push(ShardMeta {
                 seq_lo,
                 seq_hi,
+                kind,
                 section,
             });
         }
@@ -362,8 +444,9 @@ pub fn load_section(dir: &Path, meta: &SectionMeta) -> Result<Vec<u8>, ArtifactE
     Ok(bytes)
 }
 
-/// Serialize a built index — the database plus one suffix tree per shard,
-/// each tagged with its inclusive global sequence range — into `dir` as a
+/// Serialize a built index — the database plus one index payload per
+/// shard (tree or packed ESA), each tagged with its inclusive global
+/// sequence range — into `dir` as a
 /// complete artifact. Creates the directory if needed. Section files are
 /// content-addressed (checksum-suffixed names) and land via temp-file +
 /// rename with the manifest written last, so rebuilding over an existing
@@ -374,7 +457,7 @@ pub fn load_section(dir: &Path, meta: &SectionMeta) -> Result<Vec<u8>, ArtifactE
 pub fn write_index_artifact(
     dir: &Path,
     db: &SequenceDatabase,
-    shards: &[(u32, u32, &SuffixTree)],
+    shards: &[(u32, u32, ShardPayload<'_>)],
     block_size: usize,
 ) -> Result<IndexManifest, ArtifactError> {
     if block_size < 64 || !block_size.is_multiple_of(16) {
@@ -395,25 +478,46 @@ pub fn write_index_artifact(
 
     let builder = DiskTreeBuilder::with_block_size(block_size);
     let mut shard_metas = Vec::with_capacity(shards.len());
-    for (i, &(seq_lo, seq_hi, tree)) in shards.iter().enumerate() {
+    for (i, &(seq_lo, seq_hi, payload)) in shards.iter().enumerate() {
         if seq_lo > seq_hi || seq_hi >= db.num_sequences() {
             return Err(ArtifactError::Corrupt(format!(
                 "shard {i} range {seq_lo}..={seq_hi} outside the database"
             )));
         }
-        let (image, _) = builder.build_image(tree);
-        let checksum = fnv1a64(&image);
-        let file = format!("shard-{i:04}-{checksum:016x}.oasis");
-        shard_metas.push(ShardMeta {
-            seq_lo,
-            seq_hi,
-            section: SectionMeta {
-                file: file.clone(),
-                bytes: image.len() as u64,
-                checksum,
-            },
-        });
-        write_atomic(dir, &file, &image)?;
+        match payload {
+            ShardPayload::Tree(tree) => {
+                let (image, _) = builder.build_image(tree);
+                let checksum = fnv1a64(&image);
+                let file = format!("shard-{i:04}-{checksum:016x}.oasis");
+                shard_metas.push(ShardMeta {
+                    seq_lo,
+                    seq_hi,
+                    kind: SectionKind::TreeImage,
+                    section: SectionMeta {
+                        file: file.clone(),
+                        bytes: image.len() as u64,
+                        checksum,
+                    },
+                });
+                write_atomic(dir, &file, &image)?;
+            }
+            ShardPayload::Esa(esa) => {
+                let bytes = esa.payload();
+                let checksum = fnv1a64(bytes);
+                let file = format!("esa-{i:04}-{checksum:016x}.oasisesa");
+                shard_metas.push(ShardMeta {
+                    seq_lo,
+                    seq_hi,
+                    kind: SectionKind::PackedEsa,
+                    section: SectionMeta {
+                        file: file.clone(),
+                        bytes: bytes.len() as u64,
+                        checksum,
+                    },
+                });
+                write_atomic(dir, &file, bytes)?;
+            }
+        }
     }
 
     let manifest = IndexManifest {
@@ -447,7 +551,8 @@ fn collect_garbage(dir: &Path, manifest: &IndexManifest) {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let is_section = (name.starts_with("db-") && name.ends_with(".oasisdb"))
-            || (name.starts_with("shard-") && name.ends_with(".oasis"));
+            || (name.starts_with("shard-") && name.ends_with(".oasis"))
+            || (name.starts_with("esa-") && name.ends_with(".oasisesa"));
         let is_stale_tmp = name.starts_with('.') && name.ends_with(".tmp");
         if (is_section && !referenced.contains(name)) || is_stale_tmp {
             let _ = std::fs::remove_file(entry.path());
@@ -625,6 +730,16 @@ pub fn decode_tree(image: &[u8]) -> Result<SuffixTree, ArtifactError> {
         .map_err(|e| corrupt(format!("tree reassembly: {e}")))
 }
 
+/// Validate a [`SectionKind::PackedEsa`] section's bytes against the
+/// database they claim to index and reconstitute the [`EsaIndex`] — the
+/// zero-rebuild load path: the payload's streams are served in place, no
+/// suffix-array or tree construction happens. Every geometry, checksum,
+/// and structural failure surfaces as a typed [`ArtifactError::Corrupt`].
+pub fn decode_esa(bytes: Vec<u8>, db: &SequenceDatabase) -> Result<EsaIndex, ArtifactError> {
+    EsaIndex::from_parts(bytes, db)
+        .map_err(|e| ArtifactError::Corrupt(format!("packed esa section: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +752,10 @@ mod tests {
             b.push_str(format!("s{i}"), s).unwrap();
         }
         b.finish()
+    }
+
+    fn tr(tree: &SuffixTree) -> ShardPayload<'_> {
+        ShardPayload::Tree(tree)
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -654,12 +773,13 @@ mod tests {
         let d = db(&["ACGTACGT", "TTGCA", "A"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("manifest");
-        let written = write_index_artifact(&dir, &d, &[(0, 2, &tree)], 64).unwrap();
+        let written = write_index_artifact(&dir, &d, &[(0, 2, tr(&tree))], 64).unwrap();
         let read = read_manifest(&dir).unwrap();
         assert_eq!(written, read);
         assert_eq!(read.num_seqs, 3);
         assert_eq!(read.shards.len(), 1);
         assert_eq!((read.shards[0].seq_lo, read.shards[0].seq_hi), (0, 2));
+        assert_eq!(read.shards[0].kind, SectionKind::TreeImage);
         assert!(read.total_bytes() > 0);
         let back = read.load_database(&dir).unwrap();
         assert_eq!(back, d);
@@ -729,7 +849,7 @@ mod tests {
         let d = db(&["ACGTACGT", "TTGCA"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("corrupt");
-        let manifest = write_index_artifact(&dir, &d, &[(0, 1, &tree)], 64).unwrap();
+        let manifest = write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64).unwrap();
 
         // Flip one byte in the middle of the shard image.
         let shard = dir.join(&manifest.shards[0].section.file);
@@ -781,7 +901,7 @@ mod tests {
         let d = db(&["ACGTACGT"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("trunc");
-        let manifest = write_index_artifact(&dir, &d, &[(0, 0, &tree)], 64).unwrap();
+        let manifest = write_index_artifact(&dir, &d, &[(0, 0, tr(&tree))], 64).unwrap();
         let shard = dir.join(&manifest.shards[0].section.file);
         let bytes = std::fs::read(&shard).unwrap();
         std::fs::write(&shard, &bytes[..bytes.len() / 2]).unwrap();
@@ -797,7 +917,7 @@ mod tests {
         let d = db(&["ACGT"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("version");
-        write_index_artifact(&dir, &d, &[(0, 0, &tree)], 64).unwrap();
+        write_index_artifact(&dir, &d, &[(0, 0, tr(&tree))], 64).unwrap();
         let mf = dir.join(MANIFEST_FILE);
         let mut bytes = std::fs::read(&mf).unwrap();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes()); // version field
@@ -817,7 +937,7 @@ mod tests {
         let d1 = db(&["ACGTACGT", "TTGCA"]);
         let tree1 = SuffixTree::build(&d1);
         let dir = tmpdir("rebuild");
-        let m1 = write_index_artifact(&dir, &d1, &[(0, 0, &tree1), (1, 1, &tree1)], 64);
+        let m1 = write_index_artifact(&dir, &d1, &[(0, 0, tr(&tree1)), (1, 1, tr(&tree1))], 64);
         // (Ranges here are per-shard trees in real use; a shared tree is
         // fine for exercising the file lifecycle.)
         let m1 = m1.unwrap();
@@ -834,7 +954,7 @@ mod tests {
         // generation's sections plus all orphans are garbage-collected.
         let d2 = db(&["GGGGCCCC", "ATAT", "CG"]);
         let tree2 = SuffixTree::build(&d2);
-        let m2 = write_index_artifact(&dir, &d2, &[(0, 2, &tree2)], 64).unwrap();
+        let m2 = write_index_artifact(&dir, &d2, &[(0, 2, tr(&tree2))], 64).unwrap();
         assert_ne!(m1.database.file, m2.database.file, "content-addressed");
         assert_eq!(read_manifest(&dir).unwrap(), m2);
         assert_eq!(m2.load_database(&dir).unwrap(), d2);
@@ -867,12 +987,77 @@ mod tests {
         let d = db(&["ACGTACGT", "TTGCA"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("clean");
-        write_index_artifact(&dir, &d, &[(0, 1, &tree)], 64).unwrap();
+        write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64).unwrap();
         for entry in std::fs::read_dir(&dir).unwrap() {
             let name = entry.unwrap().file_name();
             let name = name.to_string_lossy();
             assert!(!name.starts_with('.'), "temp file left behind: {name}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn esa_shard_roundtrips_with_kind_and_gc() {
+        let d = db(&["ACGTACGT", "TTGCA", "GGATC"]);
+        let tree = SuffixTree::build(&d);
+        let esa = EsaIndex::build(&d);
+        let dir = tmpdir("esa");
+        // A decoy orphan matching the esa naming scheme must be swept.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("esa-0099-00000000deadbeef.oasisesa"), b"junk").unwrap();
+        let shards = [(0u32, 1u32, tr(&tree)), (2, 2, ShardPayload::Esa(&esa))];
+        let m = write_index_artifact(&dir, &d, &shards, 64).unwrap();
+        assert_eq!(m.shards[0].kind, SectionKind::TreeImage);
+        assert_eq!(m.shards[1].kind, SectionKind::PackedEsa);
+        assert!(m.shards[1].section.file.starts_with("esa-0001-"));
+        assert!(m.shards[1].section.file.ends_with(".oasisesa"));
+        assert!(!dir.join("esa-0099-00000000deadbeef.oasisesa").exists());
+
+        let read = read_manifest(&dir).unwrap();
+        assert_eq!(read, m);
+        // The packed section loads raw and revalidates against the db.
+        let bytes = read.load_shard_section(&dir, 1).unwrap();
+        let back = decode_esa(bytes, &d).unwrap();
+        assert_eq!(back.payload(), esa.payload());
+        // Loading it as a tree is a typed kind-mismatch error.
+        let err = read.load_shard_tree(&dir, 1).unwrap_err();
+        assert!(
+            matches!(&err, ArtifactError::Corrupt(what) if what.contains("packed-esa")),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_esa_section_is_detected() {
+        let d = db(&["ACGTACGT", "TTGCA"]);
+        let esa = EsaIndex::build(&d);
+        let dir = tmpdir("esacorrupt");
+        let shards = [(0u32, 1u32, ShardPayload::Esa(&esa))];
+        let m = write_index_artifact(&dir, &d, &shards, 64).unwrap();
+
+        // Checksum catches a flipped byte before decode runs.
+        let f = dir.join(&m.shards[0].section.file);
+        let mut bytes = std::fs::read(&f).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&f, &bytes).unwrap();
+        assert!(matches!(
+            m.load_shard_section(&dir, 0),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        bytes[mid] ^= 0x20;
+
+        // Truncated or db-mismatched payloads fail decode with Corrupt.
+        assert!(matches!(
+            decode_esa(bytes[..bytes.len() - 3].to_vec(), &d),
+            Err(ArtifactError::Corrupt(_))
+        ));
+        let other = db(&["AAAAAAAA", "TTTTT"]);
+        assert!(matches!(
+            decode_esa(bytes, &other),
+            Err(ArtifactError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -32,8 +32,9 @@ pub mod partitioned;
 pub mod pool;
 
 pub use artifact::{
-    decode_tree, fnv1a64, image_text, load_section, read_manifest, write_index_artifact,
-    ArtifactError, IndexManifest, SectionMeta, ShardMeta, ARTIFACT_VERSION, MANIFEST_FILE,
+    decode_esa, decode_tree, fnv1a64, image_text, load_section, read_manifest,
+    write_index_artifact, ArtifactError, IndexManifest, SectionKind, SectionMeta, ShardMeta,
+    ShardPayload, ARTIFACT_VERSION, MANIFEST_FILE,
 };
 pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
 pub use layout::{header_block_size, DiskSuffixTree, DiskTreeBuilder, ImageStats};

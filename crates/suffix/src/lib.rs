@@ -16,9 +16,12 @@
 //! * [`lcp`] — Kasai's linear-time LCP array.
 //! * [`tree`] — the compact (PATRICIA) generalized suffix tree assembled
 //!   from SA + LCP with a stack in one pass.
-//! * [`access`] — [`SuffixTreeAccess`], the traversal trait both the
-//!   in-memory tree and the disk-resident tree (in `oasis-storage`)
-//!   implement; OASIS itself is generic over it.
+//! * [`access`] — [`SuffixTreeAccess`], the traversal trait the in-memory
+//!   tree, the disk-resident tree (in `oasis-storage`), and the enhanced
+//!   suffix array implement; OASIS itself is generic over it.
+//! * [`esa`] — [`EsaIndex`], the enhanced-suffix-array backend: SA + LCP +
+//!   lcp-interval navigation with a two-byte bucket LUT, persisted as a
+//!   packed payload that is validated and served in place.
 //! * [`search`] — exact-match lookup (§2.3.1), used by tests and by the
 //!   highly selective fast path.
 //! * [`rebuild`] — validated reassembly of a [`SuffixTree`] from serialized
@@ -27,6 +30,7 @@
 
 pub mod access;
 pub mod doubling;
+pub mod esa;
 pub mod lcp;
 pub mod naive;
 pub mod rebuild;
@@ -37,6 +41,7 @@ pub mod tree;
 pub mod ukkonen;
 
 pub use access::{NodeHandle, SuffixTreeAccess};
+pub use esa::{EsaError, EsaIndex};
 pub use lcp::lcp_kasai;
 pub use rebuild::{RebuildError, TreeAssembler};
 pub use sais::suffix_array;

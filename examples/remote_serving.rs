@@ -23,7 +23,8 @@ fn main() {
     let db = Arc::new(b.finish());
     let dir = std::env::temp_dir().join(format!("oasis-remote-example-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    oasis::engine::build_index_artifact(&db, &dir, 2, 64).expect("artifact");
+    oasis::engine::build_index_artifact(&db, &dir, 2, 64, oasis::engine::IndexBackend::Tree)
+        .expect("artifact");
     println!("persisted a 2-shard artifact to {}", dir.display());
 
     // 2. Serve it: generation 0 loads from the artifact, exactly like

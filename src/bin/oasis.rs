@@ -51,7 +51,7 @@ USAGE:
   oasis makedb <db.fasta> <db.oasisdb> [--dna|--protein]
   oasis index  <db.fasta|db.oasisdb> <index.oasis> [--dna|--protein] [--block-size N]
   oasis index  build <db.fasta|db.oasisdb> --out <dir> [--dna|--protein]
-               [--shards N] [--block-size N]
+               [--shards N] [--block-size N] [--backend tree|esa]
   oasis search <db.fasta|db.oasisdb> <index.oasis> <QUERY> [--dna|--protein]
                [--evalue E | --min-score S] [--top K] [--pool-mb M]
                [--matrix unit|blosum62|pam30] [--gap G] [--shards N]
@@ -83,14 +83,19 @@ them (the on-disk index is not opened); merged results are
 byte-identical to the single-index search.
 
 `index build` persists a complete artifact directory (database + N
-balanced shard trees, per-section checksums, atomic temp-file+rename
-writes). `search --index <dir>` loads it — no FASTA parsing, no tree
+balanced shard indexes, per-section checksums, atomic temp-file+rename
+writes). `--backend esa` indexes each shard with an enhanced suffix
+array instead of a suffix tree — a packed SA/LCP/LUT payload that loads
+without any tree reconstruction and produces byte-identical hits.
+`search --index <dir>` loads it — no FASTA parsing, no tree
 construction, no --shards (the artifact fixes the shard layout; its
-alphabet is authoritative): one shard serves disk-resident through the
-buffer pool (--pool-mb applies), several reconstitute the in-memory
-fan-out engine. Results are byte-identical to a freshly built index.
-`index inspect` prints an artifact's manifest — version, shard table,
-per-section sizes and checksums — without loading any trees. `serve`
+alphabet is authoritative): one tree-image shard serves disk-resident
+through the buffer pool (--pool-mb applies), anything else (several
+shards, or any packed-esa shard) reconstitutes the in-memory fan-out
+engine. Results are byte-identical to a freshly built index.
+`index inspect` prints an artifact's manifest — version, shard table
+with backend kinds, per-section encoded sizes and checksums — without
+loading any indexes. `serve`
 exposes an artifact over TCP (the oasis-net wire protocol): bounded
 admission answers Busy backpressure instead of queueing unboundedly,
 requests may carry deadlines, and `admin reload` hot-swaps a freshly
@@ -155,12 +160,22 @@ struct Flags {
     workers: Option<usize>,
     queue: Option<usize>,
     deadline_ms: Option<u32>,
+    backend: Option<String>,
 }
 
 impl Flags {
     /// The buffer-pool budget in bytes (`--pool-mb`, default 64 MB).
     fn pool_bytes(&self) -> usize {
         self.pool_mb.unwrap_or(64) * 1024 * 1024
+    }
+
+    /// The `--backend` selection for `index build` (default: tree).
+    fn index_backend(&self) -> Result<oasis::engine::IndexBackend, String> {
+        match self.backend.as_deref() {
+            None | Some("tree") => Ok(oasis::engine::IndexBackend::Tree),
+            Some("esa") => Ok(oasis::engine::IndexBackend::Esa),
+            Some(other) => Err(format!("unknown backend {other} (tree|esa)")),
+        }
     }
 
     /// `--pool-mb` only sizes the buffer pool behind a disk-resident
@@ -197,6 +212,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         workers: None,
         queue: None,
         deadline_ms: None,
+        backend: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -272,6 +288,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|e| format!("--queue: {e}"))?,
                 )
             }
+            "--backend" => f.backend = Some(value("--backend")?),
             "--deadline-ms" => {
                 f.deadline_ms = Some(
                     value("--deadline-ms")?
@@ -407,13 +424,20 @@ fn cmd_index_build(args: &[String]) -> Result<(), String> {
         db.total_residues()
     );
     let block_size = flags.block_size.unwrap_or(2048);
+    let backend = flags.index_backend()?;
     let start = std::time::Instant::now();
-    let manifest =
-        oasis::engine::build_index_artifact(&db, std::path::Path::new(out), shards, block_size)
-            .map_err(|e| format!("{out}: {e}"))?;
+    let manifest = oasis::engine::build_index_artifact(
+        &db,
+        std::path::Path::new(out),
+        shards,
+        block_size,
+        backend,
+    )
+    .map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
-        "wrote artifact {out}: {} shard(s), {:.2} MB total ({} byte blocks) in {:.2?}",
+        "wrote artifact {out}: {} {} shard(s), {:.2} MB total ({} byte blocks) in {:.2?}",
         manifest.shards.len(),
+        backend.as_str(),
         manifest.total_bytes() as f64 / 1e6,
         block_size,
         start.elapsed()
@@ -581,7 +605,13 @@ fn open_artifact_backend(
     );
     flags.alphabet = db.alphabet().clone();
     let scoring = scoring_from(flags)?;
-    let backend = if manifest.shards.len() == 1 {
+    // Packed-ESA sections have no disk-resident serving mode, so any ESA
+    // shard routes the artifact through the in-memory loader — even one.
+    let all_tree = manifest
+        .shards
+        .iter()
+        .all(|s| s.kind == oasis::storage::SectionKind::TreeImage);
+    let backend = if manifest.shards.len() == 1 && all_tree {
         let mut engine = oasis::engine::disk_engine_from_artifact(
             path,
             &manifest,
@@ -606,8 +636,9 @@ fn open_artifact_backend(
         if let Some(threads) = flags.threads {
             engine = engine.with_threads(threads);
         }
+        let kind = if all_tree { "tree" } else { "esa" };
         eprintln!(
-            "index artifact: {} shard(s), in-memory fan-out (loaded in {:.2?})",
+            "index artifact: {} {kind} shard(s), in-memory fan-out (loaded in {:.2?})",
             engine.num_shards(),
             start.elapsed()
         );
@@ -882,11 +913,20 @@ fn cmd_index_inspect(args: &[String]) -> Result<(), String> {
         manifest.database.file, manifest.database.bytes, manifest.database.checksum
     );
     println!("shards:        {}", manifest.shards.len());
+    // Encoded index bytes per indexed symbol makes the packed-ESA space
+    // savings visible without loading or decoding anything.
+    let index_bytes: u64 = manifest.shards.iter().map(|s| s.section.bytes).sum();
+    println!(
+        "index bytes:   {} ({:.2} bytes/symbol)",
+        index_bytes,
+        index_bytes as f64 / f64::from(manifest.text_len.max(1))
+    );
     for (i, shard) in manifest.shards.iter().enumerate() {
         println!(
-            "  shard {i:04}   seqs {}..={}  {}  {} bytes  checksum {:016x}",
+            "  shard {i:04}   seqs {}..={}  {:<10}  {}  {} bytes  checksum {:016x}",
             shard.seq_lo,
             shard.seq_hi,
+            shard.kind.as_str(),
             shard.section.file,
             shard.section.bytes,
             shard.section.checksum

@@ -9,7 +9,9 @@ pub use oasis_align::{
     Alignment, GapModel, KarlinParams, Score, Scoring, SubstitutionMatrix, SwScanner, NEG_INF,
 };
 
-pub use oasis_suffix::{build_ukkonen, NodeHandle, SuffixTree, SuffixTreeAccess};
+pub use oasis_suffix::{
+    build_ukkonen, EsaError, EsaIndex, NodeHandle, SuffixTree, SuffixTreeAccess,
+};
 
 pub use oasis_storage::{
     read_manifest, write_index_artifact, ArtifactError, BufferPool, BufferPoolStats,
@@ -24,10 +26,10 @@ pub use oasis_core::{
 
 pub use oasis_engine::{
     build_index_artifact, disk_engine_from_artifact, load_sharded_engine, persist_sharded_engine,
-    sharded_engine_from_artifact, AdmissionError, BatchQuery, GenerationInfo, IndexCatalog,
-    LatencySummary, OasisEngine, QueryExecutor, QuerySession, QueryTicket, SearchOutcome,
-    ServedOutcome, ServingConfig, ServingConfigError, ServingEngine, ServingStats, ShardedEngine,
-    ShardedSession,
+    sharded_engine_from_artifact, AdmissionError, BatchQuery, GenerationInfo, IndexBackend,
+    IndexCatalog, LatencySummary, OasisEngine, QueryExecutor, QuerySession, QueryTicket,
+    SearchOutcome, ServedOutcome, ServingConfig, ServingConfigError, ServingEngine, ServingStats,
+    ShardedEngine, ShardedSession,
 };
 
 pub use oasis_net::{

@@ -193,12 +193,15 @@ fn index_inspect_prints_the_manifest_without_loading_trees() {
     assert!(out.status.success(), "inspect failed: {out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     for needle in [
-        "version:       1",
+        "version:       2",
         "block size:    64",
         "sequences:     4",
         "shards:        2",
+        "index bytes:",
+        "bytes/symbol",
         "shard 0000",
         "shard 0001",
+        "tree-image",
         "checksum",
         "db-",
     ] {
@@ -209,6 +212,30 @@ fn index_inspect_prints_the_manifest_without_loading_trees() {
     }
     // The shard boundary table tiles the database.
     assert!(stdout.contains("seqs 0..="), "{stdout}");
+    // A packed-ESA artifact reports its backend kind per shard.
+    let built = oasis(
+        &[
+            "index",
+            "build",
+            "db.fa",
+            "--out",
+            "esa-arti",
+            "--dna",
+            "--shards",
+            "2",
+            "--block-size",
+            "64",
+            "--backend",
+            "esa",
+        ],
+        &dir,
+    );
+    assert!(built.status.success(), "esa index build failed: {built:?}");
+    let out = oasis(&["index", "inspect", "esa-arti"], &dir);
+    assert!(out.status.success(), "esa inspect failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("packed-esa"), "{stdout}");
+    assert!(!stdout.contains("tree-image"), "{stdout}");
     // Inspecting a non-artifact directory fails cleanly.
     let out = oasis(&["index", "inspect", "."], &dir);
     assert!(!out.status.success());
@@ -216,6 +243,55 @@ fn index_inspect_prints_the_manifest_without_loading_trees() {
         String::from_utf8_lossy(&out.stderr).contains("error:"),
         "{out:?}"
     );
+}
+
+#[test]
+fn esa_backend_serves_byte_identical_search_results() {
+    let dir = setup("esa-backend");
+    for (out, backend) in [("tree-arti", "tree"), ("esa-arti", "esa")] {
+        let built = oasis(
+            &[
+                "index",
+                "build",
+                "db.fa",
+                "--out",
+                out,
+                "--dna",
+                "--shards",
+                "2",
+                "--block-size",
+                "64",
+                "--backend",
+                backend,
+            ],
+            &dir,
+        );
+        assert!(
+            built.status.success(),
+            "{backend} index build failed: {built:?}"
+        );
+    }
+    for query in ["TACG", "ACGT", "GGG"] {
+        let direct = search(&dir, &[query]);
+        assert!(direct.status.success(), "direct search failed: {direct:?}");
+        let mut outputs = Vec::new();
+        for index in ["tree-arti", "esa-arti"] {
+            let mut args = vec!["search", "--index", index, query];
+            args.extend_from_slice(COMMON);
+            let out = oasis(&args, &dir);
+            assert!(out.status.success(), "{index} search failed: {out:?}");
+            outputs.push(String::from_utf8_lossy(&out.stdout).into_owned());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "{query}: tree and esa artifacts must serve identical hits"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&direct.stdout),
+            outputs[1],
+            "{query}: esa artifact must match the direct in-memory search"
+        );
+    }
 }
 
 #[test]

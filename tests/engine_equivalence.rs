@@ -161,6 +161,54 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// The enhanced-suffix-array backend is a drop-in substrate: an
+    /// `OasisEngine` over an `EsaIndex` must serve byte-identical hits
+    /// *and statistics* to the suffix-tree engine — serially and on 4
+    /// worker threads — and the sharded engine built with the ESA
+    /// backend must match the unsharded tree engine for K ∈ {1, 4}.
+    /// Together with `concurrent_disk_batch_equals_serial_runs` this
+    /// closes the square: tree ≡ disk tree ≡ ESA, memory and disk.
+    #[test]
+    fn esa_backend_equals_tree_across_threads_and_shards(
+        seqs in db_strategy(),
+        queries in prop::collection::vec(prop::collection::vec(0u8..4, 1..12), 1..5),
+        min in 1i32..6,
+    ) {
+        let db = build_db(&seqs);
+        let tree = Arc::new(SuffixTree::build(&db));
+        let esa = Arc::new(EsaIndex::build(&db));
+        let scoring = Scoring::unit_dna();
+        let jobs = jobs_from(&queries, min);
+        let reference = OasisEngine::new(tree, db.clone(), scoring.clone())
+            .with_threads(1)
+            .run_batch(&jobs);
+        for threads in [1usize, THREADS] {
+            let outcomes = OasisEngine::new(esa.clone(), db.clone(), scoring.clone())
+                .with_threads(threads)
+                .run_batch(&jobs);
+            prop_assert_eq!(outcomes.len(), reference.len());
+            for (out, want) in outcomes.iter().zip(&reference) {
+                prop_assert_eq!(&out.hits, &want.hits, "threads={}", threads);
+                prop_assert_eq!(&out.stats, &want.stats, "threads={}", threads);
+            }
+        }
+        for k in [1usize, 4] {
+            let mut engine = ShardedEngine::build_with_backend(
+                db.clone(),
+                scoring.clone(),
+                k,
+                IndexBackend::Esa,
+            );
+            for threads in [1usize, THREADS] {
+                engine = engine.with_threads(threads);
+                let sharded = engine.run_batch(&jobs);
+                for (s, u) in sharded.iter().zip(&reference) {
+                    prop_assert_eq!(&s.hits, &u.hits, "k={} threads={}", k, threads);
+                }
+            }
+        }
+    }
+
     #[test]
     fn sharded_equals_unsharded_for_every_shard_count(
         seqs in db_strategy(),

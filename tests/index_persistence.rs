@@ -48,9 +48,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Build → persist → load must serve the exact bytes a fresh build
-    /// serves, for K ∈ {1, 4} shards, serially and on 4 worker threads.
-    /// Sequence lengths start at 0 so empty sequences ride through the
-    /// whole persistence pipeline too.
+    /// serves, for K ∈ {1, 4} shards, serially and on 4 worker threads,
+    /// for BOTH index backends (suffix-tree images and packed ESA
+    /// sections). The reference hits come from a fresh tree build, so
+    /// this also pins the persisted ESA path to the tree backend's
+    /// byte-for-byte output. Sequence lengths start at 0 so empty
+    /// sequences ride through the whole persistence pipeline too.
     #[test]
     fn persisted_index_serves_byte_identical_hits(
         seqs in prop::collection::vec(prop::collection::vec(0u8..4, 0..40), 1..10),
@@ -59,22 +62,27 @@ proptest! {
         let db = build_db(&seqs);
         let jobs = jobs_for(&queries);
         for k in [1usize, 4] {
-            let dir = scratch("roundtrip");
-            build_index_artifact(&db, &dir, k, 64).expect("artifact written");
             let fresh = ShardedEngine::build(db.clone(), Scoring::unit_dna(), k);
             let want = fresh.with_threads(1).run_batch(&jobs);
-            for threads in [1usize, 4] {
-                let loaded = load_sharded_engine(&dir, Scoring::unit_dna())
-                    .expect("artifact loads")
-                    .with_threads(threads);
-                prop_assert_eq!(loaded.num_shards() <= k, true);
-                let got = loaded.run_batch(&jobs);
-                prop_assert_eq!(got.len(), want.len());
-                for (g, w) in got.iter().zip(&want) {
-                    prop_assert_eq!(&g.hits, &w.hits, "k={} threads={}", k, threads);
+            for backend in [IndexBackend::Tree, IndexBackend::Esa] {
+                let dir = scratch("roundtrip");
+                build_index_artifact(&db, &dir, k, 64, backend).expect("artifact written");
+                for threads in [1usize, 4] {
+                    let loaded = load_sharded_engine(&dir, Scoring::unit_dna())
+                        .expect("artifact loads")
+                        .with_threads(threads);
+                    prop_assert_eq!(loaded.num_shards() <= k, true);
+                    let got = loaded.run_batch(&jobs);
+                    prop_assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(&want) {
+                        prop_assert_eq!(
+                            &g.hits, &w.hits,
+                            "k={} threads={} backend={}", k, threads, backend.as_str()
+                        );
+                    }
                 }
+                std::fs::remove_dir_all(&dir).ok();
             }
-            std::fs::remove_dir_all(&dir).ok();
         }
     }
 }
@@ -87,7 +95,8 @@ fn single_shard_artifact_serves_disk_resident_and_identical() {
         vec![2, 2, 3, 0, 2, 2],
     ]);
     let dir = scratch("diskres");
-    let manifest = build_index_artifact(&db, &dir, 1, 64).expect("artifact written");
+    let manifest =
+        build_index_artifact(&db, &dir, 1, 64, IndexBackend::Tree).expect("artifact written");
     let engine =
         disk_engine_from_artifact(&dir, &manifest, db.clone(), Scoring::unit_dna(), 1 << 16)
             .expect("disk-resident load");
@@ -109,44 +118,48 @@ fn flipped_byte_in_any_section_is_a_clean_checksum_error() {
         vec![2, 2, 3, 0, 2, 2],
         vec![1, 1, 1, 1],
     ]);
-    let dir = scratch("corruption");
-    let manifest = build_index_artifact(&db, &dir, 2, 64).expect("artifact written");
+    // Both section kinds carry their own checksums, so corruption
+    // detection must hold for tree images and packed ESA sections alike.
+    for backend in [IndexBackend::Tree, IndexBackend::Esa] {
+        let dir = scratch("corruption");
+        let manifest = build_index_artifact(&db, &dir, 2, 64, backend).expect("artifact written");
 
-    // Every persisted file, corrupted one at a time, must surface as a
-    // checksum error from the load path — never as different hits.
-    let mut files = vec![dir.join(&manifest.database.file)];
-    for i in 0..manifest.shards.len() {
-        files.push(manifest.shard_path(&dir, i));
-    }
-    for file in files {
-        let clean = std::fs::read(&file).unwrap();
-        let mut bent = clean.clone();
-        let mid = bent.len() / 2;
-        bent[mid] ^= 0x20;
-        std::fs::write(&file, &bent).unwrap();
-        let err = load_sharded_engine(&dir, Scoring::unit_dna())
-            .err()
-            .unwrap_or_else(|| panic!("corruption in {} not detected", file.display()));
-        assert!(
-            matches!(err, ArtifactError::ChecksumMismatch { .. }),
-            "{}: {err}",
-            file.display()
-        );
-        std::fs::write(&file, &clean).unwrap();
-    }
-    // Intact again: loads fine.
-    assert!(load_sharded_engine(&dir, Scoring::unit_dna()).is_ok());
+        // Every persisted file, corrupted one at a time, must surface as a
+        // checksum error from the load path — never as different hits.
+        let mut files = vec![dir.join(&manifest.database.file)];
+        for i in 0..manifest.shards.len() {
+            files.push(manifest.shard_path(&dir, i));
+        }
+        for file in files {
+            let clean = std::fs::read(&file).unwrap();
+            let mut bent = clean.clone();
+            let mid = bent.len() / 2;
+            bent[mid] ^= 0x20;
+            std::fs::write(&file, &bent).unwrap();
+            let err = load_sharded_engine(&dir, Scoring::unit_dna())
+                .err()
+                .unwrap_or_else(|| panic!("corruption in {} not detected", file.display()));
+            assert!(
+                matches!(err, ArtifactError::ChecksumMismatch { .. }),
+                "{}: {err}",
+                file.display()
+            );
+            std::fs::write(&file, &clean).unwrap();
+        }
+        // Intact again: loads fine.
+        assert!(load_sharded_engine(&dir, Scoring::unit_dna()).is_ok());
 
-    // The manifest protects itself the same way.
-    let mf = dir.join(oasis::storage::MANIFEST_FILE);
-    let mut bytes = std::fs::read(&mf).unwrap();
-    bytes[9] ^= 0x01;
-    std::fs::write(&mf, &bytes).unwrap();
-    assert!(matches!(
-        load_sharded_engine(&dir, Scoring::unit_dna()),
-        Err(ArtifactError::ChecksumMismatch { .. })
-    ));
-    std::fs::remove_dir_all(&dir).ok();
+        // The manifest protects itself the same way.
+        let mf = dir.join(oasis::storage::MANIFEST_FILE);
+        let mut bytes = std::fs::read(&mf).unwrap();
+        bytes[9] ^= 0x01;
+        std::fs::write(&mf, &bytes).unwrap();
+        assert!(matches!(
+            load_sharded_engine(&dir, Scoring::unit_dna()),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 #[test]
@@ -158,7 +171,10 @@ fn loaded_generation_hot_swaps_into_live_serving_without_result_change() {
         vec![2, 0, 3, 3, 0, 1, 0],
     ]);
     let dir = scratch("hotswap");
-    build_index_artifact(&db, &dir, 3, 64).expect("artifact written");
+    // The published generation comes from a packed-ESA artifact while the
+    // cold build is a suffix tree: the catalog swap must be invisible
+    // across index substrates, not just across generations.
+    build_index_artifact(&db, &dir, 3, 64, IndexBackend::Esa).expect("artifact written");
 
     let serving = ServingEngine::new(
         IndexCatalog::new(

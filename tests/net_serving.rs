@@ -312,8 +312,12 @@ fn reload_hot_swaps_a_generation_under_live_streaming_clients() {
     // Two artifacts over the same database with different shard layouts:
     // results must be byte-identical across the swap, so any corruption a
     // racing reload could cause is observable.
-    oasis::engine::build_index_artifact(&db, &dir_a, 2, 64).expect("artifact a");
-    oasis::engine::build_index_artifact(&db, &dir_b, 3, 64).expect("artifact b");
+    oasis::engine::build_index_artifact(&db, &dir_a, 2, 64, oasis::engine::IndexBackend::Tree)
+        .expect("artifact a");
+    // Generation B uses the packed-ESA backend: the hot swap must also be
+    // invisible across index substrates.
+    oasis::engine::build_index_artifact(&db, &dir_b, 3, 64, oasis::engine::IndexBackend::Esa)
+        .expect("artifact b");
 
     let scoring = Scoring::unit_dna();
     let index = ServedIndex::from_artifact(&dir_a, scoring.clone(), 1 << 20).expect("load a");
