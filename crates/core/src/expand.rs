@@ -188,7 +188,7 @@ const FUSED_SCALAR_CUTOFF: usize = 48;
 ///
 /// This is the production kernel: query-profile rows, a vectorizable
 /// carry-free first pass, and live-mask block skipping (see the module
-/// doc) for queries of at least [`FUSED_SCALAR_CUTOFF`] symbols, and the
+/// doc) for queries of at least `FUSED_SCALAR_CUTOFF` (48) symbols, and the
 /// fused scalar loop below that. It is byte-identical to
 /// [`expand_reference`] on both sides of the cutoff — a property test
 /// straddling the boundary holds the two together.

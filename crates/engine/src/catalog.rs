@@ -41,11 +41,17 @@
 //! // … later, without stopping admission: build (or load) a new
 //! // generation and swap it in. In-flight queries drain on the old one.
 //! let gen1 = ShardedEngine::build(db.clone(), Scoring::unit_dna(), 4);
-//! serving.executor().publish("rebuilt with 4 shards", gen1);
+//! serving.executor().publish("rebuilt with 4 shards", gen1).unwrap();
 //! assert_eq!(serving.executor().current_info().id, 1);
 //! ```
+//!
+//! During teardown, [`begin_shutdown`](IndexCatalog::begin_shutdown)
+//! closes the catalog to further publishes: a background compaction (or a
+//! remote reload) that loses the race against shutdown gets a typed
+//! [`PublishError::ShuttingDown`] instead of silently swapping an index
+//! into a server that is already draining.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, Weak};
 
 use crate::serving::QueryExecutor;
@@ -70,6 +76,28 @@ pub struct GenerationInfo {
     pub label: String,
 }
 
+/// Why a publish was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishError {
+    /// [`IndexCatalog::begin_shutdown`] was called: the catalog no longer
+    /// accepts new generations. Whatever the caller built stays
+    /// unpublished — for a compaction, this means the WAL must **not** be
+    /// truncated, since no serving generation pins the merged artifact.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::ShuttingDown => {
+                write!(f, "catalog is shutting down; generation not published")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
 /// An atomically swappable registry of index generations (see the module
 /// docs for the hot-swap semantics).
 pub struct IndexCatalog<E> {
@@ -78,6 +106,10 @@ pub struct IndexCatalog<E> {
     /// Retired generations, weakly held: an entry upgrades only while some
     /// in-flight query still owns the generation.
     retired: RwLock<Vec<(GenerationInfo, Weak<Generation<E>>)>>,
+    /// Set by [`begin_shutdown`](IndexCatalog::begin_shutdown), checked
+    /// under the `current` write lock so a publish and a shutdown cannot
+    /// interleave.
+    shutting_down: AtomicBool,
 }
 
 impl<E> IndexCatalog<E> {
@@ -91,26 +123,37 @@ impl<E> IndexCatalog<E> {
             })),
             next_id: AtomicU64::new(1),
             retired: RwLock::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
         }
     }
 
     /// Atomically make `executor` the serving generation. Queries already
     /// running keep the generation they started on; every later query runs
-    /// on the new one. Returns the new generation's id.
-    pub fn publish(&self, label: impl Into<String>, executor: E) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(Generation {
-            id,
-            label: label.into(),
-            executor,
-        });
-        let old = {
+    /// on the new one. Returns the new generation's id, or a typed
+    /// [`PublishError::ShuttingDown`] when the catalog has been closed by
+    /// [`begin_shutdown`](IndexCatalog::begin_shutdown) — the generation
+    /// is then dropped, never swapped in.
+    pub fn publish(&self, label: impl Into<String>, executor: E) -> Result<u64, PublishError> {
+        let (id, old) = {
             // The data under these locks (an Arc and a list of weak
             // handles) stays valid across any panic, so a poisoned lock
             // is recovered rather than cascading the panic into every
             // later query on the serving path.
             let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
-            std::mem::replace(&mut *current, fresh)
+            if self.shutting_down.load(Ordering::Relaxed) {
+                return Err(PublishError::ShuttingDown);
+            }
+            // The id is allocated only after the shutdown check (and under
+            // the same lock), so ids stay dense and
+            // [`generations_published`](IndexCatalog::generations_published)
+            // counts exactly the generations that actually served.
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let fresh = Arc::new(Generation {
+                id,
+                label: label.into(),
+                executor,
+            });
+            (id, std::mem::replace(&mut *current, fresh))
         };
         let mut retired = self.retired.write().unwrap_or_else(PoisonError::into_inner);
         retired.push((
@@ -122,7 +165,23 @@ impl<E> IndexCatalog<E> {
         ));
         // Drop dead bookkeeping eagerly so a long-lived catalog stays flat.
         retired.retain(|(_, weak)| weak.strong_count() > 0);
-        id
+        Ok(id)
+    }
+
+    /// Close the catalog to further publishes. Queries keep executing on
+    /// the current generation (shutdown of *admission* is the serving
+    /// engine's job); only generation swaps are refused from here on.
+    /// Taken under the `current` write lock so a publish already past its
+    /// own shutdown check completes before the flag is visible — there is
+    /// no window where a publish half-succeeds.
+    pub fn begin_shutdown(&self) {
+        let _current = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        self.shutting_down.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`begin_shutdown`](IndexCatalog::begin_shutdown) been called?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
     }
 
     /// Snapshot the current generation (cheap: one `Arc` clone under a
@@ -225,7 +284,7 @@ mod tests {
         assert_eq!(catalog.execute(&job()).stats.max_queue, 7);
         assert_eq!(catalog.current_info().id, 0);
         assert_eq!(catalog.current_info().label, "gen0");
-        let id = catalog.publish("gen1", Marker(9));
+        let id = catalog.publish("gen1", Marker(9)).unwrap();
         assert_eq!(id, 1);
         assert_eq!(catalog.execute(&job()).stats.max_queue, 9);
         assert_eq!(catalog.generations_published(), 2);
@@ -285,7 +344,7 @@ mod tests {
         };
         started_rx.recv().unwrap();
         // Swap generations while the query is in flight.
-        catalog.publish("instant", Either::Instant);
+        catalog.publish("instant", Either::Instant).unwrap();
         // New queries run (on the new generation) without blocking…
         catalog.execute(&job());
         // …while the old generation is still pinned by the parked query.
@@ -296,6 +355,26 @@ mod tests {
         // Release it: the old generation must drop with the last query.
         release_tx.send(()).unwrap();
         worker.join().unwrap();
+        assert!(catalog.retired_in_flight().is_empty());
+    }
+
+    #[test]
+    fn publish_racing_shutdown_is_a_typed_error_with_dense_ids() {
+        let catalog = IndexCatalog::new("gen0", Marker(7));
+        assert!(!catalog.is_shutting_down());
+        catalog.publish("gen1", Marker(9)).unwrap();
+        catalog.begin_shutdown();
+        assert!(catalog.is_shutting_down());
+        // The losing publish is refused, not silently dropped or swapped.
+        assert_eq!(
+            catalog.publish("too late", Marker(11)),
+            Err(PublishError::ShuttingDown)
+        );
+        // The refusal consumed no id: accounting stays exact.
+        assert_eq!(catalog.generations_published(), 2);
+        assert_eq!(catalog.current_info().id, 1);
+        // Queries still run on the pinned generation while draining.
+        assert_eq!(catalog.execute(&job()).stats.max_queue, 9);
         assert!(catalog.retired_in_flight().is_empty());
     }
 }

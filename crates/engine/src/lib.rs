@@ -80,11 +80,19 @@ use oasis_storage::{PoolDeltaScope, PoolStatsSnapshot};
 use oasis_suffix::SuffixTreeAccess;
 
 mod catalog;
+mod compactor;
+mod delta;
+mod layered;
 pub mod persist;
 mod serving;
 mod shard;
 
-pub use catalog::{GenerationInfo, IndexCatalog};
+pub use catalog::{GenerationInfo, IndexCatalog, PublishError};
+pub use compactor::{compact_artifact, CompactionReport};
+pub use delta::DeltaIndex;
+pub use layered::{
+    AppendReceipt, LayeredExecutor, LiveIndex, LiveIndexError, LiveIndexOptions, LiveStats,
+};
 pub use persist::{
     build_index_artifact, disk_engine_from_artifact, load_sharded_engine, persist_sharded_engine,
     sharded_engine_from_artifact,

@@ -35,9 +35,11 @@ use crate::{IndexBackend, OasisEngine, ShardedEngine};
 
 /// The artifact writer's view of a shard list: each shard's inclusive
 /// global sequence range plus its index payload.
-fn artifact_entries(shards: &[Shard]) -> Vec<(u32, u32, ShardPayload<'_>)> {
+pub(crate) fn artifact_entries<'a>(
+    shards: impl IntoIterator<Item = &'a Shard>,
+) -> Vec<(u32, u32, ShardPayload<'a>)> {
     shards
-        .iter()
+        .into_iter()
         .map(|shard| {
             let lo = shard.seq_offset;
             let hi = lo + shard.db.num_sequences() - 1;
@@ -64,7 +66,7 @@ pub fn build_index_artifact(
     backend: IndexBackend,
 ) -> Result<IndexManifest, ArtifactError> {
     let built = Shard::build_all(db, shards, backend);
-    write_index_artifact(dir, db, &artifact_entries(&built), block_size)
+    write_index_artifact(dir, db, &artifact_entries(&built), block_size, None)
 }
 
 /// Persist an already-built [`ShardedEngine`]'s index into the artifact
@@ -78,8 +80,9 @@ pub fn persist_sharded_engine(
     write_index_artifact(
         dir,
         engine.db(),
-        &artifact_entries(engine.shards()),
+        &artifact_entries(engine.shards().iter().map(Arc::as_ref)),
         block_size,
+        None,
     )
 }
 

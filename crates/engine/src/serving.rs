@@ -46,6 +46,15 @@ impl QueryExecutor for ShardedEngine {
     }
 }
 
+/// Shared executors execute by delegation, so an `Arc<LayeredExecutor>`
+/// snapshot (or any shared engine) slots into catalog generations and
+/// [`ServingEngine`] without a wrapper type.
+impl<E: QueryExecutor + ?Sized> QueryExecutor for std::sync::Arc<E> {
+    fn execute(&self, job: &BatchQuery) -> SearchOutcome {
+        (**self).execute(job)
+    }
+}
+
 /// Configuration for a [`ServingEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServingConfig {

@@ -217,7 +217,9 @@ pub struct ShardedEngine {
     db: Arc<SequenceDatabase>,
     scoring: Scoring,
     threads: usize,
-    shards: Vec<Shard>,
+    // Shards are shared (`Arc`) so layered snapshots — base shards + a
+    // fresh delta shard per append — clone handles, not indexes.
+    shards: Vec<Arc<Shard>>,
 }
 
 impl ShardedEngine {
@@ -251,6 +253,17 @@ impl ShardedEngine {
         scoring: Scoring,
         shards: Vec<Shard>,
     ) -> Self {
+        Self::from_shared_shards(db, scoring, shards.into_iter().map(Arc::new).collect())
+    }
+
+    /// Assemble an engine from shared shard handles — the layered path:
+    /// every append snapshot reuses the base shards and adds one delta
+    /// shard, so assembling a snapshot is O(shard count), not O(index).
+    pub(crate) fn from_shared_shards(
+        db: Arc<SequenceDatabase>,
+        scoring: Scoring,
+        shards: Vec<Arc<Shard>>,
+    ) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -281,13 +294,23 @@ impl ShardedEngine {
     }
 
     /// The shard list (for the artifact writer in [`crate::persist`]).
-    pub(crate) fn shards(&self) -> &[Shard] {
+    pub(crate) fn shards(&self) -> &[Arc<Shard>] {
         &self.shards
+    }
+
+    /// Clone the shared shard handles (for layered snapshots).
+    pub(crate) fn shared_shards(&self) -> Vec<Arc<Shard>> {
+        self.shards.clone()
     }
 
     /// The global (unsharded) database.
     pub fn db(&self) -> &SequenceDatabase {
         &self.db
+    }
+
+    /// A shared handle to the global database.
+    pub fn db_shared(&self) -> Arc<SequenceDatabase> {
+        self.db.clone()
     }
 
     /// The scoring scheme every query uses.

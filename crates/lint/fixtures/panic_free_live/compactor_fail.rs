@@ -1,0 +1,7 @@
+//@ mount: crates/engine/src/compactor.rs
+// Background compaction runs on a live daemon thread; a panic there
+// aborts the fold after the merged artifact may already be on disk.
+
+fn first_shard_backend(backends: &[&'static str]) -> &'static str {
+    backends[0]
+}

@@ -1,0 +1,7 @@
+//@ mount: crates/engine/src/compactor.rs
+// The same lookup, panic-free: a missing shard table falls back to the
+// default backend instead of indexing blind.
+
+fn first_shard_backend(backends: &[&'static str]) -> &'static str {
+    backends.first().copied().unwrap_or("tree")
+}

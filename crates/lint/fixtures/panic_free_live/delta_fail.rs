@@ -1,0 +1,12 @@
+//@ mount: crates/engine/src/delta.rs
+// The delta index sits between the WAL and every live snapshot; a panic
+// here takes down the serving daemon with appended sequences only half
+// applied. The expect and the indexing must fire.
+
+fn last_record_name(names: &[String]) -> &str {
+    let last = names.last().expect("delta is never empty");
+    if last.is_empty() {
+        return &names[0];
+    }
+    last
+}

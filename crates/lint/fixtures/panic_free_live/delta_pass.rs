@@ -1,0 +1,10 @@
+//@ mount: crates/engine/src/delta.rs
+// The same lookup, panic-free: an empty delta is a visible `None`.
+
+fn last_record_name(names: &[String]) -> Option<&str> {
+    let last = names.last()?;
+    if last.is_empty() {
+        return names.first().map(String::as_str);
+    }
+    Some(last)
+}

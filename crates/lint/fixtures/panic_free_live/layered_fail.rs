@@ -1,0 +1,7 @@
+//@ mount: crates/engine/src/layered.rs
+// The layered live index is the append/query hot path: a poisoned-lock
+// unwrap here turns one worker panic into a dead daemon.
+
+fn snapshot_len(state: &std::sync::Mutex<Vec<u32>>) -> usize {
+    state.lock().unwrap().len()
+}

@@ -1,0 +1,11 @@
+//@ mount: crates/engine/src/layered.rs
+// The same lock, panic-free: poison is recovered, not propagated — the
+// protected state is a position index that stays valid across a
+// panicked writer.
+
+fn snapshot_len(state: &std::sync::Mutex<Vec<u32>>) -> usize {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len()
+}

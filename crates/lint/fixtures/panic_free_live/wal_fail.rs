@@ -1,0 +1,9 @@
+//@ mount: crates/storage/src/wal.rs
+// The write-ahead log is a mutation path on the live-serving daemon: a
+// panic while appending loses the durability guarantee mid-record. A
+// checksum unwrap and direct header indexing must both fire.
+
+fn decode_header(buf: &[u8]) -> (u64, u8) {
+    let seq = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    (seq, buf[8])
+}

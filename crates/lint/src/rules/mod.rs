@@ -38,7 +38,11 @@ pub const SERVING_PATHS: &[&str] = &[
     "crates/engine/src/catalog.rs",
     "crates/engine/src/shard.rs",
     "crates/engine/src/persist.rs",
+    "crates/engine/src/delta.rs",
+    "crates/engine/src/layered.rs",
+    "crates/engine/src/compactor.rs",
     "crates/storage/src/artifact.rs",
+    "crates/storage/src/wal.rs",
     "crates/suffix/src/esa.rs",
 ];
 

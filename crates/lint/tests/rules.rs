@@ -38,6 +38,34 @@ fn panic_free_fixtures() {
 }
 
 #[test]
+fn live_ingestion_mutation_paths_have_fixture_pairs() {
+    // Every mutation path of the layered live index — the WAL, the delta
+    // index, the layered executor, and the background compactor — is
+    // serving-path code: the rule must fire on each failing fixture and
+    // stay silent on its panic-free twin.
+    for (fail, pass) in [
+        ("panic_free_live/wal_fail.rs", "panic_free_live/wal_pass.rs"),
+        (
+            "panic_free_live/delta_fail.rs",
+            "panic_free_live/delta_pass.rs",
+        ),
+        (
+            "panic_free_live/layered_fail.rs",
+            "panic_free_live/layered_pass.rs",
+        ),
+        (
+            "panic_free_live/compactor_fail.rs",
+            "panic_free_live/compactor_pass.rs",
+        ),
+    ] {
+        let diags = lint_fixtures(&[fail]);
+        assert!(fires(&diags, "panic-free-serving"), "{fail}: {diags:?}");
+        let diags = lint_fixtures(&[pass]);
+        assert!(diags.is_empty(), "{pass}: {diags:?}");
+    }
+}
+
+#[test]
 fn guard_blocking_fixtures() {
     let fail = lint_fixtures(&["guard_blocking/fail.rs"]);
     assert!(fires(&fail, "guard-across-blocking"), "{fail:?}");
@@ -105,6 +133,10 @@ fn binary_exit_status_tracks_fixtures() {
     };
     for fail in [
         "panic_free/fail.rs",
+        "panic_free_live/wal_fail.rs",
+        "panic_free_live/delta_fail.rs",
+        "panic_free_live/layered_fail.rs",
+        "panic_free_live/compactor_fail.rs",
         "guard_blocking/fail.rs",
         "protocol_drift/fail.md",
         "manifest_coverage/fail.rs",
@@ -115,6 +147,10 @@ fn binary_exit_status_tracks_fixtures() {
     }
     for pass in [
         "panic_free/pass.rs",
+        "panic_free_live/wal_pass.rs",
+        "panic_free_live/delta_pass.rs",
+        "panic_free_live/layered_pass.rs",
+        "panic_free_live/compactor_pass.rs",
         "guard_blocking/pass.rs",
         "protocol_drift/pass.md",
         "manifest_coverage/pass.rs",

@@ -5,8 +5,8 @@ use std::io::{BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::frame::{
-    read_frame, write_frame, Frame, Hello, ReloadDone, ReloadRequest, RemoteHit, SearchDone,
-    SearchRequest, StatsReport, PROTOCOL_VERSION,
+    read_frame, write_frame, AppendDone, AppendRequest, Frame, Hello, ReloadDone, ReloadRequest,
+    RemoteHit, SearchDone, SearchRequest, StatsReport, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
@@ -142,6 +142,20 @@ impl Client {
         self.request(&Frame::Reload(ReloadRequest { path: path.into() }))?;
         match self.response("Reloaded")? {
             Frame::Reloaded(done) => Ok(done),
+            _ => unreachable!("response() returned the wanted kind"),
+        }
+    }
+
+    /// Durably append the sequences of `fasta` (FASTA text, parsed with
+    /// the *server's* alphabet) to the serving index. On success the
+    /// sequences are WAL-logged on the server and already answering
+    /// queries from the layered (base + delta) index.
+    pub fn append(&mut self, fasta: impl Into<String>) -> Result<AppendDone, NetError> {
+        self.request(&Frame::Append(AppendRequest {
+            fasta: fasta.into(),
+        }))?;
+        match self.response("Appended")? {
+            Frame::Appended(done) => Ok(done),
             _ => unreachable!("response() returned the wanted kind"),
         }
     }

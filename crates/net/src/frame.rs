@@ -38,7 +38,9 @@ use crate::NetError;
 /// OASIS server before anything else is interpreted.
 pub const PROTOCOL_MAGIC: &[u8; 8] = b"OASISNT1";
 /// Current wire-protocol version (see `docs/PROTOCOL.md` for history).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added live ingestion: the `Append`/`Appended` admin frames
+/// and the delta/WAL/compaction columns of the `Stats` payload.
+pub const PROTOCOL_VERSION: u32 = 2;
 /// Upper bound on a frame's declared payload length. Anything larger is
 /// rejected as malformed before allocation.
 pub const MAX_FRAME_BYTES: u32 = 64 << 20;
@@ -58,6 +60,8 @@ const TY_RELOAD: u8 = 8;
 const TY_RELOADED: u8 = 9;
 const TY_SHUTDOWN: u8 = 10;
 const TY_SHUTDOWN_ACK: u8 = 11;
+const TY_APPEND: u8 = 12;
+const TY_APPENDED: u8 = 13;
 
 /// The server-first handshake: protocol + index-generation version and
 /// enough database geometry for a client to mirror the local CLI
@@ -307,6 +311,45 @@ pub struct StatsReport {
     pub generation: u64,
     /// That generation's label.
     pub generation_label: String,
+    /// Sequences in the live delta (appended, not yet compacted). Zero
+    /// when the server has no live-ingestion state.
+    pub delta_seqs: u32,
+    /// Residues in the live delta (terminators excluded).
+    pub delta_residues: u64,
+    /// Bytes in the append write-ahead log.
+    pub wal_bytes: u64,
+    /// Compactions completed over the serving artifact's lifetime.
+    pub compactions: u64,
+    /// Wall-clock duration of the most recent compaction, microseconds
+    /// (zero when none has run).
+    pub last_compaction_us: u64,
+}
+
+/// Admin request: durably append the sequences of a FASTA document to
+/// the serving index. The text travels whole; the server parses it with
+/// the serving database's alphabet, WAL-logs each sequence, and folds
+/// them into the live query snapshot before acknowledging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendRequest {
+    /// The sequences to append, as FASTA text.
+    pub fasta: String,
+}
+
+/// Successful append: what landed and where ingestion stands now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendDone {
+    /// Sequences appended by this request.
+    pub appended_seqs: u32,
+    /// Residues appended by this request (terminators excluded).
+    pub appended_residues: u64,
+    /// Sequences now pending in the delta.
+    pub delta_seqs: u32,
+    /// Residues now pending in the delta.
+    pub delta_residues: u64,
+    /// Bytes in the append write-ahead log.
+    pub wal_bytes: u64,
+    /// Id of the generation serving the appended sequences.
+    pub generation: u64,
 }
 
 /// Admin request: load the index artifact at `path` (a directory on the
@@ -351,6 +394,10 @@ pub enum Frame {
     Shutdown,
     /// Server → client: shutdown initiated.
     ShutdownAck,
+    /// Client → server: durably append FASTA sequences to the live index.
+    Append(AppendRequest),
+    /// Server → client: the append is durable and serving.
+    Appended(AppendDone),
 }
 
 impl Frame {
@@ -368,6 +415,8 @@ impl Frame {
             Frame::Reloaded(_) => "Reloaded",
             Frame::Shutdown => "Shutdown",
             Frame::ShutdownAck => "ShutdownAck",
+            Frame::Append(_) => "Append",
+            Frame::Appended(_) => "Appended",
         }
     }
 
@@ -384,6 +433,8 @@ impl Frame {
             Frame::Reloaded(_) => TY_RELOADED,
             Frame::Shutdown => TY_SHUTDOWN,
             Frame::ShutdownAck => TY_SHUTDOWN_ACK,
+            Frame::Append(_) => TY_APPEND,
+            Frame::Appended(_) => TY_APPENDED,
         }
     }
 
@@ -452,8 +503,22 @@ impl Frame {
                 w.u64(s.max_us);
                 w.u64(s.generation);
                 w.str16(&s.generation_label)?;
+                w.u32(s.delta_seqs);
+                w.u64(s.delta_residues);
+                w.u64(s.wal_bytes);
+                w.u64(s.compactions);
+                w.u64(s.last_compaction_us);
             }
             Frame::Reload(r) => w.str16(&r.path)?,
+            Frame::Append(a) => w.str32(&a.fasta)?,
+            Frame::Appended(a) => {
+                w.u32(a.appended_seqs);
+                w.u64(a.appended_residues);
+                w.u32(a.delta_seqs);
+                w.u64(a.delta_residues);
+                w.u64(a.wal_bytes);
+                w.u64(a.generation);
+            }
             Frame::Reloaded(r) => {
                 w.u64(r.generation);
                 w.str16(&r.label)?;
@@ -569,8 +634,22 @@ impl Frame {
                 max_us: r.u64()?,
                 generation: r.u64()?,
                 generation_label: r.str16()?,
+                delta_seqs: r.u32()?,
+                delta_residues: r.u64()?,
+                wal_bytes: r.u64()?,
+                compactions: r.u64()?,
+                last_compaction_us: r.u64()?,
             }),
             TY_RELOAD => Frame::Reload(ReloadRequest { path: r.str16()? }),
+            TY_APPEND => Frame::Append(AppendRequest { fasta: r.str32()? }),
+            TY_APPENDED => Frame::Appended(AppendDone {
+                appended_seqs: r.u32()?,
+                appended_residues: r.u64()?,
+                delta_seqs: r.u32()?,
+                delta_residues: r.u64()?,
+                wal_bytes: r.u64()?,
+                generation: r.u64()?,
+            }),
             TY_RELOADED => Frame::Reloaded(ReloadDone {
                 generation: r.u64()?,
                 label: r.str16()?,

@@ -66,9 +66,9 @@ mod server;
 
 pub use client::{Client, HitStream};
 pub use frame::{
-    read_frame, write_frame, ErrorCode, ErrorFrame, Frame, Hello, ReloadDone, ReloadRequest,
-    RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, MAX_FRAME_BYTES, PROTOCOL_MAGIC,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame, Hello,
+    ReloadDone, ReloadRequest, RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport,
+    MAX_FRAME_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{OasisServer, ServedIndex, ServerConfig, ServerError, ServerHandle};
 

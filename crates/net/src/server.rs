@@ -50,23 +50,24 @@
 use std::collections::{HashMap, HashSet};
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use oasis_align::{background_dna, background_protein, KarlinParams, Score, Scoring};
-use oasis_bioseq::{AlphabetKind, SequenceDatabase};
+use oasis_bioseq::{parse_fasta, AlphabetKind, SequenceDatabase, UnknownResiduePolicy};
 use oasis_core::OasisParams;
 use oasis_engine::{
     disk_engine_from_artifact, sharded_engine_from_artifact, AdmissionError, BatchQuery,
-    IndexCatalog, QueryExecutor, SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
+    IndexCatalog, LiveIndex, LiveIndexError, LiveIndexOptions, PublishError, QueryExecutor,
+    SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
 };
-use oasis_storage::{read_manifest, ArtifactError, IndexManifest, SectionKind};
+use oasis_storage::{read_manifest, replay_wal, ArtifactError, IndexManifest, SectionKind};
 
 use crate::frame::{
-    decode_header, write_frame, ErrorCode, ErrorFrame, Frame, Hello, ReloadDone, RemoteHit,
-    ScoreRule, SearchDone, SearchRequest, StatsReport, HEADER_LEN, PROTOCOL_VERSION,
+    decode_header, write_frame, AppendDone, ErrorCode, ErrorFrame, Frame, Hello, ReloadDone,
+    RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, HEADER_LEN, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
@@ -165,6 +166,11 @@ pub struct ServerConfig {
     /// Buffer-pool bytes for generations that `reload` opens
     /// disk-resident (single-shard artifacts).
     pub pool_bytes: usize,
+    /// Background compaction trigger: when the live delta reaches this
+    /// many pending sequences after an append, a compaction is spawned
+    /// off-thread. `0` disables automatic compaction (appends still
+    /// work; the WAL and delta just grow until an offline compaction).
+    pub compact_after: usize,
 }
 
 impl Default for ServerConfig {
@@ -173,6 +179,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 64,
             pool_bytes: 64 << 20,
+            compact_after: 256,
         }
     }
 }
@@ -184,6 +191,8 @@ pub enum ServerError {
     Io(std::io::Error),
     /// The derived [`ServingConfig`] was degenerate.
     Config(ServingConfigError),
+    /// Live ingestion could not be enabled (artifact/WAL problem).
+    Live(LiveIndexError),
 }
 
 impl std::fmt::Display for ServerError {
@@ -191,6 +200,7 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Io(e) => write!(f, "server bind failed: {e}"),
             ServerError::Config(e) => write!(f, "{e}"),
+            ServerError::Live(e) => write!(f, "live ingestion: {e}"),
         }
     }
 }
@@ -268,6 +278,16 @@ struct Shared {
     pool_bytes: usize,
     shutting_down: AtomicBool,
     next_token: AtomicU64,
+    /// Artifact directory live ingestion appends into (None = appends
+    /// are refused; set via [`OasisServer::set_live_dir`]).
+    live_dir: Mutex<Option<PathBuf>>,
+    /// The live-ingestion state, opened lazily on the first append (or
+    /// eagerly at startup when the WAL holds unreplayed records).
+    live: Mutex<Option<Arc<LiveIndex>>>,
+    /// Delta size that triggers a background compaction (0 = never).
+    compact_after: usize,
+    /// In-flight background compaction threads, joined in `run`.
+    compactions: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -275,13 +295,59 @@ impl Shared {
         self.serving.executor()
     }
 
+    /// Take ownership of every in-flight compaction handle. The lock
+    /// guard lives only inside this call, so the caller can join the
+    /// handles without holding it.
+    fn drain_compactions(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(
+            &mut *self
+                .compactions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
     fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::Release);
+        // Close the catalog first: a background compaction that loses
+        // this race gets a typed publish refusal and leaves the WAL
+        // intact, so shutdown never strands an unreplayable append.
+        self.exec().catalog.begin_shutdown();
         self.serving.shutdown();
     }
 
     fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// The live index if one is already open (never opens one).
+    fn live_peek(&self) -> Option<Arc<LiveIndex>> {
+        self.live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The live index, opening it on first use. `Ok(None)` means no
+    /// live directory is configured (appends are refused).
+    fn live_open(&self) -> Result<Option<Arc<LiveIndex>>, LiveIndexError> {
+        let mut live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(index) = live.as_ref() {
+            return Ok(Some(Arc::clone(index)));
+        }
+        let dir = self
+            .live_dir
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let Some(dir) = dir else { return Ok(None) };
+        let index = Arc::new(LiveIndex::open(
+            &dir,
+            self.scoring.clone(),
+            LiveIndexOptions::default(),
+        )?);
+        *live = Some(Arc::clone(&index));
+        Ok(Some(index))
     }
 }
 
@@ -355,8 +421,52 @@ impl OasisServer {
                 pool_bytes: config.pool_bytes,
                 shutting_down: AtomicBool::new(false),
                 next_token: AtomicU64::new(0),
+                live_dir: Mutex::new(None),
+                live: Mutex::new(None),
+                compact_after: config.compact_after,
+                compactions: Mutex::new(Vec::new()),
             }),
         })
+    }
+
+    /// Enable live ingestion: `Append` requests durably log into `dir`'s
+    /// write-ahead log and serve from the layered (base + delta) index.
+    ///
+    /// If the WAL already holds records no compaction has folded (the
+    /// server was killed between an append and its compaction), the live
+    /// index opens *now* and its replayed snapshot is published before
+    /// any connection is accepted — a restart never silently serves
+    /// without acknowledged appends.
+    pub fn set_live_dir(&self, dir: impl Into<PathBuf>) -> Result<(), ServerError> {
+        let dir = dir.into();
+        let pending = wal_has_pending(&dir);
+        *self
+            .shared
+            .live_dir
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(dir);
+        if pending {
+            let live =
+                self.shared
+                    .live_open()
+                    .map_err(ServerError::Live)?
+                    .ok_or(ServerError::Live(LiveIndexError::Publish(
+                        PublishError::ShuttingDown,
+                    )))?;
+            let snapshot = live.snapshot();
+            if snapshot.delta_seqs() > 0 {
+                let served = ServedIndex::new(
+                    snapshot.engine().db_shared(),
+                    Box::new(Arc::clone(&snapshot)),
+                );
+                self.shared
+                    .exec()
+                    .catalog
+                    .publish("live-replay", served)
+                    .map_err(|e| ServerError::Live(LiveIndexError::Publish(e)))?;
+            }
+        }
+        Ok(())
     }
 
     /// The bound address (resolves `:0` to the actual ephemeral port).
@@ -401,7 +511,27 @@ impl OasisServer {
         for handler in handlers {
             let _ = handler.join();
         }
+        // Background compactions abort cleanly (their publish is refused
+        // once shutdown began) — but they must finish before the process
+        // may exit, or a truncation could be torn mid-write.
+        for compaction in self.shared.drain_compactions() {
+            let _ = compaction.join();
+        }
         Ok(())
+    }
+}
+
+/// Does `dir`'s WAL hold records no compaction has folded yet?
+fn wal_has_pending(dir: &Path) -> bool {
+    let Ok(Some(replay)) = replay_wal(dir) else {
+        return false;
+    };
+    match read_manifest(dir).ok().and_then(|m| m.lineage) {
+        Some(lineage) => replay
+            .records
+            .iter()
+            .any(|r| r.seq_no > lineage.folded_through),
+        None => !replay.records.is_empty(),
     }
 }
 
@@ -548,6 +678,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), NetEr
                 Frame::Search(req) => handle_search(shared, &mut writer, req)?,
                 Frame::StatsRequest => handle_stats(shared, &mut writer)?,
                 Frame::Reload(reload) => handle_reload(shared, &mut writer, &reload.path)?,
+                Frame::Append(append) => handle_append(shared, &mut writer, &append.fasta)?,
                 Frame::Shutdown => {
                     shared.begin_shutdown();
                     send(&mut writer, &Frame::ShutdownAck)?;
@@ -708,6 +839,10 @@ fn handle_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> Resu
     let stats = shared.serving.stats();
     let latency = shared.serving.latency_summary();
     let info = shared.exec().catalog.current_info();
+    // Live-ingestion counters come from the already-open live index;
+    // stats never force one open (all zeros until the first append or
+    // WAL replay).
+    let live = shared.live_peek().map(|l| l.stats()).unwrap_or_default();
     send(
         writer,
         &Frame::Stats(StatsReport {
@@ -722,6 +857,11 @@ fn handle_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> Resu
             max_us: latency.max.as_micros() as u64,
             generation: info.id,
             generation_label: info.label,
+            delta_seqs: live.delta_seqs,
+            delta_residues: live.delta_residues,
+            wal_bytes: live.wal_bytes,
+            compactions: live.compactions,
+            last_compaction_us: live.last_compaction_micros,
         }),
     )
 }
@@ -732,17 +872,139 @@ fn handle_reload(
     path: &str,
 ) -> Result<(), NetError> {
     match ServedIndex::from_artifact(Path::new(path), shared.scoring.clone(), shared.pool_bytes) {
-        Ok(index) => {
-            let generation = shared.exec().catalog.publish(path, index);
-            eprintln!("oasis-net: published generation {generation} from {path}");
-            send(
+        Ok(index) => match shared.exec().catalog.publish(path, index) {
+            Ok(generation) => {
+                eprintln!("oasis-net: published generation {generation} from {path}");
+                send(
+                    writer,
+                    &Frame::Reloaded(ReloadDone {
+                        generation,
+                        label: path.to_string(),
+                    }),
+                )
+            }
+            Err(e @ PublishError::ShuttingDown) => send_error(
                 writer,
-                &Frame::Reloaded(ReloadDone {
-                    generation,
-                    label: path.to_string(),
-                }),
-            )
-        }
+                ErrorCode::ShuttingDown,
+                format!("reload {path}: {e}"),
+            ),
+        },
         Err(e) => send_error(writer, ErrorCode::Internal, format!("reload {path}: {e}")),
     }
+}
+
+/// Run one append request: parse, WAL-log, fold into the live snapshot,
+/// publish the layered generation, and maybe kick a background
+/// compaction.
+fn handle_append(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+    fasta: &str,
+) -> Result<(), NetError> {
+    if shared.is_shutting_down() {
+        return send_error(writer, ErrorCode::ShuttingDown, "server is shutting down");
+    }
+    let live = match shared.live_open() {
+        Ok(Some(live)) => live,
+        Ok(None) => {
+            return send_error(
+                writer,
+                ErrorCode::Malformed,
+                "this server has no live-ingestion directory (append unsupported)",
+            )
+        }
+        Err(e) => return send_error(writer, ErrorCode::Internal, format!("append: {e}")),
+    };
+    // The serving alphabet is authoritative for parsing, exactly as on
+    // the search path.
+    let alphabet = live.snapshot().engine().db_shared().alphabet().clone();
+    // Database FASTA skips unknown residues, matching the local append
+    // and `load_db` paths (queries use Reject; appends are database).
+    let seqs = match parse_fasta(fasta.as_bytes(), &alphabet, UnknownResiduePolicy::Skip) {
+        Ok(seqs) if seqs.is_empty() => {
+            return send_error(
+                writer,
+                ErrorCode::Malformed,
+                "append: no sequences in FASTA",
+            )
+        }
+        Ok(seqs) => seqs,
+        Err(e) => return send_error(writer, ErrorCode::Malformed, format!("append: {e}")),
+    };
+    let receipt = match live.append(seqs) {
+        Ok(receipt) => receipt,
+        Err(e) => return send_error(writer, ErrorCode::Internal, format!("append: {e}")),
+    };
+    // Publish the fresh layered snapshot so queries (and hit naming) see
+    // the appended sequences. The snapshot's database is the concatenated
+    // one, so delta hits resolve names like any other hit.
+    let snapshot = live.snapshot();
+    let served = ServedIndex::new(
+        snapshot.engine().db_shared(),
+        Box::new(Arc::clone(&snapshot)),
+    );
+    let label = format!("live-append+{}", receipt.stats.appended_seqs);
+    let generation = match shared.exec().catalog.publish(label, served) {
+        Ok(generation) => generation,
+        Err(e @ PublishError::ShuttingDown) => {
+            // The append is durable (WAL + delta); only the publication
+            // lost the race. The restart replays it.
+            return send_error(writer, ErrorCode::ShuttingDown, format!("append: {e}"));
+        }
+    };
+    maybe_spawn_compaction(shared, &live);
+    send(
+        writer,
+        &Frame::Appended(AppendDone {
+            appended_seqs: receipt.appended_seqs,
+            appended_residues: receipt.appended_residues,
+            delta_seqs: receipt.stats.delta_seqs,
+            delta_residues: receipt.stats.delta_residues,
+            wal_bytes: receipt.stats.wal_bytes,
+            generation,
+        }),
+    )
+}
+
+/// Spawn a background compaction when the delta crossed the configured
+/// threshold and none is already running. The thread folds the delta
+/// into a fresh base artifact and publishes the compacted snapshot; a
+/// publish refused by shutdown aborts without touching the WAL.
+fn maybe_spawn_compaction(shared: &Arc<Shared>, live: &Arc<LiveIndex>) {
+    if shared.compact_after == 0
+        || (live.stats().delta_seqs as usize) < shared.compact_after
+        || live.is_compacting()
+    {
+        return;
+    }
+    let thread_shared = Arc::clone(shared);
+    let live = Arc::clone(live);
+    let handle = std::thread::spawn(move || {
+        let catalog_shared = thread_shared;
+        let result = live.compact(move |snapshot| {
+            let served = ServedIndex::new(
+                snapshot.engine().db_shared(),
+                Box::new(Arc::clone(&snapshot)),
+            );
+            catalog_shared
+                .exec()
+                .catalog
+                .publish("live-compaction", served)
+        });
+        match result {
+            Ok(report) if report.folded_seqs > 0 => eprintln!(
+                "oasis-net: compaction folded {} sequence(s) in {} us (generation {})",
+                report.folded_seqs,
+                report.micros,
+                report.generation.unwrap_or(0)
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("oasis-net: compaction aborted: {e}"),
+        }
+    });
+    shared
+        .compactions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(handle);
 }

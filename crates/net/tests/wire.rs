@@ -6,8 +6,8 @@
 use oasis_bioseq::AlphabetKind;
 use oasis_net::frame::{read_frame, write_frame};
 use oasis_net::{
-    ErrorCode, ErrorFrame, Frame, Hello, NetError, ReloadDone, ReloadRequest, RemoteHit, ScoreRule,
-    SearchDone, SearchRequest, StatsReport, MAX_FRAME_BYTES,
+    AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame, Hello, NetError, ReloadDone,
+    ReloadRequest, RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, MAX_FRAME_BYTES,
 };
 use proptest::prelude::*;
 
@@ -147,7 +147,9 @@ proptest! {
                         count in 0u64..u64::MAX, p50 in 0u64..u64::MAX,
                         p95 in 0u64..u64::MAX, p99 in 0u64..u64::MAX,
                         max in 0u64..u64::MAX, generation in 0u64..u64::MAX,
-                        seed in 0u64..u64::MAX) {
+                        seed in 0u64..u64::MAX, delta_seqs in 0u32..u32::MAX,
+                        delta_residues in 0u64..u64::MAX, wal_bytes in 0u64..u64::MAX,
+                        compactions in 0u64..u64::MAX, last_compaction in 0u64..u64::MAX) {
         let frame = Frame::Stats(StatsReport {
             served, rejected,
             queue_depth: depth, queue_capacity: cap,
@@ -155,9 +157,33 @@ proptest! {
             p50_us: p50, p95_us: p95, p99_us: p99, max_us: max,
             generation,
             generation_label: string_from(seed, 48),
+            delta_seqs, delta_residues, wal_bytes, compactions,
+            last_compaction_us: last_compaction,
         });
         prop_assert_eq!(roundtrip(&frame), frame.clone());
         assert_prefixes_rejected(&frame);
+    }
+
+    #[test]
+    fn append_frames_roundtrip(seed in 0u64..u64::MAX, appended in 0u32..u32::MAX,
+                               appended_res in 0u64..u64::MAX, delta_seqs in 0u32..u32::MAX,
+                               delta_res in 0u64..u64::MAX, wal_bytes in 0u64..u64::MAX,
+                               generation in 0u64..u64::MAX) {
+        let append = Frame::Append(AppendRequest {
+            fasta: format!(">q{}\nACGT\n", string_from(seed, 200)),
+        });
+        prop_assert_eq!(roundtrip(&append), append.clone());
+        assert_prefixes_rejected(&append);
+        let appended_frame = Frame::Appended(AppendDone {
+            appended_seqs: appended,
+            appended_residues: appended_res,
+            delta_seqs,
+            delta_residues: delta_res,
+            wal_bytes,
+            generation,
+        });
+        prop_assert_eq!(roundtrip(&appended_frame), appended_frame.clone());
+        assert_prefixes_rejected(&appended_frame);
     }
 
     #[test]

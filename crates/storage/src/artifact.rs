@@ -67,6 +67,11 @@ use crate::layout::{
 const MANIFEST_MAGIC: &[u8; 8] = b"OASISMF1";
 /// Current artifact format version (2 added per-shard section kinds).
 pub const ARTIFACT_VERSION: u32 = 2;
+/// Format version written when the manifest also records delta lineage
+/// (version 3): live-ingestion artifacts that have folded appends from a
+/// write-ahead log. Plain builds keep writing [`ARTIFACT_VERSION`], so
+/// readers and writers of either version interoperate.
+pub const ARTIFACT_VERSION_DELTA: u32 = 3;
 /// File name of the manifest inside an artifact directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -110,7 +115,8 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported artifact version {v} (this build reads {ARTIFACT_VERSION})"
+                    "unsupported artifact version {v} (this build reads \
+                     {ARTIFACT_VERSION} and {ARTIFACT_VERSION_DELTA})"
                 )
             }
             ArtifactError::ChecksumMismatch { file } => {
@@ -205,11 +211,27 @@ pub struct ShardMeta {
     pub section: SectionMeta,
 }
 
+/// Live-ingestion provenance recorded by manifest version 3: how the
+/// artifact relates to its append write-ahead log (`wal.oasislog`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaLineage {
+    /// How many compactions have folded appended sequences into the base.
+    pub compactions: u64,
+    /// Total sequences appended over the artifact's lifetime (records
+    /// already folded into the base plus any still pending in the log).
+    pub appended_seqs: u64,
+    /// Highest WAL `seq_no` folded into the base. Replay skips records at
+    /// or below this mark, so a crash between the manifest publish and
+    /// the WAL truncation never re-applies folded appends.
+    pub folded_through: u64,
+}
+
 /// The artifact's table of contents: versioned header, database section,
 /// and the shard table with boundary metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexManifest {
-    /// Format version ([`ARTIFACT_VERSION`]).
+    /// Format version ([`ARTIFACT_VERSION`], or [`ARTIFACT_VERSION_DELTA`]
+    /// when `lineage` is recorded).
     pub version: u32,
     /// Block size the shard images were serialized with.
     pub block_size: u32,
@@ -221,6 +243,8 @@ pub struct IndexManifest {
     pub database: SectionMeta,
     /// Per-shard tree images with their global sequence ranges, in order.
     pub shards: Vec<ShardMeta>,
+    /// Delta lineage, present in version-3 (live-ingestion) manifests.
+    pub lineage: Option<DeltaLineage>,
 }
 
 impl IndexManifest {
@@ -301,6 +325,11 @@ impl IndexManifest {
             out.push(shard.kind.to_byte());
             push_section(&mut out, &shard.section);
         }
+        if let Some(lineage) = &self.lineage {
+            out.extend_from_slice(&lineage.compactions.to_le_bytes());
+            out.extend_from_slice(&lineage.appended_seqs.to_le_bytes());
+            out.extend_from_slice(&lineage.folded_through.to_le_bytes());
+        }
         let trailer = fnv1a64(&out);
         out.extend_from_slice(&trailer.to_le_bytes());
         out
@@ -325,7 +354,7 @@ impl IndexManifest {
         }
         let mut cur = Cursor { body, at: 8 };
         let version = cur.u32()?;
-        if version != ARTIFACT_VERSION {
+        if version != ARTIFACT_VERSION && version != ARTIFACT_VERSION_DELTA {
             return Err(ArtifactError::UnsupportedVersion(version));
         }
         let block_size = cur.u32()?;
@@ -346,6 +375,15 @@ impl IndexManifest {
                 section,
             });
         }
+        let lineage = if version == ARTIFACT_VERSION_DELTA {
+            Some(DeltaLineage {
+                compactions: cur.u64()?,
+                appended_seqs: cur.u64()?,
+                folded_through: cur.u64()?,
+            })
+        } else {
+            None
+        };
         if cur.at != body.len() {
             return Err(corrupt("trailing bytes"));
         }
@@ -356,6 +394,7 @@ impl IndexManifest {
             text_len,
             database,
             shards,
+            lineage,
         })
     }
 }
@@ -454,11 +493,17 @@ pub fn load_section(dir: &Path, meta: &SectionMeta) -> Result<Vec<u8>, ArtifactE
 /// the old generation stays loadable until the new manifest's rename,
 /// which is the atomic cutover. Sections no longer referenced by the new
 /// manifest are then garbage-collected (best-effort).
+///
+/// `lineage`, when given, records live-ingestion provenance (compaction
+/// count and the WAL fold high-water mark) and switches the manifest to
+/// format version [`ARTIFACT_VERSION_DELTA`]; plain builds pass `None`
+/// and keep writing [`ARTIFACT_VERSION`].
 pub fn write_index_artifact(
     dir: &Path,
     db: &SequenceDatabase,
     shards: &[(u32, u32, ShardPayload<'_>)],
     block_size: usize,
+    lineage: Option<DeltaLineage>,
 ) -> Result<IndexManifest, ArtifactError> {
     if block_size < 64 || !block_size.is_multiple_of(16) {
         return Err(ArtifactError::Corrupt(format!(
@@ -521,12 +566,17 @@ pub fn write_index_artifact(
     }
 
     let manifest = IndexManifest {
-        version: ARTIFACT_VERSION,
+        version: if lineage.is_some() {
+            ARTIFACT_VERSION_DELTA
+        } else {
+            ARTIFACT_VERSION
+        },
         block_size: block_size as u32,
         num_seqs: db.num_sequences(),
         text_len: db.text_len(),
         database,
         shards: shard_metas,
+        lineage,
     };
     write_atomic(dir, MANIFEST_FILE, &manifest.encode())?;
     collect_garbage(dir, &manifest);
@@ -773,7 +823,7 @@ mod tests {
         let d = db(&["ACGTACGT", "TTGCA", "A"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("manifest");
-        let written = write_index_artifact(&dir, &d, &[(0, 2, tr(&tree))], 64).unwrap();
+        let written = write_index_artifact(&dir, &d, &[(0, 2, tr(&tree))], 64, None).unwrap();
         let read = read_manifest(&dir).unwrap();
         assert_eq!(written, read);
         assert_eq!(read.num_seqs, 3);
@@ -849,7 +899,7 @@ mod tests {
         let d = db(&["ACGTACGT", "TTGCA"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("corrupt");
-        let manifest = write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64).unwrap();
+        let manifest = write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64, None).unwrap();
 
         // Flip one byte in the middle of the shard image.
         let shard = dir.join(&manifest.shards[0].section.file);
@@ -901,7 +951,7 @@ mod tests {
         let d = db(&["ACGTACGT"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("trunc");
-        let manifest = write_index_artifact(&dir, &d, &[(0, 0, tr(&tree))], 64).unwrap();
+        let manifest = write_index_artifact(&dir, &d, &[(0, 0, tr(&tree))], 64, None).unwrap();
         let shard = dir.join(&manifest.shards[0].section.file);
         let bytes = std::fs::read(&shard).unwrap();
         std::fs::write(&shard, &bytes[..bytes.len() / 2]).unwrap();
@@ -917,7 +967,7 @@ mod tests {
         let d = db(&["ACGT"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("version");
-        write_index_artifact(&dir, &d, &[(0, 0, tr(&tree))], 64).unwrap();
+        write_index_artifact(&dir, &d, &[(0, 0, tr(&tree))], 64, None).unwrap();
         let mf = dir.join(MANIFEST_FILE);
         let mut bytes = std::fs::read(&mf).unwrap();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes()); // version field
@@ -937,7 +987,13 @@ mod tests {
         let d1 = db(&["ACGTACGT", "TTGCA"]);
         let tree1 = SuffixTree::build(&d1);
         let dir = tmpdir("rebuild");
-        let m1 = write_index_artifact(&dir, &d1, &[(0, 0, tr(&tree1)), (1, 1, tr(&tree1))], 64);
+        let m1 = write_index_artifact(
+            &dir,
+            &d1,
+            &[(0, 0, tr(&tree1)), (1, 1, tr(&tree1))],
+            64,
+            None,
+        );
         // (Ranges here are per-shard trees in real use; a shared tree is
         // fine for exercising the file lifecycle.)
         let m1 = m1.unwrap();
@@ -954,7 +1010,7 @@ mod tests {
         // generation's sections plus all orphans are garbage-collected.
         let d2 = db(&["GGGGCCCC", "ATAT", "CG"]);
         let tree2 = SuffixTree::build(&d2);
-        let m2 = write_index_artifact(&dir, &d2, &[(0, 2, tr(&tree2))], 64).unwrap();
+        let m2 = write_index_artifact(&dir, &d2, &[(0, 2, tr(&tree2))], 64, None).unwrap();
         assert_ne!(m1.database.file, m2.database.file, "content-addressed");
         assert_eq!(read_manifest(&dir).unwrap(), m2);
         assert_eq!(m2.load_database(&dir).unwrap(), d2);
@@ -987,7 +1043,7 @@ mod tests {
         let d = db(&["ACGTACGT", "TTGCA"]);
         let tree = SuffixTree::build(&d);
         let dir = tmpdir("clean");
-        write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64).unwrap();
+        write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64, None).unwrap();
         for entry in std::fs::read_dir(&dir).unwrap() {
             let name = entry.unwrap().file_name();
             let name = name.to_string_lossy();
@@ -1006,7 +1062,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("esa-0099-00000000deadbeef.oasisesa"), b"junk").unwrap();
         let shards = [(0u32, 1u32, tr(&tree)), (2, 2, ShardPayload::Esa(&esa))];
-        let m = write_index_artifact(&dir, &d, &shards, 64).unwrap();
+        let m = write_index_artifact(&dir, &d, &shards, 64, None).unwrap();
         assert_eq!(m.shards[0].kind, SectionKind::TreeImage);
         assert_eq!(m.shards[1].kind, SectionKind::PackedEsa);
         assert!(m.shards[1].section.file.starts_with("esa-0001-"));
@@ -1034,7 +1090,7 @@ mod tests {
         let esa = EsaIndex::build(&d);
         let dir = tmpdir("esacorrupt");
         let shards = [(0u32, 1u32, ShardPayload::Esa(&esa))];
-        let m = write_index_artifact(&dir, &d, &shards, 64).unwrap();
+        let m = write_index_artifact(&dir, &d, &shards, 64, None).unwrap();
 
         // Checksum catches a flipped byte before decode runs.
         let f = dir.join(&m.shards[0].section.file);
@@ -1056,6 +1112,46 @@ mod tests {
         let other = db(&["AAAAAAAA", "TTTTT"]);
         assert!(matches!(
             decode_esa(bytes, &other),
+            Err(ArtifactError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lineage_roundtrips_as_version_3() {
+        let d = db(&["ACGTACGT", "TTGCA"]);
+        let tree = SuffixTree::build(&d);
+        let dir = tmpdir("lineage");
+        let lineage = DeltaLineage {
+            compactions: 2,
+            appended_seqs: 7,
+            folded_through: 6,
+        };
+        let m = write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64, Some(lineage)).unwrap();
+        assert_eq!(m.version, ARTIFACT_VERSION_DELTA);
+        let read = read_manifest(&dir).unwrap();
+        assert_eq!(read, m);
+        assert_eq!(read.lineage, Some(lineage));
+        assert!(read.load_database(&dir).is_ok());
+        assert!(read.load_shard_tree(&dir, 0).is_ok());
+
+        // Folding is monotone but re-publishing without lineage (a plain
+        // rebuild over the same directory) drops back to version 2.
+        let m2 = write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64, None).unwrap();
+        assert_eq!(m2.version, ARTIFACT_VERSION);
+        assert_eq!(read_manifest(&dir).unwrap().lineage, None);
+
+        // A version-3 manifest whose lineage fields are cut off is
+        // corrupt, not silently lineage-free.
+        let mf = dir.join(MANIFEST_FILE);
+        write_index_artifact(&dir, &d, &[(0, 1, tr(&tree))], 64, Some(lineage)).unwrap();
+        let bytes = std::fs::read(&mf).unwrap();
+        let mut bytes = bytes[..bytes.len() - 16].to_vec(); // drop 8 lineage bytes + trailer
+        let trailer = fnv1a64(&bytes);
+        bytes.extend_from_slice(&trailer.to_le_bytes());
+        std::fs::write(&mf, &bytes).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
             Err(ArtifactError::Corrupt(_))
         ));
         std::fs::remove_dir_all(&dir).ok();

@@ -24,19 +24,24 @@
 //!   atomically written directory format capturing the database plus every
 //!   shard's serialized tree, so a restart *loads* the index instead of
 //!   rebuilding it.
+//! * [`wal`] — the append write-ahead log (`wal.oasislog`): durable live
+//!   ingestion next to an immutable artifact, with checksummed records,
+//!   torn-tail recovery, and atomic truncation after compaction.
 
 pub mod artifact;
 pub mod device;
 pub mod layout;
 pub mod partitioned;
 pub mod pool;
+pub mod wal;
 
 pub use artifact::{
     decode_esa, decode_tree, fnv1a64, image_text, load_section, read_manifest,
-    write_index_artifact, ArtifactError, IndexManifest, SectionKind, SectionMeta, ShardMeta,
-    ShardPayload, ARTIFACT_VERSION, MANIFEST_FILE,
+    write_index_artifact, ArtifactError, DeltaLineage, IndexManifest, SectionKind, SectionMeta,
+    ShardMeta, ShardPayload, ARTIFACT_VERSION, ARTIFACT_VERSION_DELTA, MANIFEST_FILE,
 };
 pub use device::{BlockDevice, FileDevice, MemDevice, SimulatedDisk};
 pub use layout::{header_block_size, DiskSuffixTree, DiskTreeBuilder, ImageStats};
 pub use partitioned::{balanced_ranges, budget_ranges, partitioned_suffix_array};
 pub use pool::{BufferPool, BufferPoolStats, PoolDeltaScope, PoolStatsSnapshot, Region};
+pub use wal::{replay_wal, WalError, WalRecord, WalReplay, WriteAheadLog, WAL_FILE};

@@ -78,7 +78,8 @@ fn main() {
     // and the old generation is dropped with its last query.
     serving
         .executor()
-        .publish("gen1: loaded from artifact", loaded);
+        .publish("gen1: loaded from artifact", loaded)
+        .expect("publish");
     let after = serving
         .try_submit(job)
         .expect("still admitting during/after the swap")

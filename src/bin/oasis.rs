@@ -4,13 +4,14 @@
 //! oasis makedb <db.fasta> <db.oasisdb>
 //! oasis index  <db> <index.oasis> [--dna|--protein] [--block-size N]
 //! oasis index  build <db> --out <dir> [--shards N] [--block-size N]
-//! oasis index  inspect <dir>
+//! oasis index  inspect <dir> [--json]
+//! oasis index  append <fasta> --index <dir> [--compact]
 //! oasis search <db> <index.oasis> <QUERY> [options]
 //! oasis search <db> <index.oasis> --queries <queries.fasta> [options]
 //! oasis search --index <dir> <QUERY> [options]
 //! oasis serve  --index <dir> --addr <host:port> [options]
 //! oasis query  --remote <host:port> <QUERY> [options]
-//! oasis admin  --remote <host:port> stats|reload <dir>|shutdown
+//! oasis admin  --remote <host:port> stats|reload <dir>|append <fasta>|shutdown
 //! oasis info   <index.oasis>
 //! ```
 //!
@@ -59,14 +60,18 @@ USAGE:
                [--threads N] [other search options]
   oasis search --index <dir> <QUERY> [other search options]
   oasis search --index <dir> --queries <queries.fasta> [other search options]
-  oasis index  inspect <dir>
+  oasis index  inspect <dir> [--json]
+  oasis index  append <fasta> --index <dir> [--compact] [--shards N]
+               [--block-size N] [--backend tree|esa]
   oasis serve  --index <dir> --addr <host:port> [--workers N] [--queue N]
                [--pool-mb M] [--matrix unit|blosum62|pam30] [--gap G]
+               [--compact-after N]
   oasis query  --remote <host:port> <QUERY> [--evalue E | --min-score S]
                [--top K] [--deadline-ms D]
   oasis query  --remote <host:port> --queries <queries.fasta> [same options]
   oasis admin  --remote <host:port> stats
   oasis admin  --remote <host:port> reload <dir>
+  oasis admin  --remote <host:port> append <queries.fasta>
   oasis admin  --remote <host:port> shutdown
   oasis info   <index.oasis> [--block-size N]
   oasis lint   [--json] [--root <DIR>]
@@ -94,8 +99,13 @@ through the buffer pool (--pool-mb applies), anything else (several
 shards, or any packed-esa shard) reconstitutes the in-memory fan-out
 engine. Results are byte-identical to a freshly built index.
 `index inspect` prints an artifact's manifest — version, shard table
-with backend kinds, per-section encoded sizes and checksums — without
-loading any indexes. `serve`
+with backend kinds, per-section encoded sizes and checksums, delta
+lineage and WAL state — without loading any indexes (`--json` emits the
+same facts machine-readably). `index append` WAL-logs new FASTA
+sequences next to an artifact: later `search --index`/`serve` runs
+replay them into a layered (base + delta) index with results
+byte-identical to a full rebuild, and `--compact` (or a server's
+background compaction) folds them into a fresh base artifact. `serve`
 exposes an artifact over TCP (the oasis-net wire protocol): bounded
 admission answers Busy backpressure instead of queueing unboundedly,
 requests may carry deadlines, and `admin reload` hot-swaps a freshly
@@ -103,7 +113,11 @@ loaded artifact generation under live traffic. `query --remote` runs a
 search against such a server; its stdout is byte-identical to a local
 `search` over the same index (the scoring is fixed server-side at
 `serve` time). With port 0, `serve` prints the actual listening address
-on stdout.
+on stdout. `admin append` durably appends FASTA sequences to the
+serving index over the wire: they are WAL-logged server-side and
+answering queries before the call returns, and once the delta reaches
+--compact-after sequences (default 256; 0 disables) a background
+compaction folds them into a fresh base generation with zero downtime.
 
 `lint` runs the workspace invariant checker (oasis-lint) over this
 repository's own sources — serving-path panic-freedom, lock discipline,
@@ -161,6 +175,9 @@ struct Flags {
     queue: Option<usize>,
     deadline_ms: Option<u32>,
     backend: Option<String>,
+    compact_after: Option<usize>,
+    json: bool,
+    compact: bool,
 }
 
 impl Flags {
@@ -176,6 +193,21 @@ impl Flags {
             Some("esa") => Ok(oasis::engine::IndexBackend::Esa),
             Some(other) => Err(format!("unknown backend {other} (tree|esa)")),
         }
+    }
+
+    /// Shape overrides for opening a live (layered) index: unlike `index
+    /// build`, an absent flag inherits the artifact's recorded shape
+    /// rather than falling back to a CLI default.
+    fn live_options(&self) -> Result<oasis::engine::LiveIndexOptions, String> {
+        let backend = match self.backend.as_deref() {
+            None => None,
+            Some(_) => Some(self.index_backend()?),
+        };
+        Ok(oasis::engine::LiveIndexOptions {
+            shards: self.shards,
+            block_size: self.block_size,
+            backend,
+        })
     }
 
     /// `--pool-mb` only sizes the buffer pool behind a disk-resident
@@ -213,6 +245,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         queue: None,
         deadline_ms: None,
         backend: None,
+        compact_after: None,
+        json: false,
+        compact: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -289,6 +324,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 )
             }
             "--backend" => f.backend = Some(value("--backend")?),
+            "--compact-after" => {
+                f.compact_after = Some(
+                    value("--compact-after")?
+                        .parse()
+                        .map_err(|e| format!("--compact-after: {e}"))?,
+                )
+            }
+            "--json" => f.json = true,
+            "--compact" => f.compact = true,
             "--deadline-ms" => {
                 f.deadline_ms = Some(
                     value("--deadline-ms")?
@@ -372,6 +416,9 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     if args.first().map(String::as_str) == Some("inspect") {
         return cmd_index_inspect(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("append") {
+        return cmd_index_append(&args[1..]);
+    }
     let flags = parse_flags(args)?;
     let [db_path, index_path] = flags.positional.as_slice() else {
         return Err("usage: oasis index <db.fasta> <index.oasis> [...]".to_string());
@@ -442,6 +489,72 @@ fn cmd_index_build(args: &[String]) -> Result<(), String> {
         block_size,
         start.elapsed()
     );
+    Ok(())
+}
+
+/// Durably append FASTA sequences to an index artifact — the local twin
+/// of `oasis admin --remote append`. The base artifact on disk is not
+/// rewritten: the sequences land in the checksummed write-ahead log next
+/// to it, every later `search --index`/`serve` replays them into the
+/// layered (base + delta) index, and `--compact` folds them into a fresh
+/// base generation immediately.
+fn cmd_index_append(args: &[String]) -> Result<(), String> {
+    let mut flags = parse_flags(args)?;
+    let [fasta_path] = flags.positional.as_slice() else {
+        return Err(
+            "usage: oasis index append <fasta> --index <dir> [--compact] [--shards N] \
+             [--block-size N] [--backend tree|esa]"
+                .to_string(),
+        );
+    };
+    let fasta_path = fasta_path.clone();
+    let dir = flags
+        .index
+        .clone()
+        .ok_or("index append requires --index <dir>")?;
+    let path = std::path::Path::new(&dir);
+    // The artifact's alphabet is authoritative (as on every other
+    // artifact path); the scoring only shapes the in-process snapshot
+    // the append validates the layered merge with.
+    let manifest = oasis::storage::read_manifest(path).map_err(|e| format!("{dir}: {e}"))?;
+    let db = manifest
+        .load_database(path)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    flags.alphabet = db.alphabet().clone();
+    let scoring = scoring_from(&flags)?;
+    let live = oasis::engine::LiveIndex::open(path, scoring, flags.live_options()?)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    let bytes = std::fs::read(&fasta_path).map_err(|e| format!("{fasta_path}: {e}"))?;
+    let seqs = parse_fasta(
+        BufReader::new(&bytes[..]),
+        &flags.alphabet,
+        UnknownResiduePolicy::Skip,
+    )
+    .map_err(|e| format!("{fasta_path}: {e}"))?;
+    if seqs.is_empty() {
+        return Err(format!("{fasta_path}: no sequences to append"));
+    }
+    let receipt = live.append(seqs).map_err(|e| format!("{dir}: {e}"))?;
+    eprintln!(
+        "appended {} sequence(s) / {} residues: delta now {} sequence(s) / {} residues, \
+         wal {} bytes",
+        receipt.appended_seqs,
+        receipt.appended_residues,
+        receipt.stats.delta_seqs,
+        receipt.stats.delta_residues,
+        receipt.stats.wal_bytes
+    );
+    if flags.compact {
+        // No catalog to publish into offline — fold, rewrite the
+        // artifact, and truncate the WAL in place.
+        let report = live.compact(|_| Ok(0)).map_err(|e| format!("{dir}: {e}"))?;
+        eprintln!(
+            "compacted: folded {} sequence(s) / {} residues into the base in {:.2?}",
+            report.folded_seqs,
+            report.folded_residues,
+            std::time::Duration::from_micros(report.micros)
+        );
+    }
     Ok(())
 }
 
@@ -524,6 +637,9 @@ fn open_engine(
 enum SearchBackend {
     Disk(OasisEngine<DiskSuffixTree<FileDevice>>),
     Sharded(ShardedEngine),
+    /// A live (layered) index snapshot: the artifact's base shards plus
+    /// the delta replayed from its append WAL, merged exactly.
+    Layered(Arc<oasis::engine::LayeredExecutor>),
 }
 
 impl SearchBackend {
@@ -557,6 +673,7 @@ impl SearchBackend {
         match self {
             SearchBackend::Disk(e) => e.threads(),
             SearchBackend::Sharded(e) => e.threads(),
+            SearchBackend::Layered(e) => e.engine().threads(),
         }
     }
 
@@ -564,6 +681,7 @@ impl SearchBackend {
         match self {
             SearchBackend::Disk(e) => e.run_batch(jobs),
             SearchBackend::Sharded(e) => e.run_batch(jobs),
+            SearchBackend::Layered(e) => e.engine().run_batch(jobs),
         }
     }
 }
@@ -583,6 +701,43 @@ fn report_pool(delta: &PoolStatsSnapshot) {
             100.0 * ratio
         ),
     }
+}
+
+/// The append WAL next to an artifact, summarized against the
+/// manifest's compaction floor: records a compaction already folded are
+/// dead weight awaiting truncation, so only records past
+/// `lineage.folded_through` count as pending. A plain (never-compacted)
+/// artifact has no floor — its whole log is pending.
+struct WalSummary {
+    bytes: u64,
+    records: usize,
+    pending_seqs: usize,
+    pending_residues: u64,
+    torn_tail: bool,
+}
+
+fn wal_summary(
+    dir: &std::path::Path,
+    manifest: &oasis::storage::IndexManifest,
+) -> Result<Option<WalSummary>, String> {
+    let Some(replay) = oasis::storage::replay_wal(dir).map_err(|e| e.to_string())? else {
+        return Ok(None);
+    };
+    let floor = manifest.lineage.as_ref().map(|l| l.folded_through);
+    let (mut pending_seqs, mut pending_residues) = (0usize, 0u64);
+    for record in &replay.records {
+        if floor.is_none_or(|f| record.seq_no > f) {
+            pending_seqs += 1;
+            pending_residues += record.codes.len() as u64;
+        }
+    }
+    Ok(Some(WalSummary {
+        bytes: replay.bytes,
+        records: replay.records.len(),
+        pending_seqs,
+        pending_residues,
+        torn_tail: replay.torn_tail,
+    }))
 }
 
 /// Load an index artifact directory into a ready search backend. The
@@ -605,6 +760,32 @@ fn open_artifact_backend(
     );
     flags.alphabet = db.alphabet().clone();
     let scoring = scoring_from(flags)?;
+    // A pending append WAL means sequences were durably added since the
+    // artifact was written: serve the layered index (base shards + the
+    // replayed delta) so `search --index` sees every appended sequence,
+    // byte-identically to a full rebuild over the concatenated database.
+    if wal_summary(path, &manifest)?.is_some_and(|w| w.pending_seqs > 0) {
+        flags.warn_pool_mb_ignored();
+        if flags.threads.is_some() {
+            eprintln!("warning: --threads is ignored on a live (layered) index snapshot");
+        }
+        let live = oasis::engine::LiveIndex::open(
+            path,
+            scoring,
+            oasis::engine::LiveIndexOptions::default(),
+        )
+        .map_err(|e| format!("{dir}: {e}"))?;
+        let snapshot = live.snapshot();
+        let db = snapshot.engine().db_shared();
+        eprintln!(
+            "index artifact: {} base shard(s) + live delta of {} sequence(s) replayed \
+             from the wal (loaded in {:.2?})",
+            manifest.shards.len(),
+            snapshot.delta_seqs(),
+            start.elapsed()
+        );
+        return Ok((db, SearchBackend::Layered(snapshot)));
+    }
     // Packed-ESA sections have no disk-resident serving mode, so any ESA
     // shard routes the artifact through the in-memory loader — even one.
     let all_tree = manifest
@@ -785,6 +966,12 @@ fn search_single(
             let (_, delta) = session.finish();
             (shown, delta)
         }
+        SearchBackend::Layered(snapshot) => {
+            let mut session = snapshot.engine().session(&query, &params);
+            let shown = print_hits(&db, session.by_ref(), limit);
+            let (_, delta) = session.finish();
+            (shown, delta)
+        }
     };
     eprintln!("{shown} hits in {:.2?}", start.elapsed());
     report_pool(&delta);
@@ -889,15 +1076,104 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Minimal JSON string escaping for the hand-rolled `--json` output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The machine-readable `index inspect --json` document. Hand-rolled
+/// (the workspace takes no serialization dependency); the shape is
+/// pinned by `tests/cli_search.rs`.
+fn inspect_json(
+    dir: &str,
+    manifest: &oasis::storage::IndexManifest,
+    wal: Option<&WalSummary>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"artifact\": {},\n", json_str(dir)));
+    out.push_str(&format!("  \"version\": {},\n", manifest.version));
+    out.push_str(&format!("  \"block_size\": {},\n", manifest.block_size));
+    out.push_str(&format!("  \"sequences\": {},\n", manifest.num_seqs));
+    out.push_str(&format!("  \"text_length\": {},\n", manifest.text_len));
+    out.push_str(&format!("  \"total_bytes\": {},\n", manifest.total_bytes()));
+    out.push_str(&format!(
+        "  \"database\": {{\"file\": {}, \"bytes\": {}, \"checksum\": \"{:016x}\"}},\n",
+        json_str(&manifest.database.file),
+        manifest.database.bytes,
+        manifest.database.checksum
+    ));
+    let index_bytes: u64 = manifest.shards.iter().map(|s| s.section.bytes).sum();
+    out.push_str(&format!("  \"index_bytes\": {index_bytes},\n"));
+    out.push_str("  \"shards\": [\n");
+    for (i, shard) in manifest.shards.iter().enumerate() {
+        let comma = if i + 1 < manifest.shards.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"seq_lo\": {}, \"seq_hi\": {}, \"kind\": {}, \"file\": {}, \
+             \"bytes\": {}, \"checksum\": \"{:016x}\"}}{comma}\n",
+            shard.seq_lo,
+            shard.seq_hi,
+            json_str(shard.kind.as_str()),
+            json_str(&shard.section.file),
+            shard.section.bytes,
+            shard.section.checksum
+        ));
+    }
+    out.push_str("  ],\n");
+    match &manifest.lineage {
+        None => out.push_str("  \"lineage\": null,\n"),
+        Some(l) => out.push_str(&format!(
+            "  \"lineage\": {{\"compactions\": {}, \"appended_seqs\": {}, \
+             \"folded_through\": {}}},\n",
+            l.compactions, l.appended_seqs, l.folded_through
+        )),
+    }
+    match wal {
+        None => out.push_str("  \"wal\": null\n"),
+        Some(w) => out.push_str(&format!(
+            "  \"wal\": {{\"bytes\": {}, \"records\": {}, \"pending_seqs\": {}, \
+             \"pending_residues\": {}, \"torn_tail\": {}}}\n",
+            w.bytes, w.records, w.pending_seqs, w.pending_residues, w.torn_tail
+        )),
+    }
+    out.push('}');
+    out
+}
+
 /// Print an artifact's manifest — version, geometry, shard boundary
-/// table, per-section sizes and checksums — without loading any trees.
+/// table, per-section sizes and checksums, delta lineage and WAL state —
+/// without loading any trees. `--json` emits the same facts as a single
+/// machine-readable document.
 fn cmd_index_inspect(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let [dir] = flags.positional.as_slice() else {
-        return Err("usage: oasis index inspect <dir>".to_string());
+        return Err("usage: oasis index inspect <dir> [--json]".to_string());
     };
     let path = std::path::Path::new(dir);
     let manifest = oasis::storage::read_manifest(path).map_err(|e| format!("{dir}: {e}"))?;
+    let wal = wal_summary(path, &manifest)?;
+    if flags.json {
+        println!("{}", inspect_json(dir, &manifest, wal.as_ref()));
+        return Ok(());
+    }
     println!("artifact:      {dir}");
     println!("version:       {}", manifest.version);
     println!("block size:    {}", manifest.block_size);
@@ -931,6 +1207,28 @@ fn cmd_index_inspect(args: &[String]) -> Result<(), String> {
             shard.section.bytes,
             shard.section.checksum
         );
+    }
+    match &manifest.lineage {
+        None => println!("lineage:       none (never compacted)"),
+        Some(l) => println!(
+            "lineage:       {} compaction(s), {} sequence(s) ever appended, folded through seq {}",
+            l.compactions, l.appended_seqs, l.folded_through
+        ),
+    }
+    match &wal {
+        None => println!("wal:           none"),
+        Some(w) => println!(
+            "wal:           {} bytes, {} record(s), {} pending sequence(s) / {} residues{}",
+            w.bytes,
+            w.records,
+            w.pending_seqs,
+            w.pending_residues,
+            if w.torn_tail {
+                " (torn tail discarded)"
+            } else {
+                ""
+            }
+        ),
     }
     Ok(())
 }
@@ -1037,14 +1335,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers: flags.workers.unwrap_or(0),
         queue_capacity: flags.queue.unwrap_or(64),
         pool_bytes: flags.pool_bytes(),
+        compact_after: flags.compact_after.unwrap_or(256),
     };
     let server = oasis::net::OasisServer::bind(addr.as_str(), served, scoring, config)
         .map_err(|e| e.to_string())?;
+    // Live ingestion: `admin append` WAL-logs into the serving artifact's
+    // directory, and a WAL left over from a previous run is replayed into
+    // a layered generation before the first connection is accepted.
+    server.set_live_dir(path).map_err(|e| e.to_string())?;
     eprintln!(
-        "serving {dir}: {} sequences, {} shard(s), queue capacity {}",
+        "serving {dir}: {} sequences, {} shard(s), queue capacity {}, \
+         live ingestion enabled ({})",
         db.num_sequences(),
         manifest.shards.len(),
-        config.queue_capacity
+        config.queue_capacity,
+        match config.compact_after {
+            0 => "background compaction off".to_string(),
+            n => format!("compact after {n} delta sequences"),
+        }
     );
     // Machine-readable: scripts resolve `--addr host:0` from this line.
     println!("listening on {}", server.local_addr());
@@ -1236,6 +1544,16 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
                 us(stats.max_us),
                 stats.latency_count
             );
+            println!(
+                "delta:        {} sequence(s) / {} residues",
+                stats.delta_seqs, stats.delta_residues
+            );
+            println!("wal:          {} bytes", stats.wal_bytes);
+            println!(
+                "compactions:  {} (last took {:.2?})",
+                stats.compactions,
+                us(stats.last_compaction_us)
+            );
             Ok(())
         }
         ["reload", dir] => {
@@ -1243,11 +1561,30 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
             println!("reloaded: generation {} ({})", done.generation, done.label);
             Ok(())
         }
+        ["append", fasta_path] => {
+            let fasta =
+                std::fs::read_to_string(fasta_path).map_err(|e| format!("{fasta_path}: {e}"))?;
+            let done = client.append(fasta).map_err(|e| e.to_string())?;
+            println!(
+                "appended: {} sequence(s) / {} residues (generation {}); \
+                 delta {} sequence(s) / {} residues, wal {} bytes",
+                done.appended_seqs,
+                done.appended_residues,
+                done.generation,
+                done.delta_seqs,
+                done.delta_residues,
+                done.wal_bytes
+            );
+            Ok(())
+        }
         ["shutdown"] => {
             client.shutdown_server().map_err(|e| e.to_string())?;
             println!("server is shutting down");
             Ok(())
         }
-        _ => Err("usage: oasis admin --remote <host:port> stats|reload <dir>|shutdown".to_string()),
+        _ => Err(
+            "usage: oasis admin --remote <host:port> stats|reload <dir>|append <fasta>|shutdown"
+                .to_string(),
+        ),
     }
 }

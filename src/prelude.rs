@@ -14,9 +14,9 @@ pub use oasis_suffix::{
 };
 
 pub use oasis_storage::{
-    read_manifest, write_index_artifact, ArtifactError, BufferPool, BufferPoolStats,
-    DiskSuffixTree, DiskTreeBuilder, IndexManifest, MemDevice, PoolDeltaScope, PoolStatsSnapshot,
-    Region, SimulatedDisk,
+    read_manifest, replay_wal, write_index_artifact, ArtifactError, BufferPool, BufferPoolStats,
+    DeltaLineage, DiskSuffixTree, DiskTreeBuilder, IndexManifest, MemDevice, PoolDeltaScope,
+    PoolStatsSnapshot, Region, SimulatedDisk, WalRecord, WalReplay, WriteAheadLog, WAL_FILE,
 };
 
 pub use oasis_core::{
@@ -25,17 +25,19 @@ pub use oasis_core::{
 };
 
 pub use oasis_engine::{
-    build_index_artifact, disk_engine_from_artifact, load_sharded_engine, persist_sharded_engine,
-    sharded_engine_from_artifact, AdmissionError, BatchQuery, GenerationInfo, IndexBackend,
-    IndexCatalog, LatencySummary, OasisEngine, QueryExecutor, QuerySession, QueryTicket,
-    SearchOutcome, ServedOutcome, ServingConfig, ServingConfigError, ServingEngine, ServingStats,
-    ShardedEngine, ShardedSession,
+    build_index_artifact, compact_artifact, disk_engine_from_artifact, load_sharded_engine,
+    persist_sharded_engine, sharded_engine_from_artifact, AdmissionError, AppendReceipt,
+    BatchQuery, CompactionReport, DeltaIndex, GenerationInfo, IndexBackend, IndexCatalog,
+    LatencySummary, LayeredExecutor, LiveIndex, LiveIndexError, LiveIndexOptions, LiveStats,
+    OasisEngine, PublishError, QueryExecutor, QuerySession, QueryTicket, SearchOutcome,
+    ServedOutcome, ServingConfig, ServingConfigError, ServingEngine, ServingStats, ShardedEngine,
+    ShardedSession,
 };
 
 pub use oasis_net::{
-    Client, ErrorCode, ErrorFrame, Hello, NetError, OasisServer, ReloadDone, RemoteHit, ScoreRule,
-    SearchDone, SearchRequest, ServedIndex, ServerConfig, ServerHandle, StatsReport,
-    PROTOCOL_VERSION,
+    AppendDone, AppendRequest, Client, ErrorCode, ErrorFrame, Hello, NetError, OasisServer,
+    ReloadDone, RemoteHit, ScoreRule, SearchDone, SearchRequest, ServedIndex, ServerConfig,
+    ServerHandle, StatsReport, PROTOCOL_VERSION,
 };
 
 pub use oasis_blast::{BlastParams, BlastSearch};

@@ -246,6 +246,101 @@ fn index_inspect_prints_the_manifest_without_loading_trees() {
 }
 
 #[test]
+fn index_inspect_json_is_machine_readable_and_tracks_the_live_state() {
+    let dir = setup("inspect-json");
+    let built = oasis(
+        &[
+            "index",
+            "build",
+            "db.fa",
+            "--out",
+            "arti",
+            "--dna",
+            "--shards",
+            "2",
+            "--block-size",
+            "64",
+        ],
+        &dir,
+    );
+    assert!(built.status.success(), "index build failed: {built:?}");
+
+    // A fresh artifact: no lineage, no WAL, every manifest fact present.
+    let out = oasis(&["index", "inspect", "arti", "--json"], &dir);
+    assert!(out.status.success(), "inspect --json failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = stdout.trim();
+    assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
+    for needle in [
+        "\"artifact\": \"arti\"",
+        "\"version\": 2",
+        "\"block_size\": 64",
+        "\"sequences\": 4",
+        "\"text_length\":",
+        "\"database\": {\"file\":",
+        "\"shards\": [",
+        "\"seq_lo\": 0",
+        "\"kind\": \"tree-image\"",
+        "\"checksum\": \"",
+        "\"lineage\": null",
+        "\"wal\": null",
+    ] {
+        assert!(doc.contains(needle), "missing {needle:?} in:\n{doc}");
+    }
+    // Machine output only — none of the human-format lines leak in.
+    assert!(!doc.contains("version:"), "{doc}");
+
+    // After an append the document reports the pending WAL records.
+    std::fs::write(dir.join("add.fa"), ">a0\nTTGACA\n").unwrap();
+    let appended = oasis(
+        &[
+            "index", "append", "add.fa", "--index", "arti", "--matrix", "unit",
+        ],
+        &dir,
+    );
+    assert!(appended.status.success(), "append failed: {appended:?}");
+    let out = oasis(&["index", "inspect", "arti", "--json"], &dir);
+    assert!(out.status.success(), "inspect after append: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"lineage\": null",
+        "\"wal\": {\"bytes\":",
+        "\"pending_seqs\": 1",
+        "\"torn_tail\": false",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+
+    // After a compacting append the lineage lands and the log drains.
+    std::fs::write(dir.join("add2.fa"), ">a1\nCGCGTT\n").unwrap();
+    let compacted = oasis(
+        &[
+            "index",
+            "append",
+            "add2.fa",
+            "--index",
+            "arti",
+            "--matrix",
+            "unit",
+            "--compact",
+        ],
+        &dir,
+    );
+    assert!(compacted.status.success(), "compact failed: {compacted:?}");
+    let out = oasis(&["index", "inspect", "arti", "--json"], &dir);
+    assert!(out.status.success(), "inspect after compact: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"version\": 3",
+        "\"sequences\": 6",
+        "\"lineage\": {\"compactions\": 1, \"appended_seqs\": 2, \"folded_through\": 1}",
+        "\"pending_seqs\": 0",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
 fn esa_backend_serves_byte_identical_search_results() {
     let dir = setup("esa-backend");
     for (out, backend) in [("tree-arti", "tree"), ("esa-arti", "esa")] {

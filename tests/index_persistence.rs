@@ -206,7 +206,10 @@ fn loaded_generation_hot_swaps_into_live_serving_without_result_change() {
     let tickets: Vec<QueryTicket> = (1..=16)
         .map(|round| serving.try_submit(job(round)).expect("admitted"))
         .collect();
-    serving.executor().publish("loaded from artifact", loaded);
+    serving
+        .executor()
+        .publish("loaded from artifact", loaded)
+        .expect("publish");
     let after = serving
         .try_submit(job(99))
         .expect("admission stays open across the swap")

@@ -475,6 +475,290 @@ fn malformed_bytes_get_a_typed_error_and_unknown_residues_are_rejected() {
     drop(handle);
 }
 
+/// The base database plus named appended sequences, for reference
+/// engines that must agree with the server's layered generations.
+fn db_with_appended(extra: &[(&str, &str)]) -> Arc<SequenceDatabase> {
+    let mut b = DatabaseBuilder::new(Alphabet::dna());
+    for (i, s) in SEQS.iter().enumerate() {
+        b.push_str(format!("s{i}"), s).unwrap();
+    }
+    for (name, s) in extra {
+        b.push_str(name.to_string(), s).unwrap();
+    }
+    Arc::new(b.finish())
+}
+
+/// Start a live-ingestion server over a fresh artifact built from the
+/// base database at `dir`.
+fn start_live_server(
+    dir: &PathBuf,
+    compact_after: usize,
+) -> (
+    std::net::SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let db = dna_db(SEQS);
+    oasis::engine::build_index_artifact(&db, dir, 2, 64, oasis::engine::IndexBackend::Tree)
+        .expect("base artifact");
+    let scoring = Scoring::unit_dna();
+    let index = ServedIndex::from_artifact(dir, scoring.clone(), 1 << 20).expect("load base");
+    let server = OasisServer::bind(
+        "127.0.0.1:0",
+        index,
+        scoring,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            compact_after,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    server.set_live_dir(dir).expect("live dir");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+const ADD1: &[(&str, &str)] = &[("a0", "ACCGGA"), ("a1", "TTGACA")];
+const ADD2: &[(&str, &str)] = &[("a2", "CGCGTT"), ("a3", "AGGATTAC")];
+
+fn fasta_for(records: &[(&str, &str)]) -> String {
+    records
+        .iter()
+        .map(|(name, s)| format!(">{name}\n{s}\n"))
+        .collect()
+}
+
+#[test]
+fn appends_and_background_compaction_publish_with_zero_downtime() {
+    let dir = tmpdir("live-traffic");
+    let (addr, _handle, runner) = start_live_server(&dir, 3);
+
+    // The database each generation serves, keyed by the deterministic
+    // publication order: 0 = base, 1 = base + ADD1, 2 = base + both
+    // appends, 3 = the compacted base over the same content as 2.
+    let db0 = dna_db(SEQS);
+    let db1 = db_with_appended(ADD1);
+    let db2 = db_with_appended(&[ADD1, ADD2].concat());
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let generations_seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+    let clients: Vec<_> = (0..3)
+        .map(|w| {
+            let (db0, db1, db2) = (db0.clone(), db1.clone(), db2.clone());
+            let stop = stop.clone();
+            let generations_seen = generations_seen.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut rounds = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) || rounds < 10 {
+                    for (qi, query) in QUERIES.iter().enumerate() {
+                        let min = 1 + ((w + qi) % 3) as Score;
+                        // Zero downtime: not one failed or blocked query
+                        // while appends and a compaction publish.
+                        let (hits, done) = client
+                            .search_collect(SearchRequest::new(*query).with_min_score(min))
+                            .expect("remote search during live ingestion");
+                        let reference = match done.generation {
+                            0 => &db0,
+                            1 => &db1,
+                            _ => &db2,
+                        };
+                        assert_identical_response(reference, &hits, query, min);
+                        generations_seen.lock().unwrap().insert(done.generation);
+                    }
+                    rounds += 1;
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = Client::connect(addr).expect("connect admin");
+
+    // First append: below the compaction threshold, publishes the
+    // layered (base + delta) generation.
+    let done = admin.append(fasta_for(ADD1)).expect("append 1");
+    assert_eq!(done.appended_seqs, 2);
+    assert_eq!(done.delta_seqs, 2);
+    assert_eq!(done.generation, 1);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Second append crosses the threshold and kicks the background
+    // compaction, which publishes generation 3 when the fold lands.
+    let done = admin.append(fasta_for(ADD2)).expect("append 2");
+    assert_eq!(done.delta_seqs, 4);
+    assert_eq!(done.generation, 2);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = admin.stats().expect("stats during compaction");
+        if stats.compactions >= 1 {
+            assert_eq!(stats.delta_seqs, 0, "delta folded into the base");
+            assert_eq!(stats.generation, 3);
+            assert_eq!(stats.generation_label, "live-compaction");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "compaction never ran");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("streaming client");
+    }
+    assert!(
+        generations_seen.lock().unwrap().contains(&0),
+        "traffic started on the base generation"
+    );
+
+    // A fresh handshake serves the compacted generation and its geometry.
+    let client = Client::connect(addr).expect("connect post-compaction");
+    assert_eq!(client.hello().generation, 3);
+    assert_eq!(client.hello().num_seqs, db2.num_sequences());
+
+    admin.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+
+    // The on-disk artifact is the compacted base: lineage recorded, log
+    // truncated, nothing pending.
+    let manifest = read_manifest(&dir).expect("manifest");
+    assert_eq!(manifest.num_seqs, db2.num_sequences());
+    let lineage = manifest.lineage.expect("lineage recorded");
+    assert_eq!(lineage.compactions, 1);
+    assert_eq!(lineage.appended_seqs, 4);
+    assert_eq!(lineage.folded_through, 3);
+    let replay = replay_wal(&dir).expect("replay").expect("wal exists");
+    assert!(replay.records.is_empty(), "log truncated after publish");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_compaction_racing_admin_reload_keeps_every_generation_sound() {
+    let dir = tmpdir("race-reload-live");
+    let dir_b = tmpdir("race-reload-b");
+    let (addr, _handle, runner) = start_live_server(&dir, 3);
+    let db_base = dna_db(SEQS);
+    oasis::engine::build_index_artifact(&db_base, &dir_b, 3, 64, oasis::engine::IndexBackend::Esa)
+        .expect("artifact b");
+
+    let mut admin = Client::connect(addr).expect("connect admin");
+    // One append crosses the threshold: generation 1 publishes and the
+    // background compaction starts folding…
+    let extra = [ADD1, ADD2].concat();
+    let done = admin.append(fasta_for(&extra)).expect("append");
+    assert_eq!(done.generation, 1);
+    // …while an admin reload races it into the catalog. Publication
+    // order between generations 2 and 3 is whatever the race decides.
+    let reloaded = admin
+        .reload(dir_b.to_string_lossy().to_string())
+        .expect("reload during compaction");
+    assert!(reloaded.generation == 2 || reloaded.generation == 3);
+
+    // The compaction completes regardless of who published last.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while admin.stats().expect("stats").compactions < 1 {
+        assert!(std::time::Instant::now() < deadline, "compaction never ran");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Whichever generation won the race serves; its responses must be
+    // byte-identical to the database that generation indexes.
+    let stats = admin.stats().expect("stats after race");
+    assert_eq!(stats.generation, 3, "both publications landed");
+    let db_full = db_with_appended(&extra);
+    let reference = if stats.generation_label == "live-compaction" {
+        &db_full
+    } else {
+        &db_base // the reload's artifact has only the base sequences
+    };
+    let mut client = Client::connect(addr).expect("connect");
+    for query in QUERIES {
+        let (hits, _) = client
+            .search_collect(SearchRequest::new(*query).with_min_score(2))
+            .expect("search after race");
+        assert_identical_response(reference, &hits, query, 2);
+    }
+
+    admin.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+
+    // The live directory's fold completed independently of the catalog
+    // race: lineage recorded, WAL truncated.
+    let manifest = read_manifest(&dir).expect("manifest");
+    assert_eq!(manifest.num_seqs, db_full.num_sequences());
+    assert_eq!(manifest.lineage.expect("lineage").compactions, 1);
+    assert!(replay_wal(&dir)
+        .expect("replay")
+        .expect("wal exists")
+        .records
+        .is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn background_compaction_racing_shutdown_loses_nothing() {
+    let dir = tmpdir("race-shutdown");
+    let (addr, handle, runner) = start_live_server(&dir, 3);
+
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let extra = [ADD1, ADD2].concat();
+    let done = admin.append(fasta_for(&extra)).expect("append");
+    assert_eq!(done.appended_seqs, 4);
+    // Shut down immediately: the background compaction is somewhere
+    // between freeze, fold, publish, and truncate. If its publish loses
+    // the race to shutdown, compaction aborts and the WAL keeps the
+    // records; if it wins, the fold landed and the WAL is truncated.
+    // Either way `run()` joins the compaction thread before returning,
+    // so no file operation is torn by process exit.
+    handle.shutdown();
+    runner.join().expect("accept loop").expect("run ok");
+
+    let db_full = db_with_appended(&extra);
+    let manifest = read_manifest(&dir).expect("manifest");
+    let replay = replay_wal(&dir).expect("replay").expect("wal exists");
+    assert!(!replay.torn_tail, "no write was torn by the shutdown");
+    // Base sequences folded in plus records still pending in the log
+    // must account for every acknowledged append, exactly once.
+    let floor = manifest.lineage.as_ref().map(|l| l.folded_through);
+    let pending = replay
+        .records
+        .iter()
+        .filter(|r| floor.is_none_or(|f| r.seq_no > f))
+        .count();
+    assert_eq!(
+        manifest.num_seqs as usize + pending,
+        db_full.num_sequences() as usize,
+        "folded + pending covers each append exactly once (manifest {}, pending {pending})",
+        manifest.num_seqs
+    );
+
+    // A reopen — the restart after the shutdown — serves the full set,
+    // byte-identical to a fresh build over everything.
+    let live = LiveIndex::open(&dir, Scoring::unit_dna(), LiveIndexOptions::default())
+        .expect("reopen after shutdown race");
+    assert_eq!(
+        manifest.num_seqs + live.stats().delta_seqs,
+        db_full.num_sequences()
+    );
+    let snapshot = live.snapshot();
+    let reference = oasis::engine::ShardedEngine::build(db_full.clone(), Scoring::unit_dna(), 1);
+    for query in QUERIES {
+        let encoded = Alphabet::dna().encode_str(query).unwrap();
+        let params = OasisParams::with_min_score(1);
+        assert_eq!(
+            snapshot.engine().run_one(&encoded, &params).hits,
+            reference.run_one(&encoded, &params).hits,
+            "query {query} after the shutdown race"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn evalue_rule_matches_the_local_conversion() {
     // The server derives minScore from an E-value exactly like the local

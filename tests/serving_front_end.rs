@@ -179,7 +179,7 @@ fn hot_swap_serves_new_generation_and_drains_old_one() {
 
     // Swap generations while it is in flight.
     let new_id = serving.executor().publish("instant-gen1", Gen::Instant);
-    assert_eq!(new_id, 1);
+    assert_eq!(new_id, Ok(1));
     assert_eq!(serving.executor().current_info().label, "instant-gen1");
 
     // New work is admitted and served by generation 1 immediately — the
@@ -245,7 +245,8 @@ fn hot_swap_under_concurrent_traffic_is_lossless_and_correct() {
                     let generation = ShardedEngine::build(db.clone(), Scoring::unit_dna(), k);
                     serving
                         .executor()
-                        .publish(format!("{k}-shards"), generation);
+                        .publish(format!("{k}-shards"), generation)
+                        .expect("publish");
                     std::thread::yield_now();
                 }
             })
