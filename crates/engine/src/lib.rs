@@ -79,6 +79,7 @@ use oasis_core::{Hit, OasisParams, OasisSearch, SearchDriver, SearchStats};
 use oasis_storage::{PoolDeltaScope, PoolStatsSnapshot};
 use oasis_suffix::SuffixTreeAccess;
 
+mod cache;
 mod catalog;
 mod compactor;
 mod delta;
@@ -87,6 +88,7 @@ pub mod persist;
 mod serving;
 mod shard;
 
+pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use catalog::{GenerationInfo, IndexCatalog, PublishError};
 pub use compactor::{compact_artifact, CompactionReport};
 pub use delta::DeltaIndex;
@@ -98,8 +100,8 @@ pub use persist::{
     sharded_engine_from_artifact,
 };
 pub use serving::{
-    AdmissionError, LatencySummary, QueryExecutor, QueryTicket, ServedOutcome, ServingConfig,
-    ServingConfigError, ServingEngine, ServingStats,
+    AdmissionError, CompletionHook, LatencySummary, QueryExecutor, QueryTicket, ServedOutcome,
+    ServingConfig, ServingConfigError, ServingEngine, ServingStats,
 };
 pub use shard::{IndexBackend, ShardedEngine, ShardedSession};
 

@@ -249,11 +249,21 @@ impl LatencySummary {
     }
 }
 
+/// A completion-notification hook, invoked exactly once per admitted
+/// query — after the outcome has been sent into the ticket (or, if the
+/// query panicked, after the sender is dropped so the ticket resolves to
+/// `None`). The hook runs on the worker thread with no engine lock held;
+/// it exists so an event loop can learn a ticket is ready without ever
+/// blocking on it (push a token onto a completion queue, wake a poller).
+/// Keep it cheap and never let it block.
+pub type CompletionHook = Box<dyn FnOnce() + Send + 'static>;
+
 /// One admitted query waiting for a worker.
 struct Submission {
     job: BatchQuery,
     tx: mpsc::Sender<ServedOutcome>,
     submitted: Instant,
+    notify: Option<CompletionHook>,
 }
 
 /// How many of the most recent per-query latency samples are retained for
@@ -336,6 +346,27 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
     /// [`QueryTicket`]; a full queue rejects with backpressure instead of
     /// making the caller wait.
     pub fn try_submit(&self, job: BatchQuery) -> Result<QueryTicket, AdmissionError> {
+        self.submit_inner(job, None)
+    }
+
+    /// [`try_submit`](ServingEngine::try_submit), with a
+    /// [`CompletionHook`] that fires once the ticket is resolvable. This
+    /// is the nonblocking completion path: the caller polls the ticket
+    /// with [`QueryTicket::try_take`] only after the hook has fired, so
+    /// it never parks a thread per in-flight query.
+    pub fn try_submit_with_notify(
+        &self,
+        job: BatchQuery,
+        notify: CompletionHook,
+    ) -> Result<QueryTicket, AdmissionError> {
+        self.submit_inner(job, Some(notify))
+    }
+
+    fn submit_inner(
+        &self,
+        job: BatchQuery,
+        notify: Option<CompletionHook>,
+    ) -> Result<QueryTicket, AdmissionError> {
         let (tx, rx) = mpsc::channel();
         {
             // Poisoning is recovered from throughout this module: worker
@@ -366,6 +397,7 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
                 job,
                 tx,
                 submitted: Instant::now(),
+                notify,
             });
         }
         self.shared.wake.notify_one();
@@ -451,7 +483,7 @@ impl<E: QueryExecutor + 'static> Drop for ServingEngine<E> {
 
 fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
     loop {
-        let submission = {
+        let mut submission = {
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(s) = queue.pop_front() {
@@ -466,6 +498,7 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        let notify = submission.notify.take();
         let started = Instant::now();
         // A panicking query (e.g. one encoded with the wrong alphabet)
         // must not kill the worker: later admitted work would never run
@@ -479,6 +512,9 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
             Ok(outcome) => outcome,
             Err(_) => {
                 drop(submission.tx); // resolves the ticket with `None`
+                if let Some(notify) = notify {
+                    notify();
+                }
                 continue;
             }
         };
@@ -498,6 +534,11 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
         // The caller may have dropped its ticket — that only means nobody
         // is listening; the work itself is still accounted.
         let _ = submission.tx.send(served);
+        // The hook fires strictly after the send: a notified poller's
+        // `try_take` is guaranteed to find the outcome.
+        if let Some(notify) = notify {
+            notify();
+        }
     }
 }
 

@@ -1,0 +1,14 @@
+//@ mount: crates/engine/src/cache.rs
+// The result cache sits on every search dispatch: an eviction unwrap or
+// a direct index into the LRU order panics the serving loop. Both must
+// fire.
+
+use std::collections::VecDeque;
+
+fn evict_oldest(order: &mut VecDeque<u64>) -> u64 {
+    order.pop_front().unwrap()
+}
+
+fn peek_newest(order: &VecDeque<u64>) -> u64 {
+    order[order.len() - 1]
+}

@@ -1,0 +1,22 @@
+//@ mount: crates/engine/src/cache.rs
+// The same LRU bookkeeping, total: an empty order is the caller's
+// signal that there is nothing to evict.
+
+use std::collections::VecDeque;
+
+fn evict_oldest(order: &mut VecDeque<u64>) -> Option<u64> {
+    order.pop_front()
+}
+
+fn peek_newest(order: &VecDeque<u64>) -> Option<u64> {
+    order.back().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let mut order: std::collections::VecDeque<u64> = [3].into_iter().collect();
+        assert_eq!(super::evict_oldest(&mut order).unwrap(), 3);
+    }
+}

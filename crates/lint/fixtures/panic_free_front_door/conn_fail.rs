@@ -1,0 +1,13 @@
+//@ mount: crates/net/src/conn.rs
+// The connection state machine parses frames out of a byte buffer a
+// remote peer controls: header indexing and length unwraps are exactly
+// the panics a malformed peer could trigger. Both must fire.
+
+fn frame_len(buf: &[u8]) -> usize {
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    len as usize + 5
+}
+
+fn frame_type(buf: &[u8]) -> u8 {
+    buf[4]
+}

@@ -1,0 +1,20 @@
+//@ mount: crates/net/src/conn.rs
+// The same header parse, total: a short buffer is `None` — the bytes
+// simply have not arrived yet — never a panic.
+
+fn frame_len(buf: &[u8]) -> Option<usize> {
+    let len_bytes: [u8; 4] = buf.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(len_bytes) as usize + 5)
+}
+
+fn frame_type(buf: &[u8]) -> Option<u8> {
+    buf.get(4).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::frame_len(&[1, 0, 0, 0, 9]).unwrap(), 6);
+    }
+}

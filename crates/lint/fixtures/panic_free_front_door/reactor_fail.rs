@@ -1,0 +1,22 @@
+//@ mount: crates/net/src/reactor.rs
+// The reactor is the loop every connection lives on: a panic here kills
+// the daemon, and a guard held across a blocking wait stalls every
+// socket at once. The lock unwrap, the direct index, and the held guard
+// must all fire.
+
+use std::sync::Mutex;
+
+fn drain_first(queue: &Mutex<Vec<u64>>) -> u64 {
+    let tokens = queue.lock().unwrap();
+    tokens[0]
+}
+
+fn wait_holding_queue(queue: &Mutex<Vec<u64>>, rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+    let guard = queue.lock();
+    let v = rx.recv();
+    drop(guard);
+    match v {
+        Ok(v) => v,
+        Err(_) => drain_first(queue),
+    }
+}

@@ -1,0 +1,28 @@
+//@ mount: crates/net/src/reactor.rs
+// The same operations with the daemon's discipline: a poisoned queue
+// degrades instead of panicking, and nothing blocks while the queue
+// guard is held.
+
+use std::sync::Mutex;
+
+fn drain_first(queue: &Mutex<Vec<u64>>) -> Option<u64> {
+    let tokens = queue.lock().ok()?;
+    tokens.first().copied()
+}
+
+fn wait_then_lock(queue: &Mutex<Vec<u64>>, rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+    let v = rx.recv().unwrap_or(0);
+    if let Ok(mut tokens) = queue.lock() {
+        tokens.push(v);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let queue = std::sync::Mutex::new(vec![7u64]);
+        assert_eq!(super::drain_first(&queue).unwrap(), 7);
+    }
+}

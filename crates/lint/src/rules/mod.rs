@@ -32,9 +32,12 @@ pub const SERVING_PATHS: &[&str] = &[
     "crates/net/src/lib.rs",
     "crates/net/src/frame.rs",
     "crates/net/src/server.rs",
+    "crates/net/src/reactor.rs",
+    "crates/net/src/conn.rs",
     "crates/net/src/client.rs",
     "crates/engine/src/lib.rs",
     "crates/engine/src/serving.rs",
+    "crates/engine/src/cache.rs",
     "crates/engine/src/catalog.rs",
     "crates/engine/src/shard.rs",
     "crates/engine/src/persist.rs",

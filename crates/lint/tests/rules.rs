@@ -66,6 +66,38 @@ fn live_ingestion_mutation_paths_have_fixture_pairs() {
 }
 
 #[test]
+fn front_door_paths_have_fixture_pairs() {
+    // The event-driven front door — the reactor the loop parks on, the
+    // per-connection state machine parsing peer-controlled bytes, and
+    // the result cache on every dispatch — is serving-path code: the
+    // rule must fire on each failing fixture and stay silent on its
+    // panic-free twin.
+    for (fail, pass) in [
+        (
+            "panic_free_front_door/reactor_fail.rs",
+            "panic_free_front_door/reactor_pass.rs",
+        ),
+        (
+            "panic_free_front_door/conn_fail.rs",
+            "panic_free_front_door/conn_pass.rs",
+        ),
+        (
+            "panic_free_front_door/cache_fail.rs",
+            "panic_free_front_door/cache_pass.rs",
+        ),
+    ] {
+        let diags = lint_fixtures(&[fail]);
+        assert!(fires(&diags, "panic-free-serving"), "{fail}: {diags:?}");
+        let diags = lint_fixtures(&[pass]);
+        assert!(diags.is_empty(), "{pass}: {diags:?}");
+    }
+    // The reactor fixture also holds a queue guard across a blocking
+    // recv — lock discipline is checked on the new paths too.
+    let diags = lint_fixtures(&["panic_free_front_door/reactor_fail.rs"]);
+    assert!(fires(&diags, "guard-across-blocking"), "{diags:?}");
+}
+
+#[test]
 fn guard_blocking_fixtures() {
     let fail = lint_fixtures(&["guard_blocking/fail.rs"]);
     assert!(fires(&fail, "guard-across-blocking"), "{fail:?}");
@@ -137,6 +169,9 @@ fn binary_exit_status_tracks_fixtures() {
         "panic_free_live/delta_fail.rs",
         "panic_free_live/layered_fail.rs",
         "panic_free_live/compactor_fail.rs",
+        "panic_free_front_door/reactor_fail.rs",
+        "panic_free_front_door/conn_fail.rs",
+        "panic_free_front_door/cache_fail.rs",
         "guard_blocking/fail.rs",
         "protocol_drift/fail.md",
         "manifest_coverage/fail.rs",
@@ -151,6 +186,9 @@ fn binary_exit_status_tracks_fixtures() {
         "panic_free_live/delta_pass.rs",
         "panic_free_live/layered_pass.rs",
         "panic_free_live/compactor_pass.rs",
+        "panic_free_front_door/reactor_pass.rs",
+        "panic_free_front_door/conn_pass.rs",
+        "panic_free_front_door/cache_pass.rs",
         "guard_blocking/pass.rs",
         "protocol_drift/pass.md",
         "manifest_coverage/pass.rs",
@@ -216,6 +254,32 @@ fn the_esa_backend_is_on_the_serving_path_list() {
     let mut ws = real_tree();
     let indexed = format!("{src}\nfn oops2(v: &[u8]) -> u8 {{ v[0] }}\n");
     assert!(ws.patch("crates/suffix/src/esa.rs", indexed));
+    assert!(fires(&ws.lint(), "panic-free-serving"));
+}
+
+#[test]
+fn the_reactor_and_conn_are_on_the_serving_path_list() {
+    // The event loop's reactor and connection state machine run inside
+    // the daemon: an injected unwrap in either must fire, exactly like
+    // one in server.rs.
+    for path in ["crates/net/src/reactor.rs", "crates/net/src/conn.rs"] {
+        let mut ws = real_tree();
+        let src = ws.text_of(path).expect("source loaded").to_string();
+        let broken = format!("{src}\nfn oops(v: &[u8]) -> u8 {{ v.first().copied().unwrap() }}\n");
+        assert!(ws.patch(path, broken));
+        assert!(fires(&ws.lint(), "panic-free-serving"), "{path}");
+    }
+}
+
+#[test]
+fn the_result_cache_is_on_the_serving_path_list() {
+    let mut ws = real_tree();
+    let src = ws
+        .text_of("crates/engine/src/cache.rs")
+        .expect("cache source")
+        .to_string();
+    let broken = format!("{src}\nfn oops(v: &[u8]) -> u8 {{ v[0] }}\n");
+    assert!(ws.patch("crates/engine/src/cache.rs", broken));
     assert!(fires(&ws.lint(), "panic-free-serving"));
 }
 

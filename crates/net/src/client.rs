@@ -3,20 +3,22 @@
 
 use std::io::{BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::frame::{
-    read_frame, write_frame, AppendDone, AppendRequest, Frame, Hello, ReloadDone, ReloadRequest,
-    RemoteHit, SearchDone, SearchRequest, StatsReport, PROTOCOL_VERSION,
+    read_frame, write_frame, AppendDone, AppendRequest, Frame, Hello, MetricsReport, ReloadDone,
+    ReloadRequest, RemoteHit, SearchDone, SearchRequest, StatsReport, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
 /// A connection to an [`crate::OasisServer`].
 ///
-/// Requests are issued one at a time per connection (no pipelining); a
-/// search response must be drained — or the stream dropped via
-/// [`HitStream`]'s bookkeeping — before the next request goes out, and
-/// the client enforces that by draining any unread response frames
-/// itself.
+/// The server pipelines requests per connection, but this client keeps
+/// the simpler one-at-a-time discipline: a search response must be
+/// drained — or the stream dropped via [`HitStream`]'s bookkeeping —
+/// before the next request goes out, and the client enforces that by
+/// draining any unread response frames itself. (Pipelining callers
+/// speak the frame layer directly; see `docs/PROTOCOL.md`.)
 pub struct Client {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
@@ -31,7 +33,44 @@ impl Client {
     /// speaks, otherwise the connection is rejected with
     /// [`NetError::Protocol`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::handshake(TcpStream::connect(addr)?)
+    }
+
+    /// [`connect`](Client::connect) with `timeout` bounding *both* the
+    /// TCP connect and the wait for the server's [`Hello`] — a hung or
+    /// never-accepting server fails the call within roughly `timeout`
+    /// (twice, worst case) instead of wedging the caller. The read
+    /// timeout stays armed afterwards; clear or retune it with
+    /// [`set_read_timeout`](Client::set_read_timeout).
+    ///
+    /// When `addr` resolves to several addresses, each is tried in turn
+    /// with the full `timeout`.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, NetError> {
+        let mut last: Option<std::io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    // The kernel may complete the TCP handshake into a
+                    // backlog the server never drains; the Hello read
+                    // must be bounded too.
+                    stream.set_read_timeout(Some(timeout))?;
+                    return Self::handshake(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })))
+    }
+
+    fn handshake(stream: TcpStream) -> Result<Client, NetError> {
         stream.set_nodelay(true)?;
         let mut reader = stream.try_clone()?;
         let writer = BufWriter::new(stream);
@@ -57,6 +96,15 @@ impl Client {
             hello,
             mid_response: false,
         })
+    }
+
+    /// Bound every subsequent response read by `timeout` (`None` waits
+    /// forever, the [`connect`](Client::connect) default). A timed-out
+    /// read surfaces as [`NetError::Io`]; the stream should be dropped
+    /// afterwards — a response may be mid-frame.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.reader.set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// The server's handshake: protocol version, serving generation, and
@@ -136,6 +184,17 @@ impl Client {
         }
     }
 
+    /// Fetch the server's scrapeable metrics: queue depth, result-cache
+    /// counters, connection/pipeline gauges, latency tails, and
+    /// per-generation served counts.
+    pub fn metrics(&mut self) -> Result<MetricsReport, NetError> {
+        self.request(&Frame::MetricsRequest)?;
+        match self.response("Metrics")? {
+            Frame::Metrics(report) => Ok(report),
+            _ => unreachable!("response() returned the wanted kind"),
+        }
+    }
+
     /// Ask the server to load the artifact at `path` (a directory on the
     /// *server's* filesystem) and publish it as a fresh generation.
     pub fn reload(&mut self, path: impl Into<String>) -> Result<ReloadDone, NetError> {
@@ -211,5 +270,44 @@ impl HitStream<'_> {
         self.done.take().ok_or_else(|| {
             NetError::Protocol("search response ended without a Done frame".to_string())
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn connect_timeout_bounds_a_never_accepting_server() {
+        // Bind but never accept: the kernel completes the TCP handshake
+        // into the backlog, so it is the armed *read* timeout (waiting
+        // for a Hello that never comes) that must bound the call.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let timeout = Duration::from_millis(200);
+        let start = Instant::now();
+        let err = Client::connect_timeout(addr, timeout)
+            .err()
+            .expect("handshake cannot complete against a silent listener");
+        assert!(
+            matches!(err, NetError::Io(_)),
+            "expected a timeout i/o error, got: {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "connect_timeout took {:?} against a never-accepting listener",
+            start.elapsed()
+        );
+        drop(listener);
+    }
+
+    #[test]
+    fn connect_timeout_reports_empty_resolution() {
+        let empty: &[std::net::SocketAddr] = &[];
+        let err = Client::connect_timeout(empty, Duration::from_millis(50))
+            .err()
+            .expect("no addresses means no connection");
+        assert!(matches!(err, NetError::Io(_)));
     }
 }

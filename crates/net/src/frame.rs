@@ -39,8 +39,10 @@ use crate::NetError;
 pub const PROTOCOL_MAGIC: &[u8; 8] = b"OASISNT1";
 /// Current wire-protocol version (see `docs/PROTOCOL.md` for history).
 /// Version 2 added live ingestion: the `Append`/`Appended` admin frames
-/// and the delta/WAL/compaction columns of the `Stats` payload.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// and the delta/WAL/compaction columns of the `Stats` payload. Version 3
+/// added request pipelining, the `MetricsRequest`/`Metrics` admin frames
+/// (types 14 and 15), and the connection-limit backpressure rule.
+pub const PROTOCOL_VERSION: u32 = 3;
 /// Upper bound on a frame's declared payload length. Anything larger is
 /// rejected as malformed before allocation.
 pub const MAX_FRAME_BYTES: u32 = 64 << 20;
@@ -62,6 +64,8 @@ const TY_SHUTDOWN: u8 = 10;
 const TY_SHUTDOWN_ACK: u8 = 11;
 const TY_APPEND: u8 = 12;
 const TY_APPENDED: u8 = 13;
+const TY_METRICS_REQUEST: u8 = 14;
+const TY_METRICS: u8 = 15;
 
 /// The server-first handshake: protocol + index-generation version and
 /// enough database geometry for a client to mirror the local CLI
@@ -325,6 +329,59 @@ pub struct StatsReport {
     pub last_compaction_us: u64,
 }
 
+/// Per-generation serving volume: one row of [`MetricsReport`]. QPS is
+/// derived client-side as `served / (uptime_us / 1e6)` so the wire
+/// carries exact counters, never a lossy rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationServed {
+    /// Id of the index generation.
+    pub generation: u64,
+    /// Queries that generation executed to completion (cache hits it
+    /// answered included).
+    pub served: u64,
+}
+
+/// The scrapeable front-door metrics (the admin `metrics` response):
+/// admission-queue state, result-cache counters, connection and
+/// pipelining gauges, latency tails, and per-generation serving volume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Queries executed to completion by the engine.
+    pub served: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Queries waiting in the admission queue right now.
+    pub queue_depth: u32,
+    /// The configured admission-queue capacity.
+    pub queue_capacity: u32,
+    /// Median submit-to-completion latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Result-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Result-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Entries evicted to keep the cache within its bound.
+    pub cache_evictions: u64,
+    /// Entries resident in the cache right now.
+    pub cache_entries: u32,
+    /// The configured cache capacity (entries; 0 = cache disabled).
+    pub cache_capacity: u32,
+    /// Connections open right now.
+    pub connections_open: u32,
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Peak pipelined (in-flight) requests observed on one connection.
+    pub pipelined_peak: u32,
+    /// Microseconds since the server started (the QPS denominator).
+    pub uptime_us: u64,
+    /// Serving volume per index generation, ascending by generation id.
+    pub per_generation: Vec<GenerationServed>,
+}
+
 /// Admin request: durably append the sequences of a FASTA document to
 /// the serving index. The text travels whole; the server parses it with
 /// the serving database's alphabet, WAL-logs each sequence, and folds
@@ -398,6 +455,10 @@ pub enum Frame {
     Append(AppendRequest),
     /// Server → client: the append is durable and serving.
     Appended(AppendDone),
+    /// Client → server: report front-door metrics.
+    MetricsRequest,
+    /// Server → client: the metrics.
+    Metrics(MetricsReport),
 }
 
 impl Frame {
@@ -417,6 +478,8 @@ impl Frame {
             Frame::ShutdownAck => "ShutdownAck",
             Frame::Append(_) => "Append",
             Frame::Appended(_) => "Appended",
+            Frame::MetricsRequest => "MetricsRequest",
+            Frame::Metrics(_) => "Metrics",
         }
     }
 
@@ -435,6 +498,8 @@ impl Frame {
             Frame::ShutdownAck => TY_SHUTDOWN_ACK,
             Frame::Append(_) => TY_APPEND,
             Frame::Appended(_) => TY_APPENDED,
+            Frame::MetricsRequest => TY_METRICS_REQUEST,
+            Frame::Metrics(_) => TY_METRICS,
         }
     }
 
@@ -490,7 +555,7 @@ impl Frame {
                 w.u16(e.code.to_u16());
                 w.str16(&e.message)?;
             }
-            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck => {}
+            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck | Frame::MetricsRequest => {}
             Frame::Stats(s) => {
                 w.u64(s.served);
                 w.u64(s.rejected);
@@ -522,6 +587,35 @@ impl Frame {
             Frame::Reloaded(r) => {
                 w.u64(r.generation);
                 w.str16(&r.label)?;
+            }
+            Frame::Metrics(m) => {
+                w.u64(m.served);
+                w.u64(m.rejected);
+                w.u32(m.queue_depth);
+                w.u32(m.queue_capacity);
+                w.u64(m.p50_us);
+                w.u64(m.p95_us);
+                w.u64(m.p99_us);
+                w.u64(m.cache_hits);
+                w.u64(m.cache_misses);
+                w.u64(m.cache_evictions);
+                w.u32(m.cache_entries);
+                w.u32(m.cache_capacity);
+                w.u32(m.connections_open);
+                w.u64(m.connections_accepted);
+                w.u32(m.pipelined_peak);
+                w.u64(m.uptime_us);
+                let rows = u16::try_from(m.per_generation.len()).map_err(|_| {
+                    NetError::Protocol(format!(
+                        "metrics frame has {} per-generation rows > 65535",
+                        m.per_generation.len()
+                    ))
+                })?;
+                w.u16(rows);
+                for row in &m.per_generation {
+                    w.u64(row.generation);
+                    w.u64(row.served);
+                }
             }
         }
         let payload = w.buf;
@@ -656,6 +750,52 @@ impl Frame {
             }),
             TY_SHUTDOWN => Frame::Shutdown,
             TY_SHUTDOWN_ACK => Frame::ShutdownAck,
+            TY_METRICS_REQUEST => Frame::MetricsRequest,
+            TY_METRICS => {
+                let served = r.u64()?;
+                let rejected = r.u64()?;
+                let queue_depth = r.u32()?;
+                let queue_capacity = r.u32()?;
+                let p50_us = r.u64()?;
+                let p95_us = r.u64()?;
+                let p99_us = r.u64()?;
+                let cache_hits = r.u64()?;
+                let cache_misses = r.u64()?;
+                let cache_evictions = r.u64()?;
+                let cache_entries = r.u32()?;
+                let cache_capacity = r.u32()?;
+                let connections_open = r.u32()?;
+                let connections_accepted = r.u64()?;
+                let pipelined_peak = r.u32()?;
+                let uptime_us = r.u64()?;
+                let rows = r.u16()? as usize;
+                let mut per_generation = Vec::with_capacity(rows.min(1024));
+                for _ in 0..rows {
+                    per_generation.push(GenerationServed {
+                        generation: r.u64()?,
+                        served: r.u64()?,
+                    });
+                }
+                Frame::Metrics(MetricsReport {
+                    served,
+                    rejected,
+                    queue_depth,
+                    queue_capacity,
+                    p50_us,
+                    p95_us,
+                    p99_us,
+                    cache_hits,
+                    cache_misses,
+                    cache_evictions,
+                    cache_entries,
+                    cache_capacity,
+                    connections_open,
+                    connections_accepted,
+                    pipelined_peak,
+                    uptime_us,
+                    per_generation,
+                })
+            }
             other => {
                 return Err(NetError::Protocol(format!(
                     "unknown frame type {other:#04x}"

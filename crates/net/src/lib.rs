@@ -22,14 +22,18 @@
 //!   engine's canonical online order, and typed [`ErrorFrame`]s —
 //!   [`ErrorCode::Busy`] maps `AdmissionError::QueueFull` backpressure
 //!   onto the wire.
-//! * [`OasisServer`] is a thread-per-connection daemon over a shared
-//!   `ServingEngine`: per-request deadlines via
-//!   `QueryTicket::wait_timeout`, admin requests for live stats and
-//!   hot-reloading a new index generation, and graceful shutdown that
-//!   stops accepting, drains admitted work, and closes every stream with
-//!   a terminal frame.
-//! * [`Client`] connects, verifies the handshake, and iterates streamed
-//!   hits as they arrive.
+//! * [`OasisServer`] is an event-driven daemon over a shared
+//!   `ServingEngine`: one nonblocking readiness loop owns every socket,
+//!   connections are **pipelined** (several requests in flight per
+//!   stream, responses in request order), a bounded LRU result cache
+//!   answers repeated queries without re-running the index traversal,
+//!   per-request deadlines are enforced by the loop, and graceful
+//!   shutdown stops accepting, drains admitted work, and closes every
+//!   stream with a terminal frame. The `Metrics` admin frame exposes
+//!   queue depth, cache counters, connection/pipeline counts, and
+//!   latency tails for scraping.
+//! * [`Client`] connects (optionally with a connect timeout), verifies
+//!   the handshake, and iterates streamed hits as they arrive.
 //!
 //! The full wire format is specified in `docs/PROTOCOL.md`.
 //!
@@ -61,14 +65,16 @@
 //! ```
 
 mod client;
+mod conn;
 pub mod frame;
+mod reactor;
 mod server;
 
 pub use client::{Client, HitStream};
 pub use frame::{
-    read_frame, write_frame, AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame, Hello,
-    ReloadDone, ReloadRequest, RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport,
-    MAX_FRAME_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    read_frame, write_frame, AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame,
+    GenerationServed, Hello, MetricsReport, ReloadDone, ReloadRequest, RemoteHit, ScoreRule,
+    SearchDone, SearchRequest, StatsReport, MAX_FRAME_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{OasisServer, ServedIndex, ServerConfig, ServerError, ServerHandle};
 

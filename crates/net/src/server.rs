@@ -1,17 +1,40 @@
-//! The `oasis serve` daemon: a thread-per-connection TCP front end over a
+//! The `oasis serve` daemon: an event-driven TCP front end over a
 //! shared [`ServingEngine`].
 //!
-//! Every connection is greeted with a [`Hello`] frame (protocol version +
-//! serving index generation), then handled request-by-request. Search
-//! requests go through the engine's bounded admission queue — a full
-//! queue answers [`ErrorCode::Busy`] *on the wire* instead of blocking
-//! the socket, which is how the in-process backpressure contract extends
-//! to remote callers. Hits stream back one frame at a time, flushed
-//! eagerly, in the engine's canonical online order — a client can stop
-//! reading after its top-k and pay nothing for the rest of the
-//! transfer. (Execution itself runs through the admission queue to
-//! completion before the response starts; request `top` to make the
-//! *search* stop early too — the engine's online top-k abort.)
+//! One event loop owns every socket. The listener and all client
+//! streams run in nonblocking mode; each tick the loop accepts what is
+//! pending, pulls bytes from every readable connection into its
+//! [`Conn`] state machine, dispatches the complete frames, polls
+//! in-flight query tickets, and flushes whatever responses are ready.
+//! When nothing moves it parks on a [`Completions`] waker, which engine
+//! workers poke through a per-query completion hook
+//! ([`ServingEngine::try_submit_with_notify`]) — the loop never blocks
+//! on a ticket, so thousands of connections cost one thread plus the
+//! engine's worker pool, not a thread per socket.
+//!
+//! Connections are **pipelined**: a client may send several requests
+//! back-to-back before reading, and responses return strictly in
+//! request order even when the engine completes them out of order (the
+//! per-connection queue in [`Conn`] is the ordering mechanism). A
+//! connection may have at most `MAX_PIPELINE` requests in flight;
+//! beyond that the loop stops reading its socket and the TCP window
+//! applies the backpressure. Across connections, the engine's bounded
+//! admission queue still answers [`ErrorCode::Busy`] *on the wire*
+//! instead of blocking, and `max_conns` bounds the accept side: a
+//! connection over the limit is greeted with a terminal `Busy` error
+//! frame and closed.
+//!
+//! In front of admission sits a bounded LRU [`ResultCache`] keyed on
+//! `(generation, query bytes, score params)`. Generations are
+//! immutable — every reload, append, and compaction publishes a *new*
+//! generation id — so a cached result can never go stale: a hot swap
+//! changes the key. Cache hits stream the same hit frames a fresh
+//! execution would, with `service_us = 0`.
+//!
+//! Admin frames (`Stats`, `Metrics`, `Reload`, `Append`) are handled
+//! inline on the loop thread; a reload's artifact load briefly stalls
+//! the loop, which is acceptable for rare admin operations and keeps
+//! every catalog publish serialized with dispatch.
 //!
 //! ## Request-time parameter binding
 //!
@@ -23,7 +46,9 @@
 //! threshold is part of the request once admitted), harmless in the
 //! standard reload flow where generations index the same corpus. Hit
 //! *names*, which must never be inconsistent, are always resolved
-//! against the generation that executed the query (below).
+//! against the generation that executed the query (below), and a
+//! result is only cached when the executing generation still matches
+//! the admission-time key.
 //!
 //! ## Generational consistency
 //!
@@ -34,21 +59,25 @@
 //! actually executed the query — not whichever generation happens to be
 //! current when the response is written. The worker therefore records a
 //! per-request binding (token → the executing generation's database and
-//! id) at execution time, and the connection handler resolves names
-//! through that binding.
+//! id) at execution time, and the loop resolves names through that
+//! binding.
 //!
 //! ## Shutdown
 //!
 //! [`ServerHandle::shutdown`] (or a client [`Frame::Shutdown`] request)
-//! stops the accept loop and closes engine admission. Already-admitted
-//! queries still drain — their connections stream full responses — and
-//! every idle connection is closed with a terminal
-//! [`ErrorCode::ShuttingDown`] frame, so clients can tell a graceful
-//! drain from a crash. [`OasisServer::run`] returns once every
-//! connection handler has exited.
+//! stops the accept loop, closes engine admission, and wakes the event
+//! loop. Already-admitted queries still drain — their connections
+//! stream full responses — and then every connection is closed with a
+//! terminal [`ErrorCode::ShuttingDown`] frame, so clients can tell a
+//! graceful drain from a crash. [`OasisServer::run`] returns once every
+//! connection has drained (or a grace period expires for peers that
+//! stopped reading).
+//!
+//! [`Completions`]: crate::reactor::Completions
+//! [`Conn`]: crate::conn::Conn
+//! [`ServingEngine::try_submit_with_notify`]: oasis_engine::ServingEngine::try_submit_with_notify
 
-use std::collections::{HashMap, HashSet};
-use std::io::{BufWriter, Read, Write};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,19 +86,30 @@ use std::time::{Duration, Instant};
 
 use oasis_align::{background_dna, background_protein, KarlinParams, Score, Scoring};
 use oasis_bioseq::{parse_fasta, AlphabetKind, SequenceDatabase, UnknownResiduePolicy};
-use oasis_core::OasisParams;
+use oasis_core::{Hit, OasisParams};
 use oasis_engine::{
-    disk_engine_from_artifact, sharded_engine_from_artifact, AdmissionError, BatchQuery,
+    disk_engine_from_artifact, sharded_engine_from_artifact, AdmissionError, BatchQuery, CacheKey,
     IndexCatalog, LiveIndex, LiveIndexError, LiveIndexOptions, PublishError, QueryExecutor,
-    SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
+    ResultCache, SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
 };
 use oasis_storage::{read_manifest, replay_wal, ArtifactError, IndexManifest, SectionKind};
 
+use crate::conn::{Conn, WaitingSearch};
 use crate::frame::{
-    decode_header, write_frame, AppendDone, ErrorCode, ErrorFrame, Frame, Hello, ReloadDone,
-    RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, HEADER_LEN, PROTOCOL_VERSION,
+    write_frame, AppendDone, ErrorCode, ErrorFrame, Frame, GenerationServed, Hello, MetricsReport,
+    ReloadDone, RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, PROTOCOL_VERSION,
 };
+use crate::reactor::{Completions, Slab};
 use crate::NetError;
+
+/// Park timeout while connections are open: bounds how fast the loop
+/// notices new socket bytes (completions and shutdown wake it sooner).
+const BUSY_TICK: Duration = Duration::from_millis(1);
+/// Park timeout with no connections: bounds accept latency only.
+const IDLE_TICK: Duration = Duration::from_millis(10);
+/// How long a draining shutdown waits for peers that stopped reading
+/// before force-closing their connections.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 /// One publishable index generation: a query executor plus the database
 /// it serves. The database rides along because the wire protocol names
@@ -171,6 +211,12 @@ pub struct ServerConfig {
     /// off-thread. `0` disables automatic compaction (appends still
     /// work; the WAL and delta just grow until an offline compaction).
     pub compact_after: usize,
+    /// Maximum simultaneously open client connections; a connection
+    /// beyond the limit is greeted with a terminal [`ErrorCode::Busy`]
+    /// frame and closed. `0` = unlimited.
+    pub max_conns: usize,
+    /// Result-cache capacity, in entries. `0` disables the cache.
+    pub cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -180,6 +226,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             pool_bytes: 64 << 20,
             compact_after: 256,
+            max_conns: 1024,
+            cache_entries: 512,
         }
     }
 }
@@ -208,9 +256,9 @@ impl std::fmt::Display for ServerError {
 impl std::error::Error for ServerError {}
 
 /// Per-request execution bindings: which generation actually ran a
-/// token's query. Written by engine workers, consumed by connection
-/// handlers; `abandoned` marks tokens whose handler gave up (deadline)
-/// so late completions don't leak entries.
+/// token's query. Written by engine workers, consumed by the event
+/// loop; `abandoned` marks tokens the loop gave up on (deadline) so
+/// late completions don't leak entries.
 #[derive(Default)]
 struct Bindings {
     done: HashMap<String, (Arc<SequenceDatabase>, u64)>,
@@ -228,7 +276,7 @@ impl NetExec {
     fn take_binding(&self, token: &str) -> Option<(Arc<SequenceDatabase>, u64)> {
         // A poisoned bindings lock is recovered everywhere in this impl:
         // the map stays structurally valid across a panic, and a serving
-        // daemon must not die because one handler thread did.
+        // daemon must not die because one worker thread did.
         self.bindings
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -236,7 +284,7 @@ impl NetExec {
             .remove(token)
     }
 
-    /// The handler stopped waiting for `token` (deadline). If the result
+    /// The loop stopped waiting for `token` (deadline). If the result
     /// already landed, drop it; otherwise flag the token so the worker
     /// discards the binding on arrival.
     fn abandon(&self, token: String) {
@@ -269,8 +317,8 @@ impl QueryExecutor for NetExec {
     }
 }
 
-/// State shared between the accept loop, connection handlers, and
-/// [`ServerHandle`]s.
+/// State shared between the event loop, engine workers (via completion
+/// hooks), and [`ServerHandle`]s.
 struct Shared {
     serving: ServingEngine<NetExec>,
     scoring: Scoring,
@@ -288,6 +336,21 @@ struct Shared {
     compact_after: usize,
     /// In-flight background compaction threads, joined in `run`.
     compactions: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The bounded LRU result cache (capacity 0 = disabled).
+    cache: ResultCache,
+    /// Completion queue + waker the event loop parks on; engine workers
+    /// push finished query tokens here via the completion hook.
+    completions: Arc<Completions>,
+    /// When the server was bound (metrics uptime).
+    started: Instant,
+    /// Connections accepted over the server's lifetime.
+    accepted: AtomicU64,
+    /// Deepest per-connection pipeline observed.
+    pipelined_peak: AtomicU64,
+    /// Searches answered per generation (executions and cache hits).
+    per_gen: Mutex<BTreeMap<u64, u64>>,
+    /// Open-connection bound (`usize::MAX` = unlimited).
+    max_conns: usize,
 }
 
 impl Shared {
@@ -314,10 +377,33 @@ impl Shared {
         // intact, so shutdown never strands an unreplayable append.
         self.exec().catalog.begin_shutdown();
         self.serving.shutdown();
+        // Wake the event loop so an idle server notices immediately.
+        self.completions.wake();
     }
 
     fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Record a pipeline depth; metrics report the high-water mark.
+    fn note_pipeline_depth(&self, depth: usize) {
+        self.pipelined_peak
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Count one answered search against `generation`.
+    fn bump_generation(&self, generation: u64) {
+        let mut per_gen = self.per_gen.lock().unwrap_or_else(PoisonError::into_inner);
+        *per_gen.entry(generation).or_insert(0) += 1;
+    }
+
+    fn per_generation_snapshot(&self) -> Vec<GenerationServed> {
+        self.per_gen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&generation, &served)| GenerationServed { generation, served })
+            .collect()
     }
 
     /// The live index if one is already open (never opens one).
@@ -367,8 +453,9 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Begin a graceful shutdown: stop accepting, close admission, drain
-    /// admitted work, close streams with a terminal frame.
+    /// Begin a graceful shutdown: stop accepting, close admission, wake
+    /// the event loop, drain admitted work, close streams with a
+    /// terminal frame.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
@@ -425,6 +512,17 @@ impl OasisServer {
                 live: Mutex::new(None),
                 compact_after: config.compact_after,
                 compactions: Mutex::new(Vec::new()),
+                cache: ResultCache::new(config.cache_entries),
+                completions: Arc::new(Completions::new()),
+                started: Instant::now(),
+                accepted: AtomicU64::new(0),
+                pipelined_peak: AtomicU64::new(0),
+                per_gen: Mutex::new(BTreeMap::new()),
+                max_conns: if config.max_conns == 0 {
+                    usize::MAX
+                } else {
+                    config.max_conns
+                },
             }),
         })
     }
@@ -481,35 +579,82 @@ impl OasisServer {
         }
     }
 
-    /// Run the accept loop until shutdown, then join every connection
-    /// handler (in-flight responses complete first) and return.
+    /// Run the event loop until shutdown, then drain every connection
+    /// (in-flight responses complete first) and return.
     pub fn run(self) -> std::io::Result<()> {
-        // Non-blocking accept + short sleeps: the loop notices shutdown
-        // within one tick without needing a self-connection to wake it.
         self.listener.set_nonblocking(true)?;
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.shared.is_shutting_down() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = self.shared.clone();
-                    handlers.push(std::thread::spawn(move || {
-                        // Connection-scoped failures (client vanished,
-                        // malformed frames) end that connection only.
-                        let _ = serve_connection(&shared, stream);
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(_) => {
-                    // Transient accept failure (e.g. EMFILE): back off.
-                    std::thread::sleep(Duration::from_millis(50));
+        let shared = &self.shared;
+        let mut conns: Slab<Conn> = Slab::new();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let mut progress = false;
+            let shutting = shared.is_shutting_down();
+            if shutting && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            }
+            if !shutting {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            progress = true;
+                            shared.accepted.fetch_add(1, Ordering::Relaxed);
+                            if conns.len() >= shared.max_conns {
+                                refuse_over_capacity(stream, shared.max_conns);
+                                continue;
+                            }
+                            let Ok(mut conn) = Conn::new(stream) else {
+                                continue; // stillborn socket
+                            };
+                            // Server-first handshake: protocol version +
+                            // serving generation, queued like any response.
+                            conn.push_ready(vec![hello_frame(shared)]);
+                            conns.insert(conn);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        // Transient accept failure (e.g. EMFILE): retry
+                        // next tick rather than spinning here.
+                        Err(_) => break,
+                    }
                 }
             }
-            handlers.retain(|h| !h.is_finished());
-        }
-        for handler in handlers {
-            let _ = handler.join();
+            let notified: HashSet<u64> = shared.completions.drain().into_iter().collect();
+            if !notified.is_empty() {
+                progress = true;
+            }
+            let open = conns.len() as u32;
+            for id in conns.ids() {
+                let Some(conn) = conns.get_mut(id) else {
+                    continue;
+                };
+                match service_conn(shared, conn, &notified, open, shutting) {
+                    ConnFate::Keep(moved) => progress |= moved,
+                    ConnFate::Close => {
+                        conns.remove(id);
+                        progress = true;
+                    }
+                }
+            }
+            if shutting {
+                if conns.is_empty() {
+                    break;
+                }
+                if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                    // Peers that stopped reading their terminal frames:
+                    // force-close rather than wedge shutdown.
+                    for id in conns.ids() {
+                        conns.remove(id);
+                    }
+                    break;
+                }
+            }
+            if !progress {
+                let tick = if conns.is_empty() {
+                    IDLE_TICK
+                } else {
+                    BUSY_TICK
+                };
+                shared.completions.wait_timeout(tick);
+            }
         }
         // Background compactions abort cleanly (their publish is refused
         // once shutdown began) — but they must finish before the process
@@ -535,123 +680,22 @@ fn wal_has_pending(dir: &Path) -> bool {
     }
 }
 
-/// How the tolerant reader left the connection.
-enum Next {
-    /// A complete frame arrived.
-    Frame(Frame),
-    /// The peer closed the connection cleanly.
-    Closed,
-    /// Shutdown began while the connection was idle.
-    ShuttingDown,
+/// The accept-side connection limit was hit: greet the stream with a
+/// terminal `Busy` frame (best-effort, bounded) and drop it.
+fn refuse_over_capacity(stream: TcpStream, max_conns: usize) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_frame(
+        &mut stream,
+        &Frame::Error(ErrorFrame::new(
+            ErrorCode::Busy,
+            format!("connection limit reached ({max_conns} open); retry later"),
+        )),
+    );
 }
 
-/// Read one frame, tolerating read timeouts so the handler can notice
-/// shutdown while idle. Partial reads are preserved across timeout ticks
-/// (a timeout can fire mid-frame without desyncing the stream); a frame
-/// that stalls mid-transfer for `STALL_TICKS` consecutive ticks is
-/// malformed.
-fn next_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Next, NetError> {
-    const STALL_TICKS: u32 = 300; // × 100ms read timeout ≈ 30s
-
-    let mut fill = |buf: &mut [u8], idle_abort: bool| -> Result<Option<()>, NetError> {
-        let mut got = 0usize;
-        let mut idle = 0u32;
-        while got < buf.len() {
-            // oasis-lint: allow(panic-free-serving) — got < buf.len() is the loop condition
-            match stream.read(&mut buf[got..]) {
-                Ok(0) => {
-                    if got == 0 && idle_abort {
-                        return Ok(None); // clean EOF between frames
-                    }
-                    return Err(NetError::Protocol(
-                        "connection closed mid-frame".to_string(),
-                    ));
-                }
-                Ok(n) => {
-                    got += n;
-                    idle = 0;
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if got == 0 && idle_abort && shared.is_shutting_down() {
-                        return Err(NetError::Remote(ErrorFrame::new(
-                            ErrorCode::ShuttingDown,
-                            "server is shutting down",
-                        )));
-                    }
-                    idle += 1;
-                    // A frame that stalls mid-transfer is malformed. Only
-                    // the very start of the *header* may idle forever —
-                    // that is just a quiet connection between requests; a
-                    // payload read (idle_abort=false) is always mid-frame,
-                    // even at got == 0, and must not pin this handler (and
-                    // with it, graceful shutdown) on a half-written frame.
-                    if (got > 0 || !idle_abort) && idle >= STALL_TICKS {
-                        return Err(NetError::Protocol("frame stalled mid-transfer".to_string()));
-                    }
-                }
-                Err(e) => return Err(NetError::Io(e)),
-            }
-        }
-        Ok(Some(()))
-    };
-
-    let mut header = [0u8; HEADER_LEN];
-    match fill(&mut header, true) {
-        Ok(Some(())) => {}
-        Ok(None) => return Ok(Next::Closed),
-        Err(NetError::Remote(e)) if e.code == ErrorCode::ShuttingDown => {
-            return Ok(Next::ShuttingDown)
-        }
-        Err(e) => return Err(e),
-    }
-    let (frame_type, len) = decode_header(header)?;
-    let mut payload = vec![0u8; len as usize];
-    if len > 0 {
-        // idle_abort=false: a clean EOF here is reported as mid-frame.
-        let _ = fill(&mut payload, false)?;
-    }
-    Ok(Next::Frame(Frame::decode(frame_type, &payload)?))
-}
-
-/// Send one frame and flush it immediately (hits must stream online, and
-/// small control frames must not sit in the buffer).
-fn send(writer: &mut BufWriter<TcpStream>, frame: &Frame) -> Result<(), NetError> {
-    write_frame(writer, frame)?;
-    writer.flush()?;
-    Ok(())
-}
-
-fn send_error(
-    writer: &mut BufWriter<TcpStream>,
-    code: ErrorCode,
-    message: impl Into<String>,
-) -> Result<(), NetError> {
-    send(writer, &Frame::Error(ErrorFrame::new(code, message)))
-}
-
-/// Serve one connection to completion.
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), NetError> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::new(stream);
-
-    if shared.is_shutting_down() {
-        // Raced past the accept loop during shutdown: refuse with the
-        // typed terminal frame instead of a greeting.
-        return send_error(
-            &mut writer,
-            ErrorCode::ShuttingDown,
-            "server is shutting down",
-        );
-    }
-
-    // Server-first handshake: protocol version + serving generation.
-    let hello = shared.exec().catalog.with_current_info(|info, index| {
+fn hello_frame(shared: &Shared) -> Frame {
+    shared.exec().catalog.with_current_info(|info, index| {
         Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             generation: info.id,
@@ -660,182 +704,319 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), NetEr
             num_seqs: index.db().num_sequences(),
             total_residues: index.db().total_residues(),
         })
-    });
-    send(&mut writer, &hello)?;
+    })
+}
 
-    loop {
-        match next_frame(&mut reader, shared) {
-            Ok(Next::Closed) => return Ok(()),
-            Ok(Next::ShuttingDown) => {
-                // Terminal frame: a graceful drain, not a crash.
-                return send_error(
-                    &mut writer,
-                    ErrorCode::ShuttingDown,
-                    "server is shutting down",
-                );
+fn error_frames(code: ErrorCode, message: impl Into<String>) -> Vec<Frame> {
+    vec![Frame::Error(ErrorFrame::new(code, message))]
+}
+
+/// What one tick did to a connection.
+enum ConnFate {
+    /// Still alive; the flag reports whether anything moved.
+    Keep(bool),
+    /// Remove and drop the connection.
+    Close,
+}
+
+/// What dispatching one request frame decided.
+enum Action {
+    /// The response is fully known already.
+    Reply(Vec<Frame>),
+    /// A search was admitted; poll it to completion.
+    Wait(Box<WaitingSearch>),
+    /// Answer, then close the connection (protocol misuse).
+    ReplyClose(Vec<Frame>),
+}
+
+/// Service one connection for one tick: ingest bytes, dispatch frames,
+/// poll in-flight searches, flush responses, decide its fate.
+fn service_conn(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    notified: &HashSet<u64>,
+    open: u32,
+    shutting: bool,
+) -> ConnFate {
+    let mut progress = false;
+    if !notified.is_empty() && conn.mark_notified(notified) {
+        progress = true;
+    }
+    let event = conn.read_frames(conn.read_budget());
+    progress |= event.progress;
+    for frame in event.frames {
+        if conn.closing {
+            break; // a terminal reply is already queued; drop the rest
+        }
+        match dispatch(shared, frame, open) {
+            Action::Reply(frames) => conn.push_ready(frames),
+            Action::Wait(waiting) => conn.push_waiting(*waiting),
+            Action::ReplyClose(frames) => {
+                conn.push_ready(frames);
+                conn.closing = true;
             }
-            Ok(Next::Frame(frame)) => match frame {
-                Frame::Search(req) => handle_search(shared, &mut writer, req)?,
-                Frame::StatsRequest => handle_stats(shared, &mut writer)?,
-                Frame::Reload(reload) => handle_reload(shared, &mut writer, &reload.path)?,
-                Frame::Append(append) => handle_append(shared, &mut writer, &append.fasta)?,
-                Frame::Shutdown => {
-                    shared.begin_shutdown();
-                    send(&mut writer, &Frame::ShutdownAck)?;
-                    // The next loop iteration observes the flag and closes
-                    // this stream with the terminal frame too.
+        }
+        progress = true;
+    }
+    shared.note_pipeline_depth(conn.pending.len());
+    if let Some(fatal) = event.fatal {
+        match fatal {
+            // The peer is gone; nothing to answer.
+            NetError::Io(_) => return ConnFate::Close,
+            // Framing violation: typed error after any pending
+            // responses, then close — the stream position is no longer
+            // trustworthy.
+            other => {
+                if !conn.closing {
+                    conn.push_ready(error_frames(ErrorCode::Malformed, other.to_string()));
+                    conn.closing = true;
                 }
-                other => {
-                    // A client sending server-side frames is out of sync;
-                    // answer with a typed error and drop the connection.
-                    send_error(
-                        &mut writer,
-                        ErrorCode::Malformed,
-                        format!("unexpected {} frame from a client", other.kind()),
-                    )?;
-                    return Ok(());
-                }
-            },
-            Err(NetError::Io(e)) => return Err(NetError::Io(e)), // client gone
-            Err(e) => {
-                // Malformed or truncated input: typed error, then close —
-                // the stream position is no longer trustworthy.
-                let _ = send_error(&mut writer, ErrorCode::Malformed, e.to_string());
-                return Ok(());
+                progress = true;
             }
+        }
+    }
+    if conn.has_waiting() {
+        let now = Instant::now();
+        progress |= conn.poll_waiting(|waiting| resolve_waiting(shared, waiting, now));
+    }
+    if shutting && !conn.term_queued && !conn.has_waiting() {
+        // In-flight work has drained: close with the typed terminal
+        // frame (after any still-unflushed responses), so clients can
+        // tell a graceful drain from a crash.
+        conn.push_ready(error_frames(
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        ));
+        conn.term_queued = true;
+        conn.closing = true;
+        progress = true;
+    }
+    match conn.flush() {
+        Ok(wrote) => progress |= wrote,
+        Err(_) => return ConnFate::Close, // client gone mid-response
+    }
+    if conn.is_drained() && (conn.closing || conn.peer_eof) {
+        return ConnFate::Close;
+    }
+    ConnFate::Keep(progress)
+}
+
+/// Decide how to answer one client frame. Runs on the event loop, so it
+/// must not block on engine work — searches are admitted with a
+/// completion hook and polled later.
+fn dispatch(shared: &Arc<Shared>, frame: Frame, open: u32) -> Action {
+    match frame {
+        Frame::Search(req) => dispatch_search(shared, req),
+        Frame::StatsRequest => Action::Reply(vec![stats_frame(shared)]),
+        Frame::MetricsRequest => Action::Reply(vec![metrics_frame(shared, open)]),
+        Frame::Reload(reload) => Action::Reply(handle_reload(shared, &reload.path)),
+        Frame::Append(append) => Action::Reply(handle_append(shared, &append.fasta)),
+        Frame::Shutdown => {
+            shared.begin_shutdown();
+            // The ack flushes first; the loop's shutdown pass then adds
+            // the terminal frame and closes this stream too.
+            Action::Reply(vec![Frame::ShutdownAck])
+        }
+        other => {
+            // A client sending server-side frames is out of sync;
+            // answer with a typed error and drop the connection.
+            Action::ReplyClose(error_frames(
+                ErrorCode::Malformed,
+                format!("unexpected {} frame from a client", other.kind()),
+            ))
         }
     }
 }
 
-/// Run one search request end to end: admission, deadline-aware wait,
-/// and the streamed response.
-fn handle_search(
-    shared: &Arc<Shared>,
-    writer: &mut BufWriter<TcpStream>,
-    req: SearchRequest,
-) -> Result<(), NetError> {
+/// Admit one search: resolve its parameters against the current
+/// generation, consult the result cache, and either answer immediately
+/// (cache hit, parameter error, admission refusal) or hand back the
+/// in-flight state the loop will poll.
+fn dispatch_search(shared: &Arc<Shared>, req: SearchRequest) -> Action {
     // Encode with the current generation's alphabet and derive minScore
     // against its database (the serving alphabet is authoritative, like
-    // the artifact alphabet on the local --index path).
-    let db = shared
+    // the artifact alphabet on the local --index path). One snapshot
+    // covers both plus the cache key's generation id.
+    let (db, generation) = shared
         .exec()
         .catalog
-        .with_current(|index| index.db().clone());
+        .with_current_info(|info, index| (index.db().clone(), info.id));
     let encoded = match db.alphabet().encode_str(&req.query) {
         Ok(encoded) => encoded,
-        Err(e) => return send_error(writer, ErrorCode::Malformed, format!("query: {e}")),
+        Err(e) => return Action::Reply(error_frames(ErrorCode::Malformed, format!("query: {e}"))),
     };
     let min_score: Score = match req.rule {
         ScoreRule::MinScore(s) if s >= 1 => s,
         ScoreRule::MinScore(s) => {
-            return send_error(
-                writer,
+            return Action::Reply(error_frames(
                 ErrorCode::Malformed,
                 format!("minScore must be at least 1 (got {s})"),
-            )
+            ))
         }
         ScoreRule::Evalue(e) if e.is_finite() && e > 0.0 => match &shared.karlin {
             Some(karlin) => {
                 karlin.min_score_for_evalue(encoded.len() as u64, db.total_residues(), e)
             }
             None => {
-                return send_error(
-                    writer,
+                return Action::Reply(error_frames(
                     ErrorCode::Internal,
                     "Karlin-Altschul statistics unavailable for the serving matrix; \
                      use an explicit minScore",
-                )
+                ))
             }
         },
         ScoreRule::Evalue(e) => {
-            return send_error(
-                writer,
+            return Action::Reply(error_frames(
                 ErrorCode::Malformed,
                 format!("E-value must be finite and positive (got {e})"),
-            )
+            ))
         }
     };
+
+    let key = CacheKey {
+        generation,
+        query: encoded.clone(),
+        min_score,
+        all_occurrences: req.all_occurrences,
+        limit: req.top,
+    };
+    if let Some(cached) = shared.cache.get(&key) {
+        // The key's generation is the *current* generation, so the
+        // snapshot `db` is exactly the one the cached hits were named
+        // against. Cache hits report zero service time.
+        shared.bump_generation(generation);
+        let mut frames = hit_frames(&db, &cached);
+        frames.push(Frame::Done(SearchDone {
+            hits: cached.len() as u32,
+            min_score,
+            generation,
+            service_us: 0,
+            total_us: 0,
+        }));
+        return Action::Reply(frames);
+    }
+
     let mut params = OasisParams::with_min_score(min_score);
     if req.all_occurrences {
         params = params.all_occurrences();
     }
-
-    let token = shared
-        .next_token
-        .fetch_add(1, Ordering::Relaxed)
-        .to_string();
-    let mut job = BatchQuery::named(token.clone(), encoded, params);
+    let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
+    let mut job = BatchQuery::named(token.to_string(), encoded, params);
     if let Some(top) = req.top {
         job = job.with_limit(top as usize);
     }
     let submitted = Instant::now();
-    let ticket = match shared.serving.try_submit(job) {
+    let completions = Arc::clone(&shared.completions);
+    let ticket = match shared
+        .serving
+        .try_submit_with_notify(job, Box::new(move || completions.push(token)))
+    {
         Ok(ticket) => ticket,
         Err(AdmissionError::QueueFull { capacity }) => {
-            return send_error(
-                writer,
+            return Action::Reply(error_frames(
                 ErrorCode::Busy,
                 format!("admission queue full ({capacity} queries queued); retry later"),
-            )
+            ))
         }
         Err(AdmissionError::ShuttingDown) => {
-            return send_error(writer, ErrorCode::ShuttingDown, "server is shutting down")
+            return Action::Reply(error_frames(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            ))
         }
     };
-    let served = if let Some(ms) = req.deadline_ms {
-        match ticket.wait_timeout(Duration::from_millis(ms as u64)) {
-            None => {
-                // The query keeps running (admitted work is never
-                // cancelled) but nobody will read its binding: mark the
-                // token abandoned so the worker drops it on completion.
-                shared.exec().abandon(token);
-                return send_error(
-                    writer,
-                    ErrorCode::DeadlineExceeded,
-                    format!("deadline of {ms} ms elapsed ({:?} in)", submitted.elapsed()),
-                );
+    Action::Wait(Box::new(WaitingSearch {
+        token,
+        ticket,
+        notified: false,
+        deadline: req
+            .deadline_ms
+            .map(|ms| submitted + Duration::from_millis(ms as u64)),
+        deadline_ms: req.deadline_ms,
+        submitted,
+        cache_key: Some(key),
+        min_score,
+        fallback_db: db,
+    }))
+}
+
+/// Poll one in-flight search: `Some(frames)` once it completed, died,
+/// or blew its deadline; `None` while still executing.
+fn resolve_waiting(
+    shared: &Arc<Shared>,
+    waiting: &mut WaitingSearch,
+    now: Instant,
+) -> Option<Vec<Frame>> {
+    let token = waiting.token.to_string();
+    if let Some(served) = waiting.ticket.try_take() {
+        // Name hits against the generation that actually executed the
+        // query.
+        let (gen_db, generation) = shared
+            .exec()
+            .take_binding(&token)
+            .unwrap_or_else(|| (waiting.fallback_db.clone(), 0));
+        if let Some(key) = waiting.cache_key.take() {
+            // Cache only when the executing generation still matches
+            // the admission-time key — a reload that landed in between
+            // must not file this result under a generation it was not
+            // computed on.
+            if key.generation == generation {
+                shared.cache.insert(key, served.outcome.hits.clone());
             }
-            Some(outcome) => outcome,
         }
-    } else {
-        ticket.wait()
-    };
-    let Some(served) = served else {
+        shared.bump_generation(generation);
+        let mut frames = hit_frames(&gen_db, &served.outcome.hits);
+        frames.push(Frame::Done(SearchDone {
+            hits: served.outcome.hits.len() as u32,
+            min_score: waiting.min_score,
+            generation,
+            service_us: served.service.as_micros() as u64,
+            total_us: served.total.as_micros() as u64,
+        }));
+        return Some(frames);
+    }
+    if waiting.notified {
+        // The completion hook fired but the ticket is empty: the query
+        // panicked (the hook runs strictly after the outcome send).
         shared.exec().forget(&token);
-        return send_error(writer, ErrorCode::Internal, "query execution failed");
-    };
-    // Name hits against the generation that actually executed the query.
-    let (gen_db, generation) = shared
-        .exec()
-        .take_binding(&token)
-        .unwrap_or_else(|| (db.clone(), 0));
-    let hits = served.outcome.hits.len() as u32;
-    for hit in &served.outcome.hits {
-        send(
-            writer,
-            &Frame::Hit(RemoteHit {
+        return Some(error_frames(ErrorCode::Internal, "query execution failed"));
+    }
+    if let Some(deadline) = waiting.deadline {
+        if now >= deadline {
+            // The query keeps running (admitted work is never
+            // cancelled) but nobody will read its binding: mark the
+            // token abandoned so the worker drops it on completion.
+            shared.exec().abandon(token);
+            let ms = waiting.deadline_ms.unwrap_or(0);
+            return Some(error_frames(
+                ErrorCode::DeadlineExceeded,
+                format!(
+                    "deadline of {ms} ms elapsed ({:?} in)",
+                    waiting.submitted.elapsed()
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// Hit frames for `hits`, named against `db`.
+fn hit_frames(db: &Arc<SequenceDatabase>, hits: &[Hit]) -> Vec<Frame> {
+    hits.iter()
+        .map(|hit| {
+            Frame::Hit(RemoteHit {
                 seq: hit.seq,
                 score: hit.score,
                 t_start: hit.t_start,
                 t_len: hit.t_len,
                 q_end: hit.q_end,
-                name: gen_db.name(hit.seq).to_string(),
-            }),
-        )?;
-    }
-    send(
-        writer,
-        &Frame::Done(SearchDone {
-            hits,
-            min_score,
-            generation,
-            service_us: served.service.as_micros() as u64,
-            total_us: served.total.as_micros() as u64,
-        }),
-    )
+                name: db.name(hit.seq).to_string(),
+            })
+        })
+        .collect()
 }
 
-fn handle_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> Result<(), NetError> {
+fn stats_frame(shared: &Shared) -> Frame {
     let stats = shared.serving.stats();
     let latency = shared.serving.latency_summary();
     let info = shared.exec().catalog.current_info();
@@ -843,77 +1024,88 @@ fn handle_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> Resu
     // stats never force one open (all zeros until the first append or
     // WAL replay).
     let live = shared.live_peek().map(|l| l.stats()).unwrap_or_default();
-    send(
-        writer,
-        &Frame::Stats(StatsReport {
-            served: stats.served,
-            rejected: stats.rejected,
-            queue_depth: shared.serving.queue_depth() as u32,
-            queue_capacity: shared.serving.queue_capacity() as u32,
-            latency_count: latency.count as u64,
-            p50_us: latency.p50.as_micros() as u64,
-            p95_us: latency.p95.as_micros() as u64,
-            p99_us: latency.p99.as_micros() as u64,
-            max_us: latency.max.as_micros() as u64,
-            generation: info.id,
-            generation_label: info.label,
-            delta_seqs: live.delta_seqs,
-            delta_residues: live.delta_residues,
-            wal_bytes: live.wal_bytes,
-            compactions: live.compactions,
-            last_compaction_us: live.last_compaction_micros,
-        }),
-    )
+    Frame::Stats(StatsReport {
+        served: stats.served,
+        rejected: stats.rejected,
+        queue_depth: shared.serving.queue_depth() as u32,
+        queue_capacity: shared.serving.queue_capacity() as u32,
+        latency_count: latency.count as u64,
+        p50_us: latency.p50.as_micros() as u64,
+        p95_us: latency.p95.as_micros() as u64,
+        p99_us: latency.p99.as_micros() as u64,
+        max_us: latency.max.as_micros() as u64,
+        generation: info.id,
+        generation_label: info.label,
+        delta_seqs: live.delta_seqs,
+        delta_residues: live.delta_residues,
+        wal_bytes: live.wal_bytes,
+        compactions: live.compactions,
+        last_compaction_us: live.last_compaction_micros,
+    })
 }
 
-fn handle_reload(
-    shared: &Arc<Shared>,
-    writer: &mut BufWriter<TcpStream>,
-    path: &str,
-) -> Result<(), NetError> {
+fn metrics_frame(shared: &Shared, open: u32) -> Frame {
+    let stats = shared.serving.stats();
+    let latency = shared.serving.latency_summary();
+    let cache = shared.cache.stats();
+    Frame::Metrics(MetricsReport {
+        served: stats.served,
+        rejected: stats.rejected,
+        queue_depth: shared.serving.queue_depth() as u32,
+        queue_capacity: shared.serving.queue_capacity() as u32,
+        p50_us: latency.p50.as_micros() as u64,
+        p95_us: latency.p95.as_micros() as u64,
+        p99_us: latency.p99.as_micros() as u64,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        cache_entries: cache.entries,
+        cache_capacity: cache.capacity,
+        connections_open: open,
+        connections_accepted: shared.accepted.load(Ordering::Relaxed),
+        pipelined_peak: shared
+            .pipelined_peak
+            .load(Ordering::Relaxed)
+            .min(u32::MAX as u64) as u32,
+        uptime_us: shared.started.elapsed().as_micros() as u64,
+        per_generation: shared.per_generation_snapshot(),
+    })
+}
+
+fn handle_reload(shared: &Arc<Shared>, path: &str) -> Vec<Frame> {
     match ServedIndex::from_artifact(Path::new(path), shared.scoring.clone(), shared.pool_bytes) {
         Ok(index) => match shared.exec().catalog.publish(path, index) {
             Ok(generation) => {
                 eprintln!("oasis-net: published generation {generation} from {path}");
-                send(
-                    writer,
-                    &Frame::Reloaded(ReloadDone {
-                        generation,
-                        label: path.to_string(),
-                    }),
-                )
+                vec![Frame::Reloaded(ReloadDone {
+                    generation,
+                    label: path.to_string(),
+                })]
             }
-            Err(e @ PublishError::ShuttingDown) => send_error(
-                writer,
-                ErrorCode::ShuttingDown,
-                format!("reload {path}: {e}"),
-            ),
+            Err(e @ PublishError::ShuttingDown) => {
+                error_frames(ErrorCode::ShuttingDown, format!("reload {path}: {e}"))
+            }
         },
-        Err(e) => send_error(writer, ErrorCode::Internal, format!("reload {path}: {e}")),
+        Err(e) => error_frames(ErrorCode::Internal, format!("reload {path}: {e}")),
     }
 }
 
 /// Run one append request: parse, WAL-log, fold into the live snapshot,
 /// publish the layered generation, and maybe kick a background
 /// compaction.
-fn handle_append(
-    shared: &Arc<Shared>,
-    writer: &mut BufWriter<TcpStream>,
-    fasta: &str,
-) -> Result<(), NetError> {
+fn handle_append(shared: &Arc<Shared>, fasta: &str) -> Vec<Frame> {
     if shared.is_shutting_down() {
-        return send_error(writer, ErrorCode::ShuttingDown, "server is shutting down");
+        return error_frames(ErrorCode::ShuttingDown, "server is shutting down");
     }
     let live = match shared.live_open() {
         Ok(Some(live)) => live,
         Ok(None) => {
-            return send_error(
-                writer,
+            return error_frames(
                 ErrorCode::Malformed,
                 "this server has no live-ingestion directory (append unsupported)",
             )
         }
-        Err(e) => return send_error(writer, ErrorCode::Internal, format!("append: {e}")),
+        Err(e) => return error_frames(ErrorCode::Internal, format!("append: {e}")),
     };
     // The serving alphabet is authoritative for parsing, exactly as on
     // the search path.
@@ -922,18 +1114,14 @@ fn handle_append(
     // and `load_db` paths (queries use Reject; appends are database).
     let seqs = match parse_fasta(fasta.as_bytes(), &alphabet, UnknownResiduePolicy::Skip) {
         Ok(seqs) if seqs.is_empty() => {
-            return send_error(
-                writer,
-                ErrorCode::Malformed,
-                "append: no sequences in FASTA",
-            )
+            return error_frames(ErrorCode::Malformed, "append: no sequences in FASTA")
         }
         Ok(seqs) => seqs,
-        Err(e) => return send_error(writer, ErrorCode::Malformed, format!("append: {e}")),
+        Err(e) => return error_frames(ErrorCode::Malformed, format!("append: {e}")),
     };
     let receipt = match live.append(seqs) {
         Ok(receipt) => receipt,
-        Err(e) => return send_error(writer, ErrorCode::Internal, format!("append: {e}")),
+        Err(e) => return error_frames(ErrorCode::Internal, format!("append: {e}")),
     };
     // Publish the fresh layered snapshot so queries (and hit naming) see
     // the appended sequences. The snapshot's database is the concatenated
@@ -949,21 +1137,18 @@ fn handle_append(
         Err(e @ PublishError::ShuttingDown) => {
             // The append is durable (WAL + delta); only the publication
             // lost the race. The restart replays it.
-            return send_error(writer, ErrorCode::ShuttingDown, format!("append: {e}"));
+            return error_frames(ErrorCode::ShuttingDown, format!("append: {e}"));
         }
     };
     maybe_spawn_compaction(shared, &live);
-    send(
-        writer,
-        &Frame::Appended(AppendDone {
-            appended_seqs: receipt.appended_seqs,
-            appended_residues: receipt.appended_residues,
-            delta_seqs: receipt.stats.delta_seqs,
-            delta_residues: receipt.stats.delta_residues,
-            wal_bytes: receipt.stats.wal_bytes,
-            generation,
-        }),
-    )
+    vec![Frame::Appended(AppendDone {
+        appended_seqs: receipt.appended_seqs,
+        appended_residues: receipt.appended_residues,
+        delta_seqs: receipt.stats.delta_seqs,
+        delta_residues: receipt.stats.delta_residues,
+        wal_bytes: receipt.stats.wal_bytes,
+        generation,
+    })]
 }
 
 /// Spawn a background compaction when the delta crossed the configured

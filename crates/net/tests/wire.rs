@@ -6,8 +6,9 @@
 use oasis_bioseq::AlphabetKind;
 use oasis_net::frame::{read_frame, write_frame};
 use oasis_net::{
-    AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame, Hello, NetError, ReloadDone,
-    ReloadRequest, RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, MAX_FRAME_BYTES,
+    AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame, GenerationServed, Hello,
+    MetricsReport, NetError, ReloadDone, ReloadRequest, RemoteHit, ScoreRule, SearchDone,
+    SearchRequest, StatsReport, MAX_FRAME_BYTES,
 };
 use proptest::prelude::*;
 
@@ -187,6 +188,37 @@ proptest! {
     }
 
     #[test]
+    fn metrics_roundtrips(served in 0u64..u64::MAX, rejected in 0u64..u64::MAX,
+                          depth in 0u32..u32::MAX, cap in 0u32..u32::MAX,
+                          p50 in 0u64..u64::MAX, p95 in 0u64..u64::MAX,
+                          p99 in 0u64..u64::MAX, hits in 0u64..u64::MAX,
+                          misses in 0u64..u64::MAX, evictions in 0u64..u64::MAX,
+                          entries in 0u32..u32::MAX, cache_cap in 0u32..u32::MAX,
+                          open in 0u32..u32::MAX, accepted in 0u64..u64::MAX,
+                          peak in 0u32..u32::MAX, uptime in 0u64..u64::MAX,
+                          gens in 0usize..5, gen_seed in 0u64..u64::MAX) {
+        let per_generation = (0..gens)
+            .map(|i| GenerationServed {
+                generation: gen_seed.wrapping_add(i as u64),
+                served: gen_seed.rotate_left(i as u32),
+            })
+            .collect();
+        let frame = Frame::Metrics(MetricsReport {
+            served, rejected,
+            queue_depth: depth, queue_capacity: cap,
+            p50_us: p50, p95_us: p95, p99_us: p99,
+            cache_hits: hits, cache_misses: misses, cache_evictions: evictions,
+            cache_entries: entries, cache_capacity: cache_cap,
+            connections_open: open, connections_accepted: accepted,
+            pipelined_peak: peak,
+            uptime_us: uptime,
+            per_generation,
+        });
+        prop_assert_eq!(roundtrip(&frame), frame.clone());
+        assert_prefixes_rejected(&frame);
+    }
+
+    #[test]
     fn reload_frames_roundtrip(seed in 0u64..u64::MAX, generation in 0u64..u64::MAX) {
         let reload = Frame::Reload(ReloadRequest { path: string_from(seed, 120) });
         prop_assert_eq!(roundtrip(&reload), reload.clone());
@@ -202,7 +234,12 @@ proptest! {
 
 #[test]
 fn empty_payload_frames_roundtrip() {
-    for frame in [Frame::StatsRequest, Frame::Shutdown, Frame::ShutdownAck] {
+    for frame in [
+        Frame::StatsRequest,
+        Frame::MetricsRequest,
+        Frame::Shutdown,
+        Frame::ShutdownAck,
+    ] {
         assert_eq!(roundtrip(&frame), frame);
         assert_prefixes_rejected(&frame);
     }

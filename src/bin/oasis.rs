@@ -11,7 +11,7 @@
 //! oasis search --index <dir> <QUERY> [options]
 //! oasis serve  --index <dir> --addr <host:port> [options]
 //! oasis query  --remote <host:port> <QUERY> [options]
-//! oasis admin  --remote <host:port> stats|reload <dir>|append <fasta>|shutdown
+//! oasis admin  --remote <host:port> stats|metrics|reload <dir>|append <fasta>|shutdown
 //! oasis info   <index.oasis>
 //! ```
 //!
@@ -33,10 +33,12 @@
 //!
 //! The network trio makes the serving stack an actual service: `serve`
 //! exposes an index artifact over the versioned wire protocol of
-//! `oasis-net` (bounded admission with `Busy` backpressure, per-request
-//! deadlines, hot `reload` of a new index generation), `query --remote`
-//! streams hits from such a server with stdout byte-identical to a local
-//! `search`, and `admin` issues stats/reload/shutdown requests.
+//! `oasis-net` through one event-driven readiness loop (pipelined
+//! connections, bounded admission with `Busy` backpressure, a bounded
+//! LRU result cache, per-request deadlines, hot `reload` of a new index
+//! generation), `query --remote` streams hits from such a server with
+//! stdout byte-identical to a local `search`, and `admin` issues
+//! stats/metrics/reload/append/shutdown requests.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -65,14 +67,16 @@ USAGE:
                [--block-size N] [--backend tree|esa]
   oasis serve  --index <dir> --addr <host:port> [--workers N] [--queue N]
                [--pool-mb M] [--matrix unit|blosum62|pam30] [--gap G]
-               [--compact-after N]
+               [--compact-after N] [--max-conns N] [--cache-entries N]
   oasis query  --remote <host:port> <QUERY> [--evalue E | --min-score S]
-               [--top K] [--deadline-ms D]
+               [--top K] [--deadline-ms D] [--timeout-ms T]
   oasis query  --remote <host:port> --queries <queries.fasta> [same options]
   oasis admin  --remote <host:port> stats
+  oasis admin  --remote <host:port> metrics
   oasis admin  --remote <host:port> reload <dir>
   oasis admin  --remote <host:port> append <queries.fasta>
   oasis admin  --remote <host:port> shutdown
+               (admin also accepts [--timeout-ms T])
   oasis info   <index.oasis> [--block-size N]
   oasis lint   [--json] [--root <DIR>]
 
@@ -106,11 +110,16 @@ sequences next to an artifact: later `search --index`/`serve` runs
 replay them into a layered (base + delta) index with results
 byte-identical to a full rebuild, and `--compact` (or a server's
 background compaction) folds them into a fresh base artifact. `serve`
-exposes an artifact over TCP (the oasis-net wire protocol): bounded
+exposes an artifact over TCP (the oasis-net wire protocol) through one
+event-driven readiness loop: connections are pipelined (several
+requests in flight per stream, responses in request order), bounded
 admission answers Busy backpressure instead of queueing unboundedly,
-requests may carry deadlines, and `admin reload` hot-swaps a freshly
-loaded artifact generation under live traffic. `query --remote` runs a
-search against such a server; its stdout is byte-identical to a local
+--max-conns (default 1024; 0 unlimited) caps concurrent connections, a
+bounded LRU result cache (--cache-entries, default 512; 0 disables)
+answers repeated queries without re-running the traversal, requests
+may carry deadlines, and `admin reload` hot-swaps a freshly loaded
+artifact generation under live traffic. `query --remote` runs a search
+against such a server; its stdout is byte-identical to a local
 `search` over the same index (the scoring is fixed server-side at
 `serve` time). With port 0, `serve` prints the actual listening address
 on stdout. `admin append` durably appends FASTA sequences to the
@@ -118,6 +127,14 @@ serving index over the wire: they are WAL-logged server-side and
 answering queries before the call returns, and once the delta reaches
 --compact-after sequences (default 256; 0 disables) a background
 compaction folds them into a fresh base generation with zero downtime.
+`admin metrics` scrapes the front door — queue depth, cache
+hit/miss/eviction counters, connection and pipeline gauges, latency
+tails, and per-generation served counts — while `admin stats` keeps
+the index-centric view (delta/WAL/compaction) plus the cache and
+connection gauges, both through one aligned table format. Remote
+commands bound connection setup with --timeout-ms (default 10000;
+0 waits forever; given explicitly, it also bounds every response
+wait).
 
 `lint` runs the workspace invariant checker (oasis-lint) over this
 repository's own sources — serving-path panic-freedom, lock discipline,
@@ -176,6 +193,9 @@ struct Flags {
     deadline_ms: Option<u32>,
     backend: Option<String>,
     compact_after: Option<usize>,
+    max_conns: Option<usize>,
+    cache_entries: Option<usize>,
+    timeout_ms: Option<u64>,
     json: bool,
     compact: bool,
 }
@@ -246,6 +266,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         deadline_ms: None,
         backend: None,
         compact_after: None,
+        max_conns: None,
+        cache_entries: None,
+        timeout_ms: None,
         json: false,
         compact: false,
     };
@@ -329,6 +352,27 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     value("--compact-after")?
                         .parse()
                         .map_err(|e| format!("--compact-after: {e}"))?,
+                )
+            }
+            "--max-conns" => {
+                f.max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|e| format!("--max-conns: {e}"))?,
+                )
+            }
+            "--cache-entries" => {
+                f.cache_entries = Some(
+                    value("--cache-entries")?
+                        .parse()
+                        .map_err(|e| format!("--cache-entries: {e}"))?,
+                )
+            }
+            "--timeout-ms" => {
+                f.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
                 )
             }
             "--json" => f.json = true,
@@ -1336,6 +1380,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_capacity: flags.queue.unwrap_or(64),
         pool_bytes: flags.pool_bytes(),
         compact_after: flags.compact_after.unwrap_or(256),
+        max_conns: flags.max_conns.unwrap_or(1024),
+        cache_entries: flags.cache_entries.unwrap_or(512),
     };
     let server = oasis::net::OasisServer::bind(addr.as_str(), served, scoring, config)
         .map_err(|e| e.to_string())?;
@@ -1391,6 +1437,27 @@ fn print_remote_hit(hit: &oasis::net::RemoteHit) {
     println!("{}", hit_line(&hit.name, &hit.hit()));
 }
 
+/// Connect to a remote server with the TCP connect and the Hello
+/// handshake bounded by `--timeout-ms` (default 10 000 ms; 0 waits
+/// forever). Once connected, response waits stay bounded only when the
+/// flag was given explicitly — a search or reload may legitimately run
+/// longer than any connection-setup budget.
+fn connect_remote(flags: &Flags, addr: &str) -> Result<oasis::net::Client, String> {
+    let ms = flags.timeout_ms.unwrap_or(10_000);
+    let client = if ms == 0 {
+        oasis::net::Client::connect(addr)
+    } else {
+        oasis::net::Client::connect_timeout(addr, std::time::Duration::from_millis(ms))
+    }
+    .map_err(|e| format!("{addr}: {e}"))?;
+    if flags.timeout_ms.is_none() {
+        client
+            .set_read_timeout(None)
+            .map_err(|e| format!("{addr}: {e}"))?;
+    }
+    Ok(client)
+}
+
 /// Run a search against a remote `oasis serve` daemon. Stdout is
 /// byte-identical to the local `search` paths over the same index.
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -1399,8 +1466,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .remote
         .clone()
         .ok_or("query requires --remote <host:port>")?;
-    let mut client =
-        oasis::net::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let mut client = connect_remote(&flags, addr.as_str())?;
     eprintln!(
         "connected: protocol v{}, generation {} ({}), {} sequences / {} residues",
         client.hello().protocol,
@@ -1507,15 +1573,42 @@ fn query_batch(
     Ok(())
 }
 
-/// Admin requests against a running server: stats, reload, shutdown.
+/// One aligned `label:   value` row of the admin tables. Both `admin
+/// stats` and `admin metrics` print through this single formatter so
+/// the two reports line up identically (labels padded to column 14).
+fn admin_row(label: &str, value: impl std::fmt::Display) {
+    println!("{:<14}{value}", format!("{label}:"));
+}
+
+/// The cache / connection / pipeline gauges shared by the `stats` and
+/// `metrics` tables.
+fn print_front_door_rows(m: &oasis::net::MetricsReport) {
+    admin_row(
+        "cache",
+        format_args!(
+            "{} hits / {} misses / {} evictions ({}/{} entries)",
+            m.cache_hits, m.cache_misses, m.cache_evictions, m.cache_entries, m.cache_capacity
+        ),
+    );
+    admin_row(
+        "connections",
+        format_args!(
+            "{} open / {} accepted",
+            m.connections_open, m.connections_accepted
+        ),
+    );
+    admin_row("pipelined", format_args!("peak {}", m.pipelined_peak));
+}
+
+/// Admin requests against a running server: stats, metrics, reload,
+/// append, shutdown.
 fn cmd_admin(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let addr = flags
         .remote
         .clone()
         .ok_or("admin requires --remote <host:port>")?;
-    let mut client =
-        oasis::net::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let mut client = connect_remote(&flags, addr.as_str())?;
     match flags
         .positional
         .iter()
@@ -1525,35 +1618,74 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
     {
         ["stats"] => {
             let stats = client.stats().map_err(|e| e.to_string())?;
+            let metrics = client.metrics().map_err(|e| e.to_string())?;
             let us = std::time::Duration::from_micros;
-            println!(
-                "generation:   {} ({})",
-                stats.generation, stats.generation_label
+            admin_row(
+                "generation",
+                format_args!("{} ({})", stats.generation, stats.generation_label),
             );
-            println!("served:       {}", stats.served);
-            println!("rejected:     {}", stats.rejected);
-            println!(
-                "queue:        {}/{}",
-                stats.queue_depth, stats.queue_capacity
+            admin_row("served", stats.served);
+            admin_row("rejected", stats.rejected);
+            admin_row(
+                "queue",
+                format_args!("{}/{}", stats.queue_depth, stats.queue_capacity),
             );
-            println!(
-                "latency:      p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?} ({} samples)",
-                us(stats.p50_us),
-                us(stats.p95_us),
-                us(stats.p99_us),
-                us(stats.max_us),
-                stats.latency_count
+            admin_row(
+                "latency",
+                format_args!(
+                    "p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?} ({} samples)",
+                    us(stats.p50_us),
+                    us(stats.p95_us),
+                    us(stats.p99_us),
+                    us(stats.max_us),
+                    stats.latency_count
+                ),
             );
-            println!(
-                "delta:        {} sequence(s) / {} residues",
-                stats.delta_seqs, stats.delta_residues
+            admin_row(
+                "delta",
+                format_args!(
+                    "{} sequence(s) / {} residues",
+                    stats.delta_seqs, stats.delta_residues
+                ),
             );
-            println!("wal:          {} bytes", stats.wal_bytes);
-            println!(
-                "compactions:  {} (last took {:.2?})",
-                stats.compactions,
-                us(stats.last_compaction_us)
+            admin_row("wal", format_args!("{} bytes", stats.wal_bytes));
+            admin_row(
+                "compactions",
+                format_args!(
+                    "{} (last took {:.2?})",
+                    stats.compactions,
+                    us(stats.last_compaction_us)
+                ),
             );
+            print_front_door_rows(&metrics);
+            Ok(())
+        }
+        ["metrics"] => {
+            let m = client.metrics().map_err(|e| e.to_string())?;
+            let us = std::time::Duration::from_micros;
+            admin_row("served", m.served);
+            admin_row("rejected", m.rejected);
+            admin_row(
+                "queue",
+                format_args!("{}/{}", m.queue_depth, m.queue_capacity),
+            );
+            admin_row(
+                "latency",
+                format_args!(
+                    "p50 {:.2?}  p95 {:.2?}  p99 {:.2?}",
+                    us(m.p50_us),
+                    us(m.p95_us),
+                    us(m.p99_us)
+                ),
+            );
+            print_front_door_rows(&m);
+            admin_row("uptime", format_args!("{:.2?}", us(m.uptime_us)));
+            for g in &m.per_generation {
+                admin_row(
+                    &format!("gen {}", g.generation),
+                    format_args!("{} served", g.served),
+                );
+            }
             Ok(())
         }
         ["reload", dir] => {
@@ -1582,9 +1714,8 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
             println!("server is shutting down");
             Ok(())
         }
-        _ => Err(
-            "usage: oasis admin --remote <host:port> stats|reload <dir>|append <fasta>|shutdown"
-                .to_string(),
-        ),
+        _ => Err("usage: oasis admin --remote <host:port> \
+                  stats|metrics|reload <dir>|append <fasta>|shutdown"
+            .to_string()),
     }
 }

@@ -27,17 +27,17 @@ pub use oasis_core::{
 pub use oasis_engine::{
     build_index_artifact, compact_artifact, disk_engine_from_artifact, load_sharded_engine,
     persist_sharded_engine, sharded_engine_from_artifact, AdmissionError, AppendReceipt,
-    BatchQuery, CompactionReport, DeltaIndex, GenerationInfo, IndexBackend, IndexCatalog,
-    LatencySummary, LayeredExecutor, LiveIndex, LiveIndexError, LiveIndexOptions, LiveStats,
-    OasisEngine, PublishError, QueryExecutor, QuerySession, QueryTicket, SearchOutcome,
-    ServedOutcome, ServingConfig, ServingConfigError, ServingEngine, ServingStats, ShardedEngine,
-    ShardedSession,
+    BatchQuery, CacheKey, CacheStats, CompactionReport, CompletionHook, DeltaIndex, GenerationInfo,
+    IndexBackend, IndexCatalog, LatencySummary, LayeredExecutor, LiveIndex, LiveIndexError,
+    LiveIndexOptions, LiveStats, OasisEngine, PublishError, QueryExecutor, QuerySession,
+    QueryTicket, ResultCache, SearchOutcome, ServedOutcome, ServingConfig, ServingConfigError,
+    ServingEngine, ServingStats, ShardedEngine, ShardedSession,
 };
 
 pub use oasis_net::{
-    AppendDone, AppendRequest, Client, ErrorCode, ErrorFrame, Hello, NetError, OasisServer,
-    ReloadDone, RemoteHit, ScoreRule, SearchDone, SearchRequest, ServedIndex, ServerConfig,
-    ServerHandle, StatsReport, PROTOCOL_VERSION,
+    AppendDone, AppendRequest, Client, ErrorCode, ErrorFrame, Frame, GenerationServed, Hello,
+    MetricsReport, NetError, OasisServer, ReloadDone, RemoteHit, ScoreRule, SearchDone,
+    SearchRequest, ServedIndex, ServerConfig, ServerHandle, StatsReport, PROTOCOL_VERSION,
 };
 
 pub use oasis_blast::{BlastParams, BlastSearch};

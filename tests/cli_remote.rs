@@ -209,12 +209,25 @@ fn remote_query_is_byte_identical_to_local_search_and_admin_works() {
         String::from_utf8_lossy(&remote.stdout)
     );
 
-    // Admin: stats answers, reload publishes generation 1.
+    // Admin: stats answers — index-centric rows plus the front-door
+    // cache/connection gauges, one aligned table.
     let stats = oasis(&["admin", "--remote", &addr, "stats"], &dir);
     assert!(stats.status.success(), "stats failed: {stats:?}");
     let text = String::from_utf8_lossy(&stats.stdout);
     assert!(text.contains("generation:   0"), "{text}");
     assert!(text.contains("served:"), "{text}");
+    assert!(text.contains("cache:"), "{text}");
+    assert!(text.contains("connections:"), "{text}");
+
+    // Admin: metrics scrapes the front door. The repeated remote TACG
+    // query above makes the cache hit count nonzero.
+    let metrics = oasis(&["admin", "--remote", &addr, "metrics"], &dir);
+    assert!(metrics.status.success(), "metrics failed: {metrics:?}");
+    let text = String::from_utf8_lossy(&metrics.stdout);
+    assert!(text.contains("cache:"), "{text}");
+    assert!(text.contains("pipelined:"), "{text}");
+    assert!(text.contains("uptime:"), "{text}");
+    assert!(text.contains("gen 0"), "{text}");
 
     let reload = oasis(&["admin", "--remote", &addr, "reload", "idx1"], &dir);
     assert!(reload.status.success(), "reload failed: {reload:?}");

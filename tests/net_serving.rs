@@ -785,3 +785,161 @@ fn evalue_rule_matches_the_local_conversion() {
     client.shutdown_server().expect("shutdown");
     runner.join().expect("accept loop").expect("run ok");
 }
+
+/// Read one full search response (hits then a terminal Done or Error)
+/// from a raw pipelined stream.
+fn read_response(
+    stream: &mut std::net::TcpStream,
+) -> Result<(Vec<RemoteHit>, SearchDone), ErrorFrame> {
+    let mut hits = Vec::new();
+    loop {
+        match oasis::net::read_frame(stream).expect("response frame") {
+            Frame::Hit(hit) => hits.push(hit),
+            Frame::Done(done) => return Ok((hits, done)),
+            Frame::Error(e) => return Err(e),
+            other => panic!("unexpected {} frame in a search response", other.kind()),
+        }
+    }
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_and_survive_a_malformed_one() {
+    use std::io::Write;
+
+    let db = dna_db(SEQS);
+    let (addr, _handle, runner) = start_server(&db, 2, ServerConfig::default());
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("raw connect");
+    match oasis::net::read_frame(&mut stream).expect("hello") {
+        Frame::Hello(h) => assert_eq!(h.protocol, PROTOCOL_VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+
+    // Three valid searches and one malformed request (minScore 0),
+    // written back-to-back before reading a single response byte. The
+    // malformed one sits mid-pipeline: the requests around it must
+    // still answer, in request order.
+    let requests = [
+        ("TACG", 1),
+        ("GATT", 2),
+        ("ACGT", 0), // invalid threshold → typed Malformed
+        ("GGTAGG", 1),
+    ];
+    let mut batch = Vec::new();
+    for (query, min) in requests {
+        oasis::net::write_frame(
+            &mut batch,
+            &Frame::Search(SearchRequest::new(query).with_min_score(min)),
+        )
+        .expect("encode request");
+    }
+    stream.write_all(&batch).expect("write pipeline");
+
+    for (query, min) in requests {
+        match read_response(&mut stream) {
+            Ok((hits, done)) => {
+                assert!(min >= 1, "malformed request must not get a Done frame");
+                assert_eq!(
+                    done.min_score, min,
+                    "responses must come back in request order"
+                );
+                assert_eq!(done.hits as usize, hits.len());
+                assert_identical_response(&db, &hits, query, min);
+            }
+            Err(e) => {
+                assert_eq!(min, 0, "valid request {query} got an error: {e:?}");
+                assert_eq!(e.code, ErrorCode::Malformed, "{e:?}");
+            }
+        }
+    }
+
+    // The connection survived the mid-pipeline error: it still serves.
+    oasis::net::write_frame(
+        &mut stream,
+        &Frame::Search(SearchRequest::new("TAC").with_min_score(1)),
+    )
+    .expect("follow-up request");
+    let (hits, _) = read_response(&mut stream).expect("follow-up response");
+    assert_identical_response(&db, &hits, "TAC", 1);
+    drop(stream);
+
+    // A pipelined client and a plain client agree byte for byte.
+    let mut client = Client::connect(addr).expect("connect");
+    let (hits, _) = client
+        .search_collect(SearchRequest::new("TACG").with_min_score(1))
+        .expect("plain search");
+    assert_identical_response(&db, &hits, "TACG", 1);
+
+    client.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+}
+
+#[test]
+fn result_cache_hits_repeated_queries_but_never_serves_a_stale_generation() {
+    let dir = tmpdir("cache-hot-swap");
+    let (addr, _handle, runner) = start_live_server(&dir, 0);
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Generation 0: the same query twice. The second run is answerable
+    // from the cache; both must match the local reference exactly.
+    let base = dna_db(SEQS);
+    for _ in 0..2 {
+        let (hits, done) = client
+            .search_collect(SearchRequest::new("TACG").with_min_score(1))
+            .expect("gen-0 search");
+        assert_eq!(done.generation, 0);
+        assert_identical_response(&base, &hits, "TACG", 1);
+    }
+    let warm = client.metrics().expect("metrics");
+    assert!(
+        warm.cache_hits >= 1,
+        "repeated identical query must hit the cache (hits={}, misses={})",
+        warm.cache_hits,
+        warm.cache_misses
+    );
+    assert!(warm.cache_entries >= 1);
+
+    // Hot-swap: append a sequence that adds hits for the same query. The
+    // cached generation-0 entry must NOT answer for generation 1 — the
+    // response has to include the appended match.
+    client
+        .append(fasta_for(&[("a0", "GGTACGGA")]))
+        .expect("append");
+    let swapped = db_with_appended(&[("a0", "GGTACGGA")]);
+    assert!(
+        local_hits(&swapped, "TACG", 1).len() > local_hits(&base, "TACG", 1).len(),
+        "the appended sequence must add a TACG hit for this test to bite"
+    );
+    for _ in 0..2 {
+        let (hits, done) = client
+            .search_collect(SearchRequest::new("TACG").with_min_score(1))
+            .expect("gen-1 search");
+        assert_eq!(
+            done.generation, 1,
+            "post-append searches serve the new generation"
+        );
+        assert_identical_response(&swapped, &hits, "TACG", 1);
+    }
+
+    // The swap created fresh traffic for generation 1 and the repeat was
+    // cacheable again under the new key.
+    let after = client.metrics().expect("metrics after swap");
+    assert!(
+        after.cache_misses > warm.cache_misses,
+        "gen-1 first run must miss"
+    );
+    assert!(after.cache_hits > warm.cache_hits, "gen-1 repeat must hit");
+    assert!(
+        after
+            .per_generation
+            .iter()
+            .any(|g| g.generation == 1 && g.served >= 2),
+        "per-generation counters must follow the swap: {:?}",
+        after.per_generation
+    );
+
+    client.shutdown_server().expect("shutdown");
+    runner.join().expect("accept loop").expect("run ok");
+    let _ = std::fs::remove_dir_all(&dir);
+}
