@@ -208,6 +208,183 @@ fn json_latency(samples: &[Duration]) -> String {
     )
 }
 
+/// `"p50_us": …` from a histogram snapshot instead of raw samples.
+fn json_hist(h: &oasis_obs::HistogramSnapshot) -> String {
+    format!(
+        "\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"max_us\": {}",
+        h.count,
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        h.max
+    )
+}
+
+/// `--observability`: the tracing-overhead benchmark. The same query
+/// stream runs through the serving front end in two configurations —
+/// the plain `try_submit` path (a disabled trace rides along, every
+/// recording call a no-op) and the fully traced path (a `QueryTrace`
+/// per query collecting stage spans and work counters, exactly what
+/// `oasis serve --slow-ms 0` does) — and the throughput delta between
+/// them is the price of leaving tracing on. Alternating A/B rounds
+/// cancel thermal and cache drift; the best round per mode is compared.
+fn observability_bench(scale: Scale, json_path: Option<String>) {
+    banner(
+        "Observability overhead",
+        "serving throughput with per-query tracing off vs on (E=20000)",
+        scale,
+    );
+    let tb = Testbed::protein(scale);
+    let jobs = tb.batch_jobs(20_000.0);
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let run = |traced: bool| -> (Duration, oasis_engine::ServingSnapshot) {
+        let serving = ServingEngine::new(
+            tb.engine_with_threads(1),
+            ServingConfig {
+                workers: hardware,
+                queue_capacity: (jobs.len() / 4).max(4),
+            },
+        )
+        .expect("valid serving config");
+        let start = Instant::now();
+        let mut tickets: Vec<QueryTicket> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            loop {
+                let admitted = if traced {
+                    serving.try_submit_traced(
+                        job.clone(),
+                        oasis_obs::QueryTrace::enabled(i as u64, job.query.len() as u32),
+                        Box::new(|| {}),
+                    )
+                } else {
+                    serving.try_submit(job.clone())
+                };
+                match admitted {
+                    Ok(ticket) => {
+                        tickets.push(ticket);
+                        break;
+                    }
+                    Err(AdmissionError::QueueFull { .. }) => {
+                        let oldest = tickets.remove(0);
+                        let _ = oldest.wait();
+                    }
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+            }
+        }
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        (start.elapsed(), serving.snapshot())
+    };
+
+    // One untimed warmup, then measured rounds. The within-round order
+    // flips each round so neither mode always runs on the warmer state,
+    // and the best round per mode is compared (min is the standard
+    // noise-rejecting statistic for same-work benchmarks).
+    let _ = run(false);
+    const ROUNDS: usize = 6;
+    let mut off_best: Option<Duration> = None;
+    let mut on_best: Option<Duration> = None;
+    let mut traced_snapshot = None;
+    for round in 0..ROUNDS {
+        for traced in if round % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        } {
+            let (wall, snap) = run(traced);
+            assert_eq!(snap.served as usize, jobs.len(), "every job served");
+            if traced {
+                on_best = Some(on_best.map_or(wall, |b| b.min(wall)));
+                traced_snapshot = Some(snap);
+            } else {
+                off_best = Some(off_best.map_or(wall, |b| b.min(wall)));
+            }
+        }
+    }
+    let off_wall = off_best.expect("rounds ran");
+    let on_wall = on_best.expect("rounds ran");
+    let snap = traced_snapshot.expect("rounds ran");
+
+    let qps = |wall: Duration| jobs.len() as f64 / wall.as_secs_f64();
+    let off_qps = qps(off_wall);
+    let on_qps = qps(on_wall);
+    let overhead_pct = (off_qps - on_qps) / off_qps * 100.0;
+
+    print_table(
+        &["tracing", "queries", "wall time", "queries/sec"],
+        &[
+            vec![
+                "off".to_string(),
+                jobs.len().to_string(),
+                fmt_duration(off_wall),
+                format!("{off_qps:.1}"),
+            ],
+            vec![
+                "on".to_string(),
+                jobs.len().to_string(),
+                fmt_duration(on_wall),
+                format!("{on_qps:.1}"),
+            ],
+        ],
+    );
+    println!("  tracing overhead: {overhead_pct:+.2}% of untraced throughput");
+
+    // Per-stage breakdown from the traced run's histograms — what the
+    // serving engine itself attributes to queueing vs execution.
+    println!();
+    let mut rows = Vec::new();
+    for (name, h) in [
+        ("queue_wait", &snap.queue_wait),
+        ("execute", &snap.service),
+        ("total", &snap.total),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            h.count.to_string(),
+            format!("{}us", h.quantile(0.50)),
+            format!("{}us", h.quantile(0.95)),
+            format!("{}us", h.quantile(0.99)),
+            format!("{}us", h.max),
+        ]);
+    }
+    print_table(&["stage", "samples", "p50", "p95", "p99", "max"], &rows);
+
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"observability\",\n  \"scale\": \"{scale:?}\",\n  \
+             \"queries\": {n},\n  \"rounds\": {ROUNDS},\n  \"workers\": {hardware},\n  \
+             \"tracing_off\": {{ \"wall_seconds\": {ow:.4}, \"qps\": {oq:.1} }},\n  \
+             \"tracing_on\": {{ \"wall_seconds\": {nw:.4}, \"qps\": {nq:.1} }},\n  \
+             \"tracing_overhead_percent\": {overhead_pct:.2},\n  \"stages\": {{\n    \
+             \"queue_wait\": {{ {qw} }},\n    \"execute\": {{ {ex} }},\n    \
+             \"total\": {{ {tot} }}\n  }}\n}}\n",
+            n = jobs.len(),
+            ow = off_wall.as_secs_f64(),
+            oq = off_qps,
+            nw = on_wall.as_secs_f64(),
+            nq = on_qps,
+            qw = json_hist(&snap.queue_wait),
+            ex = json_hist(&snap.service),
+            tot = json_hist(&snap.total),
+        );
+        std::fs::write(path, json).expect("write --json output");
+        println!("\nwrote {path}");
+    }
+
+    println!("\n(hardware parallelism here: {hardware} thread(s))");
+    println!("shape: a trace is a small value riding the query through the");
+    println!("pipeline — no global map, no locks — so the traced column should");
+    println!("sit within a couple percent of the untraced one; the stage table");
+    println!("is the breakdown the histograms buy at that price.");
+}
+
 /// `--live-ingestion`: the append-under-load serving benchmark. Query
 /// QPS and submit-to-completion tails over the loopback wire, first
 /// against an idle base artifact, then while an appender streams FASTA
@@ -768,6 +945,10 @@ fn main() {
             std::process::exit(2);
         })
     });
+    if args.iter().any(|a| a == "--observability") {
+        observability_bench(Scale::from_env(), json_path);
+        return;
+    }
     if args.iter().any(|a| a == "--live-ingestion") {
         live_ingestion_bench(Scale::from_env(), json_path);
         return;
@@ -1183,12 +1364,16 @@ fn main() {
             .iter()
             .map(|(name, samples)| format!("    \"{name}\": {{ {} }}", json_latency(samples)))
             .collect();
+        let snap = serving.snapshot();
         let serving_block = format!(
-            "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}",
+            "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}, \
+             \"stages\": {{ \"queue_wait\": {{ {} }}, \"execute\": {{ {} }} }}",
             micros(latency.p50),
             micros(latency.p95),
             micros(latency.p99),
-            micros(latency.max)
+            micros(latency.max),
+            json_hist(&snap.queue_wait),
+            json_hist(&snap.service),
         );
         let json = format!(
             "{{\n  \"bench\": \"index_hot_path\",\n  \"scale\": \"{scale:?}\",\n  \

@@ -322,7 +322,7 @@ impl<'a, T: SuffixTreeAccess + ?Sized> SearchDriver<'a, T> {
                 ),
             };
             match new.status {
-                Status::Unviable => {}
+                Status::Unviable => self.stats.nodes_pruned += 1,
                 Status::Viable | Status::Accepted => {
                     self.frontier.push(new);
                     self.stats.nodes_enqueued += 1;

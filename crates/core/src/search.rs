@@ -125,6 +125,9 @@ pub struct SearchStats {
     pub nodes_expanded: u64,
     /// Nodes pushed onto the priority queue.
     pub nodes_enqueued: u64,
+    /// Child nodes expanded and immediately discarded as unviable — the
+    /// paper's pruning at work (cells the search computed but cut).
+    pub nodes_pruned: u64,
     /// Largest queue size observed.
     pub max_queue: usize,
     /// Hits emitted.

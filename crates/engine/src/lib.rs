@@ -101,7 +101,7 @@ pub use persist::{
 };
 pub use serving::{
     AdmissionError, CompletionHook, LatencySummary, QueryExecutor, QueryTicket, ServedOutcome,
-    ServingConfig, ServingConfigError, ServingEngine, ServingStats,
+    ServingConfig, ServingConfigError, ServingEngine, ServingSnapshot, ServingStats,
 };
 pub use shard::{IndexBackend, ShardedEngine, ShardedSession};
 

@@ -11,10 +11,15 @@
 //! caller to retry later instead of silently piling work up.
 //!
 //! Every served query's latency is captured (queue wait, service time, and
-//! the submit-to-completion total), and [`ServingEngine::latency_summary`]
-//! folds the totals into the p50/p95/p99 tail percentiles that the
-//! `engine_throughput` benchmark reports — the serving metric that matters
-//! once throughput alone stops being the bottleneck.
+//! the submit-to-completion total) into log-bucketed
+//! [`oasis_obs::Histogram`]s — fixed memory no matter how long the engine
+//! lives, every sample counted — and [`ServingEngine::snapshot`] folds
+//! them into the torn-free [`ServingSnapshot`] behind both the `Metrics`
+//! wire frame and the `engine_throughput` tail-latency tables. A query
+//! submitted through [`ServingEngine::try_submit_traced`] additionally
+//! carries an [`oasis_obs::QueryTrace`] through the queue and worker,
+//! coming back out with `queue_wait`/`execute` stage spans and the
+//! driver's work counters recorded.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,6 +29,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::{BatchQuery, OasisEngine, SearchOutcome, ShardedEngine};
+use oasis_obs::trace::stage;
+use oasis_obs::{Histogram, HistogramSnapshot, QueryTrace};
 use oasis_suffix::SuffixTreeAccess;
 
 /// Anything that can run one query to completion. Implemented by both
@@ -155,6 +162,10 @@ pub struct ServedOutcome {
     pub service: Duration,
     /// Submit-to-completion latency (`queue_wait + service`).
     pub total: Duration,
+    /// The query's trace, with admission/execution spans and driver
+    /// counters recorded (disabled and empty unless submitted through
+    /// [`ServingEngine::try_submit_traced`]).
+    pub trace: QueryTrace,
 }
 
 /// Completion handle for one admitted query.
@@ -225,6 +236,19 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// Summarize a merged histogram snapshot: the count, sum-free
+    /// percentiles, and max come from one consistent read, so the numbers
+    /// can never describe two different moments.
+    pub fn from_histogram(snap: &HistogramSnapshot) -> Self {
+        LatencySummary {
+            count: usize::try_from(snap.count).unwrap_or(usize::MAX),
+            p50: Duration::from_micros(snap.quantile(0.50)),
+            p95: Duration::from_micros(snap.quantile(0.95)),
+            p99: Duration::from_micros(snap.quantile(0.99)),
+            max: Duration::from_micros(snap.max),
+        }
+    }
+
     /// Summarize a sample set (empty samples give an all-zero summary).
     pub fn from_samples(samples: &[Duration]) -> Self {
         if samples.is_empty() {
@@ -264,34 +288,33 @@ struct Submission {
     tx: mpsc::Sender<ServedOutcome>,
     submitted: Instant,
     notify: Option<CompletionHook>,
+    /// Travels with the query; disabled (and free) unless the caller used
+    /// [`ServingEngine::try_submit_traced`].
+    trace: QueryTrace,
 }
 
-/// How many of the most recent per-query latency samples are retained for
-/// [`ServingEngine::latency_summary`]. A bounded window keeps a long-lived
-/// front end's memory flat (a production service serves queries forever)
-/// while still describing current tail behaviour; older samples age out.
-const LATENCY_WINDOW: usize = 4096;
-
-/// A fixed-capacity ring of the most recent latency samples.
-#[derive(Debug, Default)]
-struct LatencyRing {
-    samples: Vec<Duration>,
-    /// Next slot to overwrite once the ring is full.
-    next: usize,
-}
-
-impl LatencyRing {
-    fn push(&mut self, sample: Duration) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(sample);
-        } else {
-            // `next` stays below LATENCY_WINDOW == samples.len() here.
-            if let Some(slot) = self.samples.get_mut(self.next) {
-                *slot = sample;
-            }
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
+/// A torn-free view of a serving engine at one instant.
+///
+/// Every latency figure *and* the served count come from the same merged
+/// histogram reads, so a scrape can never pair a count from one moment
+/// with percentiles from another. Because histogram cells only grow,
+/// `served` is monotonically non-decreasing across consecutive snapshots.
+#[derive(Debug, Clone)]
+pub struct ServingSnapshot {
+    /// Queries executed to completion (the total histogram's count).
+    pub served: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Queries waiting in the admission queue at snapshot time.
+    pub queue_depth: usize,
+    /// The configured queue capacity.
+    pub queue_capacity: usize,
+    /// Admission-queue wait per served query, in microseconds.
+    pub queue_wait: HistogramSnapshot,
+    /// Executor service time per served query, in microseconds.
+    pub service: HistogramSnapshot,
+    /// Submit-to-completion latency per served query, in microseconds.
+    pub total: HistogramSnapshot,
 }
 
 struct Shared<E: ?Sized> {
@@ -300,10 +323,15 @@ struct Shared<E: ?Sized> {
     wake: Condvar,
     capacity: usize,
     shutdown: AtomicBool,
-    served: AtomicU64,
     rejected: AtomicU64,
-    /// Submit-to-completion latencies of the most recent served queries.
-    latencies: Mutex<LatencyRing>,
+    /// Admission-queue wait per served query (µs). Log-bucketed and
+    /// fixed-memory: the bounded replacement for the old sample ring.
+    queue_wait: Histogram,
+    /// Executor service time per served query (µs).
+    service: Histogram,
+    /// Submit-to-completion latency per served query (µs). Its count *is*
+    /// the served counter — one source of truth for scrape consistency.
+    total: Histogram,
     executor: E,
 }
 
@@ -328,9 +356,10 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
             wake: Condvar::new(),
             capacity: config.queue_capacity,
             shutdown: AtomicBool::new(false),
-            served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing::default()),
+            queue_wait: Histogram::new(),
+            service: Histogram::new(),
+            total: Histogram::new(),
             executor,
         });
         let workers = (0..config.workers)
@@ -346,7 +375,7 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
     /// [`QueryTicket`]; a full queue rejects with backpressure instead of
     /// making the caller wait.
     pub fn try_submit(&self, job: BatchQuery) -> Result<QueryTicket, AdmissionError> {
-        self.submit_inner(job, None)
+        self.submit_inner(job, QueryTrace::disabled(), None)
     }
 
     /// [`try_submit`](ServingEngine::try_submit), with a
@@ -359,12 +388,28 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
         job: BatchQuery,
         notify: CompletionHook,
     ) -> Result<QueryTicket, AdmissionError> {
-        self.submit_inner(job, Some(notify))
+        self.submit_inner(job, QueryTrace::disabled(), Some(notify))
+    }
+
+    /// [`try_submit_with_notify`](ServingEngine::try_submit_with_notify)
+    /// with a caller-provided [`QueryTrace`] riding along: the engine
+    /// records the `queue_wait` and `execute` stage spans plus the
+    /// driver's work counters into it, and hands it back inside
+    /// [`ServedOutcome::trace`]. Pass [`QueryTrace::disabled`] (or use the
+    /// plain submit paths) to opt out at zero per-stage cost.
+    pub fn try_submit_traced(
+        &self,
+        job: BatchQuery,
+        trace: QueryTrace,
+        notify: CompletionHook,
+    ) -> Result<QueryTicket, AdmissionError> {
+        self.submit_inner(job, trace, Some(notify))
     }
 
     fn submit_inner(
         &self,
         job: BatchQuery,
+        trace: QueryTrace,
         notify: Option<CompletionHook>,
     ) -> Result<QueryTicket, AdmissionError> {
         let (tx, rx) = mpsc::channel();
@@ -398,6 +443,7 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
                 tx,
                 submitted: Instant::now(),
                 notify,
+                trace,
             });
         }
         self.shared.wake.notify_one();
@@ -418,26 +464,39 @@ impl<E: QueryExecutor + 'static> ServingEngine<E> {
         self.shared.capacity
     }
 
-    /// Served/rejected counters so far.
+    /// Served/rejected counters so far. The served count is the total
+    /// histogram's sample count, so it always agrees with
+    /// [`latency_summary`](ServingEngine::latency_summary) and never
+    /// decreases across reads.
     pub fn stats(&self) -> ServingStats {
         ServingStats {
-            served: self.shared.served.load(Ordering::Relaxed),
+            served: self.shared.total.snapshot().count,
             rejected: self.shared.rejected.load(Ordering::Relaxed),
         }
     }
 
-    /// Tail-latency percentiles over the most recently served queries
-    /// (a sliding window of the last few thousand samples, so a long-lived
-    /// engine reports *current* tails with flat memory).
+    /// Tail-latency percentiles over every query served so far, read from
+    /// the fixed-memory total-latency histogram — exact counting (no
+    /// sampling window) at ≤ ~3 % bucket resolution.
     pub fn latency_summary(&self) -> LatencySummary {
-        LatencySummary::from_samples(
-            &self
-                .shared
-                .latencies
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .samples,
-        )
+        LatencySummary::from_histogram(&self.shared.total.snapshot())
+    }
+
+    /// One consistent view of counters and latency histograms. This is
+    /// what the `Metrics` wire frame is built from: the served count and
+    /// the total-latency percentiles come from the *same* histogram
+    /// merge, so a scrape can never observe them torn.
+    pub fn snapshot(&self) -> ServingSnapshot {
+        let total = self.shared.total.snapshot();
+        ServingSnapshot {
+            served: total.count,
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            queue_capacity: self.shared.capacity,
+            queue_wait: self.shared.queue_wait.snapshot(),
+            service: self.shared.service.snapshot(),
+            total,
+        }
     }
 
     /// The executor queries run on.
@@ -499,6 +558,7 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
             }
         };
         let notify = submission.notify.take();
+        let mut trace = std::mem::replace(&mut submission.trace, QueryTrace::disabled());
         let started = Instant::now();
         // A panicking query (e.g. one encoded with the wrong alphabet)
         // must not kill the worker: later admitted work would never run
@@ -518,19 +578,26 @@ fn worker_loop<E: QueryExecutor + ?Sized>(shared: &Shared<E>) {
                 continue;
             }
         };
+        trace.record_span(stage::QUEUE_WAIT, submission.submitted, started);
+        trace.record_span(stage::EXECUTE, started, finished);
+        trace.record_search(
+            outcome.stats.nodes_expanded,
+            outcome.stats.nodes_enqueued,
+            outcome.stats.columns_expanded,
+            outcome.stats.nodes_pruned,
+            outcome.stats.hits_emitted,
+        );
         let served = ServedOutcome {
             id: submission.job.id.clone(),
             outcome,
             queue_wait: started - submission.submitted,
             service: finished - started,
             total: finished - submission.submitted,
+            trace,
         };
-        shared
-            .latencies
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(served.total);
-        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.queue_wait.record_duration(served.queue_wait);
+        shared.service.record_duration(served.service);
+        shared.total.record_duration(served.total);
         // The caller may have dropped its ticket — that only means nobody
         // is listening; the work itself is still accounted.
         let _ = submission.tx.send(served);
@@ -743,16 +810,142 @@ mod tests {
         std::panic::set_hook(prev_hook);
     }
 
-    #[test]
-    fn latency_window_stays_bounded() {
-        let mut ring = LatencyRing::default();
-        for i in 0..(LATENCY_WINDOW + 100) {
-            ring.push(Duration::from_nanos(i as u64));
+    /// A trivial executor for stress tests: no real search, no blocking.
+    struct Noop;
+    impl QueryExecutor for Noop {
+        fn execute(&self, _job: &BatchQuery) -> SearchOutcome {
+            SearchOutcome {
+                hits: Vec::new(),
+                stats: Default::default(),
+                pool_delta: Default::default(),
+            }
         }
-        assert_eq!(ring.samples.len(), LATENCY_WINDOW);
-        // The oldest samples aged out: the minimum retained is sample #100.
-        let min = ring.samples.iter().min().copied().unwrap();
-        assert_eq!(min, Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn long_run_latency_capture_is_bounded_and_exact() {
+        // The old sample ring forgot everything past its window; the
+        // histogram counts every query in fixed memory. Serve well past
+        // the old 4096-sample window and check nothing was lost.
+        const N: usize = 20_000;
+        let serving = ServingEngine::new(
+            Noop,
+            ServingConfig {
+                workers: 4,
+                queue_capacity: N,
+            },
+        )
+        .expect("valid serving config");
+        let params = OasisParams::with_min_score(1);
+        let tickets: Vec<QueryTicket> = (0..N)
+            .map(|i| {
+                serving
+                    .try_submit(BatchQuery::named(format!("q{i}"), vec![0], params))
+                    .expect("capacity is ample")
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_some());
+        }
+        let snap = serving.snapshot();
+        assert_eq!(snap.served, N as u64, "every served query is counted");
+        assert_eq!(snap.total.count, N as u64);
+        assert_eq!(serving.latency_summary().count, N);
+        // Torn-free by construction: served IS the total histogram count.
+        assert_eq!(snap.served, snap.total.count);
+    }
+
+    #[test]
+    fn served_count_never_decreases_across_scrapes() {
+        let serving = Arc::new(
+            ServingEngine::new(
+                Noop,
+                ServingConfig {
+                    workers: 2,
+                    queue_capacity: 1024,
+                },
+            )
+            .expect("valid serving config"),
+        );
+        let submitter = {
+            let serving = Arc::clone(&serving);
+            std::thread::spawn(move || {
+                let params = OasisParams::with_min_score(1);
+                let mut tickets = Vec::new();
+                for i in 0..2000 {
+                    loop {
+                        match serving.try_submit(BatchQuery::named(
+                            format!("q{i}"),
+                            vec![0],
+                            params,
+                        )) {
+                            Ok(t) => break tickets.push(t),
+                            // Backpressure: retry until admitted.
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                }
+                for t in tickets {
+                    let _ = t.wait();
+                }
+            })
+        };
+        // Scrape concurrently with serving: the regression this guards is
+        // a torn read where a later scrape reports fewer served queries.
+        let mut last = 0u64;
+        for _ in 0..500 {
+            let snap = serving.snapshot();
+            assert!(
+                snap.served >= last,
+                "served went backwards: {} -> {}",
+                last,
+                snap.served
+            );
+            assert_eq!(snap.served, snap.total.count);
+            last = snap.served;
+        }
+        submitter.join().expect("submitter thread");
+        assert_eq!(serving.stats().served, 2000);
+    }
+
+    #[test]
+    fn traced_submission_records_stages_and_counters() {
+        let db = dna_db(&["AGTACGCCTAG", "TACCG", "GGTAGG"]);
+        let serving = ServingEngine::new(
+            engine(&db),
+            ServingConfig {
+                workers: 1,
+                queue_capacity: 4,
+            },
+        )
+        .expect("valid serving config");
+        let alpha = Alphabet::dna();
+        let trace = oasis_obs::QueryTrace::enabled(7, 4);
+        let ticket = serving
+            .try_submit_traced(job(&alpha, "TACG"), trace, Box::new(|| {}))
+            .expect("admitted");
+        let served = ticket.wait().expect("completed");
+        let trace = &served.trace;
+        assert!(trace.is_enabled());
+        let names: Vec<&str> = trace.spans().iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(names, vec!["queue_wait", "execute"]);
+        // Spans are ordered and contiguous: execute starts where the
+        // queue wait ended.
+        let spans = trace.spans();
+        assert!(spans[1].start_us >= spans[0].start_us + spans[0].dur_us);
+        assert_eq!(trace.counters.hits, served.outcome.stats.hits_emitted);
+        assert_eq!(
+            trace.counters.nodes_expanded,
+            served.outcome.stats.nodes_expanded
+        );
+        // An untraced submission stays disabled and recordless.
+        let plain = serving
+            .try_submit(job(&alpha, "GGTA"))
+            .expect("admitted")
+            .wait()
+            .expect("completed");
+        assert!(!plain.trace.is_enabled());
+        assert!(plain.trace.spans().is_empty());
     }
 
     #[test]

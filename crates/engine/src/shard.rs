@@ -498,6 +498,7 @@ impl ShardedSession<'_> {
             stats.columns_expanded += s.columns_expanded;
             stats.nodes_expanded += s.nodes_expanded;
             stats.nodes_enqueued += s.nodes_enqueued;
+            stats.nodes_pruned += s.nodes_pruned;
             stats.max_queue = stats.max_queue.max(s.max_queue);
         }
         stats.hits_emitted = self.emitted;

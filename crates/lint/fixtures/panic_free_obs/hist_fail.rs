@@ -1,0 +1,14 @@
+//@ mount: crates/obs/src/hist.rs
+// The metrics registry runs inside the serving loop: a panic while
+// bucketing a latency sample kills the daemon mid-query. The indexed
+// bucket lookup and the quantile unwrap must both fire.
+
+const BUCKETS: usize = 1920;
+
+fn bucket_count(counts: &[u64; BUCKETS], index: usize) -> u64 {
+    counts[index]
+}
+
+fn quantile_bound(bounds: &[u64], index: usize) -> u64 {
+    bounds.get(index).copied().unwrap()
+}

@@ -1,0 +1,25 @@
+//@ mount: crates/obs/src/hist.rs
+// The same lookups, total: an out-of-range bucket clamps to the
+// overflow slot instead of panicking — a histogram may drop precision,
+// never the process.
+
+const BUCKETS: usize = 1920;
+
+fn bucket_count(counts: &[u64; BUCKETS], index: usize) -> u64 {
+    counts.get(index).copied().unwrap_or(0)
+}
+
+fn quantile_bound(bounds: &[u64], index: usize) -> u64 {
+    match bounds.get(index) {
+        Some(b) => *b,
+        None => bounds.last().copied().unwrap_or(u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::quantile_bound(&[7], 0), 7);
+    }
+}

@@ -47,6 +47,11 @@ pub const SERVING_PATHS: &[&str] = &[
     "crates/storage/src/artifact.rs",
     "crates/storage/src/wal.rs",
     "crates/suffix/src/esa.rs",
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/hist.rs",
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/slowlog.rs",
+    "crates/obs/src/prom.rs",
 ];
 
 /// True if `path` is one of the serving-path modules.

@@ -98,6 +98,22 @@ fn front_door_paths_have_fixture_pairs() {
 }
 
 #[test]
+fn observability_paths_have_fixture_pairs() {
+    // The metrics registry runs on every served query — a panic while
+    // recording a sample kills the daemon just like one in the frame
+    // codec, so the obs crate is serving-path code: the rule must fire
+    // on the failing fixture and stay silent on its panic-free twin.
+    let fail = lint_fixtures(&["panic_free_obs/hist_fail.rs"]);
+    assert!(fires(&fail, "panic-free-serving"), "{fail:?}");
+    assert!(
+        fail.len() >= 2,
+        "the indexed bucket lookup and the quantile unwrap should both fire: {fail:?}"
+    );
+    let pass = lint_fixtures(&["panic_free_obs/hist_pass.rs"]);
+    assert!(pass.is_empty(), "{pass:?}");
+}
+
+#[test]
 fn guard_blocking_fixtures() {
     let fail = lint_fixtures(&["guard_blocking/fail.rs"]);
     assert!(fires(&fail, "guard-across-blocking"), "{fail:?}");
@@ -172,6 +188,7 @@ fn binary_exit_status_tracks_fixtures() {
         "panic_free_front_door/reactor_fail.rs",
         "panic_free_front_door/conn_fail.rs",
         "panic_free_front_door/cache_fail.rs",
+        "panic_free_obs/hist_fail.rs",
         "guard_blocking/fail.rs",
         "protocol_drift/fail.md",
         "manifest_coverage/fail.rs",
@@ -189,6 +206,7 @@ fn binary_exit_status_tracks_fixtures() {
         "panic_free_front_door/reactor_pass.rs",
         "panic_free_front_door/conn_pass.rs",
         "panic_free_front_door/cache_pass.rs",
+        "panic_free_obs/hist_pass.rs",
         "guard_blocking/pass.rs",
         "protocol_drift/pass.md",
         "manifest_coverage/pass.rs",
@@ -267,6 +285,26 @@ fn the_reactor_and_conn_are_on_the_serving_path_list() {
         let src = ws.text_of(path).expect("source loaded").to_string();
         let broken = format!("{src}\nfn oops(v: &[u8]) -> u8 {{ v.first().copied().unwrap() }}\n");
         assert!(ws.patch(path, broken));
+        assert!(fires(&ws.lint(), "panic-free-serving"), "{path}");
+    }
+}
+
+#[test]
+fn the_obs_crate_is_on_the_serving_path_list() {
+    // The histogram registry and the trace carrier both execute inside
+    // the daemon on every query: an injected unwrap (or a direct index)
+    // in either must fire.
+    for path in ["crates/obs/src/hist.rs", "crates/obs/src/trace.rs"] {
+        let mut ws = real_tree();
+        let src = ws.text_of(path).expect("source loaded").to_string();
+        let broken = format!("{src}\nfn oops(v: &[u8]) -> u8 {{ v.first().copied().unwrap() }}\n");
+        assert!(ws.patch(path, broken));
+        assert!(fires(&ws.lint(), "panic-free-serving"), "{path}");
+
+        let mut ws = real_tree();
+        let src = ws.text_of(path).expect("source loaded").to_string();
+        let indexed = format!("{src}\nfn oops2(v: &[u8]) -> u8 {{ v[0] }}\n");
+        assert!(ws.patch(path, indexed));
         assert!(fires(&ws.lint(), "panic-free-serving"), "{path}");
     }
 }

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use crate::frame::{
     read_frame, write_frame, AppendDone, AppendRequest, Frame, Hello, MetricsReport, ReloadDone,
-    ReloadRequest, RemoteHit, SearchDone, SearchRequest, StatsReport, PROTOCOL_VERSION,
+    ReloadRequest, RemoteHit, SearchDone, SearchRequest, StatsReport, TraceDump, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
@@ -191,6 +191,17 @@ impl Client {
         self.request(&Frame::MetricsRequest)?;
         match self.response("Metrics")? {
             Frame::Metrics(report) => Ok(report),
+            _ => unreachable!("response() returned the wanted kind"),
+        }
+    }
+
+    /// Dump the server's slow-query log: the traced queries whose
+    /// admission-to-flush time crossed the server's `--slow-ms`
+    /// threshold, oldest first, with full stage-span breakdowns.
+    pub fn trace_dump(&mut self) -> Result<TraceDump, NetError> {
+        self.request(&Frame::TraceDumpRequest)?;
+        match self.response("TraceDump")? {
+            Frame::TraceDump(dump) => Ok(dump),
             _ => unreachable!("response() returned the wanted kind"),
         }
     }

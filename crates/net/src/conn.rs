@@ -36,6 +36,8 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use oasis_engine::{CacheKey, QueryTicket};
+use oasis_obs::trace::stage;
+use oasis_obs::QueryTrace;
 
 use crate::frame::{decode_header, write_frame, Frame, HEADER_LEN};
 use crate::NetError;
@@ -55,8 +57,10 @@ const READ_QUANTUM: usize = 256 * 1024;
 /// One request's slot in the pipeline queue.
 pub(crate) enum Pending {
     /// The response frames are known; flush them when this entry
-    /// reaches the head of the queue.
-    Ready(Vec<Frame>),
+    /// reaches the head of the queue. A traced search carries its
+    /// [`QueryTrace`] along so [`Conn::flush`] can stamp the
+    /// `frame_flush` span and hand the finished trace back to the loop.
+    Ready(Vec<Frame>, Option<Box<QueryTrace>>),
     /// A search is executing in the engine; the loop polls it via the
     /// ticket once its completion token arrives.
     Waiting(WaitingSearch),
@@ -85,6 +89,9 @@ pub(crate) struct WaitingSearch {
     /// The admission-time database, used to name hits if the executing
     /// generation's binding is unavailable.
     pub(crate) fallback_db: std::sync::Arc<oasis_bioseq::SequenceDatabase>,
+    /// The server's WAL-fsync counter at admission; the trace reports
+    /// the delta (fsyncs that ran while this query was in flight).
+    pub(crate) fsyncs_at_submit: u64,
 }
 
 /// What one read pass over a connection produced.
@@ -141,7 +148,14 @@ impl Conn {
 
     /// Queue an already-known response (handshake, admin reply, error).
     pub(crate) fn push_ready(&mut self, frames: Vec<Frame>) {
-        self.pending.push_back(Pending::Ready(frames));
+        self.pending.push_back(Pending::Ready(frames, None));
+    }
+
+    /// Queue an already-known response carrying a query trace (a traced
+    /// cache hit: the response is immediate but the trace still flows
+    /// through the flush span and the slow-query log).
+    pub(crate) fn push_ready_traced(&mut self, frames: Vec<Frame>, trace: Box<QueryTrace>) {
+        self.pending.push_back(Pending::Ready(frames, Some(trace)));
     }
 
     /// Queue an in-flight search.
@@ -179,17 +193,17 @@ impl Conn {
 
     /// Rewrite completed waits to ready responses, in place. `resolve`
     /// is the policy hook: given a waiting search it returns `Some`
-    /// response frames once the search finished (or timed out), `None`
-    /// while still in flight.
+    /// response frames (plus the query's trace, if it was traced) once
+    /// the search finished (or timed out), `None` while still in flight.
     pub(crate) fn poll_waiting<F>(&mut self, mut resolve: F) -> bool
     where
-        F: FnMut(&mut WaitingSearch) -> Option<Vec<Frame>>,
+        F: FnMut(&mut WaitingSearch) -> Option<(Vec<Frame>, Option<Box<QueryTrace>>)>,
     {
         let mut any = false;
         for entry in &mut self.pending {
             if let Pending::Waiting(w) = entry {
-                if let Some(frames) = resolve(w) {
-                    *entry = Pending::Ready(frames);
+                if let Some((frames, trace)) = resolve(w) {
+                    *entry = Pending::Ready(frames, trace);
                     any = true;
                 }
             }
@@ -276,15 +290,26 @@ impl Conn {
     /// Flush the leading run of ready responses: encode them into the
     /// write buffer, then push as much as the socket accepts. Returns
     /// whether any bytes moved; an `Err` means the connection is dead.
-    pub(crate) fn flush(&mut self) -> Result<bool, NetError> {
-        while let Some(Pending::Ready(_)) = self.pending.front() {
-            let Some(Pending::Ready(frames)) = self.pending.pop_front() else {
+    ///
+    /// Traces riding on flushed entries get a `frame_flush` span
+    /// covering the encode plus this call's synchronous write attempt
+    /// (bytes a full socket defers to later ticks are not attributed),
+    /// and are handed back through `finished` for the loop to deposit
+    /// in the slow-query log.
+    pub(crate) fn flush(&mut self, finished: &mut Vec<QueryTrace>) -> Result<bool, NetError> {
+        let flush_start = Instant::now();
+        let mut flushed_traces: Vec<QueryTrace> = Vec::new();
+        while let Some(Pending::Ready(..)) = self.pending.front() {
+            let Some(Pending::Ready(frames, trace)) = self.pending.pop_front() else {
                 break;
             };
             for frame in &frames {
                 // Writing into a Vec cannot block; only encoding can
                 // fail, and an unencodable response is connection-fatal.
                 write_frame(&mut self.write_buf, frame)?;
+            }
+            if let Some(trace) = trace {
+                flushed_traces.push(*trace);
             }
         }
         let mut wrote = false;
@@ -311,6 +336,13 @@ impl Conn {
         if self.written == self.write_buf.len() && self.written > 0 {
             self.write_buf.clear();
             self.written = 0;
+        }
+        if !flushed_traces.is_empty() {
+            let flush_end = Instant::now();
+            for mut trace in flushed_traces {
+                trace.record_span(stage::FRAME_FLUSH, flush_start, flush_end);
+                finished.push(trace);
+            }
         }
         Ok(wrote)
     }

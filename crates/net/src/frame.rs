@@ -42,7 +42,10 @@ pub const PROTOCOL_MAGIC: &[u8; 8] = b"OASISNT1";
 /// and the delta/WAL/compaction columns of the `Stats` payload. Version 3
 /// added request pipelining, the `MetricsRequest`/`Metrics` admin frames
 /// (types 14 and 15), and the connection-limit backpressure rule.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Version 4 added observability: the per-stage latency rows appended to
+/// the `Metrics` payload and the `TraceDumpRequest`/`TraceDump` slow-query
+/// admin frames (types 16 and 17).
+pub const PROTOCOL_VERSION: u32 = 4;
 /// Upper bound on a frame's declared payload length. Anything larger is
 /// rejected as malformed before allocation.
 pub const MAX_FRAME_BYTES: u32 = 64 << 20;
@@ -66,6 +69,8 @@ const TY_APPEND: u8 = 12;
 const TY_APPENDED: u8 = 13;
 const TY_METRICS_REQUEST: u8 = 14;
 const TY_METRICS: u8 = 15;
+const TY_TRACE_DUMP_REQUEST: u8 = 16;
+const TY_TRACE_DUMP: u8 = 17;
 
 /// The server-first handshake: protocol + index-generation version and
 /// enough database geometry for a client to mirror the local CLI
@@ -380,6 +385,237 @@ pub struct MetricsReport {
     pub uptime_us: u64,
     /// Serving volume per index generation, ascending by generation id.
     pub per_generation: Vec<GenerationServed>,
+    /// Per-stage latency summaries (queue wait, execute, resolve, …), in
+    /// the server's canonical stage order. Added in protocol version 4.
+    pub stages: Vec<StageSummary>,
+}
+
+impl MetricsReport {
+    /// Render this report as a Prometheus text-exposition scrape body
+    /// (format 0.0.4). The server's `--metrics-addr` listener and the
+    /// CLI's `admin metrics --prom` both render through here, so the
+    /// two outputs are byte-identical for the same report.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = oasis_obs::PromWriter::new();
+        w.header(
+            "oasis_queries_served_total",
+            "counter",
+            "Queries executed to completion.",
+        );
+        w.sample("oasis_queries_served_total", self.served);
+        w.header(
+            "oasis_queries_rejected_total",
+            "counter",
+            "Submissions rejected by admission control.",
+        );
+        w.sample("oasis_queries_rejected_total", self.rejected);
+        w.header(
+            "oasis_queue_depth",
+            "gauge",
+            "Queries waiting in the admission queue.",
+        );
+        w.sample("oasis_queue_depth", u64::from(self.queue_depth));
+        w.header(
+            "oasis_queue_capacity",
+            "gauge",
+            "Configured admission-queue capacity.",
+        );
+        w.sample("oasis_queue_capacity", u64::from(self.queue_capacity));
+        w.header(
+            "oasis_query_latency_us",
+            "summary",
+            "Submit-to-completion latency, microseconds.",
+        );
+        for (q, v) in [
+            ("0.5", self.p50_us),
+            ("0.95", self.p95_us),
+            ("0.99", self.p99_us),
+        ] {
+            w.labeled("oasis_query_latency_us", "quantile", q, v);
+        }
+        w.sample("oasis_query_latency_us_count", self.served);
+        w.header(
+            "oasis_stage_latency_us",
+            "summary",
+            "Per-stage latency, microseconds.",
+        );
+        for stage in &self.stages {
+            for (q, v) in [
+                ("0.5", stage.p50_us),
+                ("0.95", stage.p95_us),
+                ("0.99", stage.p99_us),
+            ] {
+                w.labeled2(
+                    "oasis_stage_latency_us",
+                    "stage",
+                    &stage.stage,
+                    "quantile",
+                    q,
+                    v,
+                );
+            }
+            w.labeled(
+                "oasis_stage_latency_us_sum",
+                "stage",
+                &stage.stage,
+                stage.sum_us,
+            );
+            w.labeled(
+                "oasis_stage_latency_us_count",
+                "stage",
+                &stage.stage,
+                stage.count,
+            );
+            w.labeled(
+                "oasis_stage_latency_us_max",
+                "stage",
+                &stage.stage,
+                stage.max_us,
+            );
+        }
+        w.header(
+            "oasis_cache_hits_total",
+            "counter",
+            "Result-cache lookups answered from the cache.",
+        );
+        w.sample("oasis_cache_hits_total", self.cache_hits);
+        w.header(
+            "oasis_cache_misses_total",
+            "counter",
+            "Result-cache lookups that missed.",
+        );
+        w.sample("oasis_cache_misses_total", self.cache_misses);
+        w.header(
+            "oasis_cache_evictions_total",
+            "counter",
+            "Result-cache entries evicted by the LRU bound.",
+        );
+        w.sample("oasis_cache_evictions_total", self.cache_evictions);
+        w.header("oasis_cache_entries", "gauge", "Resident cache entries.");
+        w.sample("oasis_cache_entries", u64::from(self.cache_entries));
+        w.header(
+            "oasis_cache_capacity",
+            "gauge",
+            "Configured cache capacity, entries.",
+        );
+        w.sample("oasis_cache_capacity", u64::from(self.cache_capacity));
+        w.header(
+            "oasis_connections_open",
+            "gauge",
+            "Open client connections.",
+        );
+        w.sample("oasis_connections_open", u64::from(self.connections_open));
+        w.header(
+            "oasis_connections_accepted_total",
+            "counter",
+            "Connections accepted over the server's lifetime.",
+        );
+        w.sample(
+            "oasis_connections_accepted_total",
+            self.connections_accepted,
+        );
+        w.header(
+            "oasis_pipelined_peak",
+            "gauge",
+            "Deepest per-connection request pipeline observed.",
+        );
+        w.sample("oasis_pipelined_peak", u64::from(self.pipelined_peak));
+        w.header(
+            "oasis_uptime_us",
+            "counter",
+            "Microseconds since the server started.",
+        );
+        w.sample("oasis_uptime_us", self.uptime_us);
+        w.header(
+            "oasis_generation_served_total",
+            "counter",
+            "Searches answered per index generation.",
+        );
+        for row in &self.per_generation {
+            w.labeled(
+                "oasis_generation_served_total",
+                "generation",
+                &row.generation.to_string(),
+                row.served,
+            );
+        }
+        w.finish()
+    }
+}
+
+/// Latency summary of one pipeline stage: one row of
+/// [`MetricsReport::stages`], read from that stage's histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage name (the taxonomy of `docs/OBSERVABILITY.md`).
+    pub stage: String,
+    /// Samples recorded for this stage.
+    pub count: u64,
+    /// Median stage latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile stage latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile stage latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed stage latency, microseconds.
+    pub max_us: u64,
+    /// Sum of all recorded stage latencies, microseconds.
+    pub sum_us: u64,
+}
+
+/// One span of a dumped slow-query trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Stage name.
+    pub stage: String,
+    /// Microseconds from query admission to stage start.
+    pub start_us: u64,
+    /// Stage duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// One retained slow query: its identity, totals, work counters, and the
+/// full stage-span breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The server token that named the query.
+    pub id: u64,
+    /// Query length in residues.
+    pub query_len: u32,
+    /// Admission-to-flush wall time, microseconds.
+    pub total_us: u64,
+    /// Index generation the query executed against.
+    pub generation: u64,
+    /// Whether the result came from the result cache.
+    pub cache_hit: bool,
+    /// Suffix-tree nodes expanded.
+    pub nodes_expanded: u64,
+    /// Nodes pushed onto the best-first frontier.
+    pub nodes_enqueued: u64,
+    /// DP columns computed by the expand kernel.
+    pub columns_expanded: u64,
+    /// Child nodes computed and pruned as unviable (cells skipped).
+    pub nodes_pruned: u64,
+    /// Hits emitted.
+    pub hits: u64,
+    /// WAL fsyncs the server performed while this query was in flight.
+    pub wal_fsyncs: u64,
+    /// Stage spans, in pipeline order.
+    pub spans: Vec<TraceSpan>,
+}
+
+/// The slow-query log dump (the admin `slowlog` response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    /// Slow threshold in effect, microseconds (`u64::MAX` when tracing
+    /// is disabled).
+    pub threshold_us: u64,
+    /// The ring's fixed capacity.
+    pub capacity: u32,
+    /// Slow queries evicted from the ring to keep it bounded.
+    pub dropped: u64,
+    /// Retained slow queries, oldest first.
+    pub entries: Vec<TraceEntry>,
 }
 
 /// Admin request: durably append the sequences of a FASTA document to
@@ -459,6 +695,10 @@ pub enum Frame {
     MetricsRequest,
     /// Server → client: the metrics.
     Metrics(MetricsReport),
+    /// Client → server: dump the slow-query log.
+    TraceDumpRequest,
+    /// Server → client: the retained slow-query traces.
+    TraceDump(TraceDump),
 }
 
 impl Frame {
@@ -480,6 +720,8 @@ impl Frame {
             Frame::Appended(_) => "Appended",
             Frame::MetricsRequest => "MetricsRequest",
             Frame::Metrics(_) => "Metrics",
+            Frame::TraceDumpRequest => "TraceDumpRequest",
+            Frame::TraceDump(_) => "TraceDump",
         }
     }
 
@@ -500,6 +742,8 @@ impl Frame {
             Frame::Appended(_) => TY_APPENDED,
             Frame::MetricsRequest => TY_METRICS_REQUEST,
             Frame::Metrics(_) => TY_METRICS,
+            Frame::TraceDumpRequest => TY_TRACE_DUMP_REQUEST,
+            Frame::TraceDump(_) => TY_TRACE_DUMP,
         }
     }
 
@@ -555,7 +799,11 @@ impl Frame {
                 w.u16(e.code.to_u16());
                 w.str16(&e.message)?;
             }
-            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck | Frame::MetricsRequest => {}
+            Frame::StatsRequest
+            | Frame::Shutdown
+            | Frame::ShutdownAck
+            | Frame::MetricsRequest
+            | Frame::TraceDumpRequest => {}
             Frame::Stats(s) => {
                 w.u64(s.served);
                 w.u64(s.rejected);
@@ -615,6 +863,56 @@ impl Frame {
                 for row in &m.per_generation {
                     w.u64(row.generation);
                     w.u64(row.served);
+                }
+                let stages = u16::try_from(m.stages.len()).map_err(|_| {
+                    NetError::Protocol(format!(
+                        "metrics frame has {} stage rows > 65535",
+                        m.stages.len()
+                    ))
+                })?;
+                w.u16(stages);
+                for s in &m.stages {
+                    w.str16(&s.stage)?;
+                    w.u64(s.count);
+                    w.u64(s.p50_us);
+                    w.u64(s.p95_us);
+                    w.u64(s.p99_us);
+                    w.u64(s.max_us);
+                    w.u64(s.sum_us);
+                }
+            }
+            Frame::TraceDump(t) => {
+                w.u64(t.threshold_us);
+                w.u32(t.capacity);
+                w.u64(t.dropped);
+                let entries = u16::try_from(t.entries.len()).map_err(|_| {
+                    NetError::Protocol(format!(
+                        "trace dump has {} entries > 65535",
+                        t.entries.len()
+                    ))
+                })?;
+                w.u16(entries);
+                for e in &t.entries {
+                    w.u64(e.id);
+                    w.u32(e.query_len);
+                    w.u64(e.total_us);
+                    w.u64(e.generation);
+                    w.u8(e.cache_hit as u8);
+                    w.u64(e.nodes_expanded);
+                    w.u64(e.nodes_enqueued);
+                    w.u64(e.columns_expanded);
+                    w.u64(e.nodes_pruned);
+                    w.u64(e.hits);
+                    w.u64(e.wal_fsyncs);
+                    let spans = u8::try_from(e.spans.len()).map_err(|_| {
+                        NetError::Protocol(format!("trace entry has {} spans > 255", e.spans.len()))
+                    })?;
+                    w.u8(spans);
+                    for s in &e.spans {
+                        w.str16(&s.stage)?;
+                        w.u64(s.start_us);
+                        w.u64(s.dur_us);
+                    }
                 }
             }
         }
@@ -776,6 +1074,19 @@ impl Frame {
                         served: r.u64()?,
                     });
                 }
+                let stage_rows = r.u16()? as usize;
+                let mut stages = Vec::with_capacity(stage_rows.min(1024));
+                for _ in 0..stage_rows {
+                    stages.push(StageSummary {
+                        stage: r.str16()?,
+                        count: r.u64()?,
+                        p50_us: r.u64()?,
+                        p95_us: r.u64()?,
+                        p99_us: r.u64()?,
+                        max_us: r.u64()?,
+                        sum_us: r.u64()?,
+                    });
+                }
                 Frame::Metrics(MetricsReport {
                     served,
                     rejected,
@@ -794,6 +1105,57 @@ impl Frame {
                     pipelined_peak,
                     uptime_us,
                     per_generation,
+                    stages,
+                })
+            }
+            TY_TRACE_DUMP_REQUEST => Frame::TraceDumpRequest,
+            TY_TRACE_DUMP => {
+                let threshold_us = r.u64()?;
+                let capacity = r.u32()?;
+                let dropped = r.u64()?;
+                let count = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let id = r.u64()?;
+                    let query_len = r.u32()?;
+                    let total_us = r.u64()?;
+                    let generation = r.u64()?;
+                    let cache_hit = r.bool()?;
+                    let nodes_expanded = r.u64()?;
+                    let nodes_enqueued = r.u64()?;
+                    let columns_expanded = r.u64()?;
+                    let nodes_pruned = r.u64()?;
+                    let hits = r.u64()?;
+                    let wal_fsyncs = r.u64()?;
+                    let span_count = r.u8()? as usize;
+                    let mut spans = Vec::with_capacity(span_count);
+                    for _ in 0..span_count {
+                        spans.push(TraceSpan {
+                            stage: r.str16()?,
+                            start_us: r.u64()?,
+                            dur_us: r.u64()?,
+                        });
+                    }
+                    entries.push(TraceEntry {
+                        id,
+                        query_len,
+                        total_us,
+                        generation,
+                        cache_hit,
+                        nodes_expanded,
+                        nodes_enqueued,
+                        columns_expanded,
+                        nodes_pruned,
+                        hits,
+                        wal_fsyncs,
+                        spans,
+                    });
+                }
+                Frame::TraceDump(TraceDump {
+                    threshold_us,
+                    capacity,
+                    dropped,
+                    entries,
                 })
             }
             other => {

@@ -74,7 +74,8 @@ pub use client::{Client, HitStream};
 pub use frame::{
     read_frame, write_frame, AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame,
     GenerationServed, Hello, MetricsReport, ReloadDone, ReloadRequest, RemoteHit, ScoreRule,
-    SearchDone, SearchRequest, StatsReport, MAX_FRAME_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    SearchDone, SearchRequest, StageSummary, StatsReport, TraceDump, TraceEntry, TraceSpan,
+    MAX_FRAME_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{OasisServer, ServedIndex, ServerConfig, ServerError, ServerHandle};
 

@@ -78,6 +78,7 @@
 //! [`ServingEngine::try_submit_with_notify`]: oasis_engine::ServingEngine::try_submit_with_notify
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -92,12 +93,15 @@ use oasis_engine::{
     IndexCatalog, LiveIndex, LiveIndexError, LiveIndexOptions, PublishError, QueryExecutor,
     ResultCache, SearchOutcome, ServingConfig, ServingConfigError, ServingEngine,
 };
+use oasis_obs::trace::stage;
+use oasis_obs::{Counter, Histogram, HistogramSnapshot, QueryTrace, SlowLog};
 use oasis_storage::{read_manifest, replay_wal, ArtifactError, IndexManifest, SectionKind};
 
 use crate::conn::{Conn, WaitingSearch};
 use crate::frame::{
     write_frame, AppendDone, ErrorCode, ErrorFrame, Frame, GenerationServed, Hello, MetricsReport,
-    ReloadDone, RemoteHit, ScoreRule, SearchDone, SearchRequest, StatsReport, PROTOCOL_VERSION,
+    ReloadDone, RemoteHit, ScoreRule, SearchDone, SearchRequest, StageSummary, StatsReport,
+    TraceDump, TraceEntry, TraceSpan, PROTOCOL_VERSION,
 };
 use crate::reactor::{Completions, Slab};
 use crate::NetError;
@@ -110,6 +114,11 @@ const IDLE_TICK: Duration = Duration::from_millis(10);
 /// How long a draining shutdown waits for peers that stopped reading
 /// before force-closing their connections.
 const DRAIN_GRACE: Duration = Duration::from_secs(10);
+/// Slow-query ring capacity: enough to hold a burst worth diagnosing,
+/// small enough that a pathological `--slow-ms 0` stays bounded.
+const SLOWLOG_CAPACITY: usize = 64;
+/// Accept-poll cadence of the plain-text metrics listener thread.
+const METRICS_POLL: Duration = Duration::from_millis(25);
 
 /// One publishable index generation: a query executor plus the database
 /// it serves. The database rides along because the wire protocol names
@@ -217,6 +226,18 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Result-cache capacity, in entries. `0` disables the cache.
     pub cache_entries: usize,
+    /// Bind a plain-text metrics listener here (`None` = no listener).
+    /// It answers every connection with one Prometheus scrape body over
+    /// minimal HTTP/1.0 — `curl http://addr/metrics` works; so does a
+    /// bare TCP read.
+    pub metrics_addr: Option<SocketAddr>,
+    /// Slow-query threshold in milliseconds. `Some(ms)` enables
+    /// per-query tracing: every search carries a [`QueryTrace`] through
+    /// the pipeline, and queries whose admission-to-flush time reaches
+    /// the threshold land in the slow-query ring (`Some(0)` logs every
+    /// query). `None` disables tracing entirely — searches carry a
+    /// disabled trace that never allocates.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -228,6 +249,8 @@ impl Default for ServerConfig {
             compact_after: 256,
             max_conns: 1024,
             cache_entries: 512,
+            metrics_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -351,6 +374,21 @@ struct Shared {
     per_gen: Mutex<BTreeMap<u64, u64>>,
     /// Open-connection bound (`usize::MAX` = unlimited).
     max_conns: usize,
+    /// Connections open right now; the event loop publishes its count
+    /// each tick so the metrics listener thread can report it too.
+    open_conns: AtomicU64,
+    /// Loop-side time to name hits and build response frames, per
+    /// completed search (µs).
+    resolve_hist: Histogram,
+    /// Time to encode and hand a traced response to the kernel (µs);
+    /// samples only while tracing is enabled (`slow_ms` set).
+    flush_hist: Histogram,
+    /// Slow-query threshold, microseconds (`None` = tracing off).
+    slow_threshold_us: Option<u64>,
+    /// The bounded slow-query ring, dumped by `TraceDumpRequest`.
+    slowlog: SlowLog,
+    /// WAL fsyncs performed (one per acknowledged append).
+    wal_fsyncs: Counter,
 }
 
 impl Shared {
@@ -443,6 +481,10 @@ pub struct OasisServer {
     listener: TcpListener,
     local_addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Where the plain-text metrics listener bound (None = not enabled).
+    metrics_addr: Option<SocketAddr>,
+    /// The metrics listener thread, joined when `run` returns.
+    metrics_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 /// A cloneable handle for initiating shutdown from outside
@@ -498,32 +540,53 @@ impl OasisServer {
             },
         )
         .map_err(ServerError::Config)?;
+        let shared = Arc::new(Shared {
+            serving,
+            scoring,
+            karlin,
+            pool_bytes: config.pool_bytes,
+            shutting_down: AtomicBool::new(false),
+            next_token: AtomicU64::new(0),
+            live_dir: Mutex::new(None),
+            live: Mutex::new(None),
+            compact_after: config.compact_after,
+            compactions: Mutex::new(Vec::new()),
+            cache: ResultCache::new(config.cache_entries),
+            completions: Arc::new(Completions::new()),
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            pipelined_peak: AtomicU64::new(0),
+            per_gen: Mutex::new(BTreeMap::new()),
+            max_conns: if config.max_conns == 0 {
+                usize::MAX
+            } else {
+                config.max_conns
+            },
+            open_conns: AtomicU64::new(0),
+            resolve_hist: Histogram::new(),
+            flush_hist: Histogram::new(),
+            slow_threshold_us: config.slow_ms.map(|ms| ms.saturating_mul(1000)),
+            slowlog: SlowLog::new(SLOWLOG_CAPACITY),
+            wal_fsyncs: Counter::new(),
+        });
+        let (metrics_addr, metrics_thread) = match config.metrics_addr {
+            Some(addr) => {
+                let metrics_listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+                let bound = metrics_listener.local_addr().map_err(ServerError::Io)?;
+                let thread_shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    run_metrics_listener(metrics_listener, &thread_shared);
+                });
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
         Ok(OasisServer {
             listener,
             local_addr,
-            shared: Arc::new(Shared {
-                serving,
-                scoring,
-                karlin,
-                pool_bytes: config.pool_bytes,
-                shutting_down: AtomicBool::new(false),
-                next_token: AtomicU64::new(0),
-                live_dir: Mutex::new(None),
-                live: Mutex::new(None),
-                compact_after: config.compact_after,
-                compactions: Mutex::new(Vec::new()),
-                cache: ResultCache::new(config.cache_entries),
-                completions: Arc::new(Completions::new()),
-                started: Instant::now(),
-                accepted: AtomicU64::new(0),
-                pipelined_peak: AtomicU64::new(0),
-                per_gen: Mutex::new(BTreeMap::new()),
-                max_conns: if config.max_conns == 0 {
-                    usize::MAX
-                } else {
-                    config.max_conns
-                },
-            }),
+            shared,
+            metrics_addr,
+            metrics_thread,
         })
     }
 
@@ -572,6 +635,12 @@ impl OasisServer {
         self.local_addr
     }
 
+    /// Where the plain-text metrics listener bound (resolves `:0`), or
+    /// `None` when [`ServerConfig::metrics_addr`] was not set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// A shutdown handle usable from other threads.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
@@ -581,8 +650,9 @@ impl OasisServer {
 
     /// Run the event loop until shutdown, then drain every connection
     /// (in-flight responses complete first) and return.
-    pub fn run(self) -> std::io::Result<()> {
+    pub fn run(mut self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let metrics_thread = self.metrics_thread.take();
         let shared = &self.shared;
         let mut conns: Slab<Conn> = Slab::new();
         let mut drain_deadline: Option<Instant> = None;
@@ -621,12 +691,14 @@ impl OasisServer {
             if !notified.is_empty() {
                 progress = true;
             }
-            let open = conns.len() as u32;
+            shared
+                .open_conns
+                .store(conns.len() as u64, Ordering::Relaxed);
             for id in conns.ids() {
                 let Some(conn) = conns.get_mut(id) else {
                     continue;
                 };
-                match service_conn(shared, conn, &notified, open, shutting) {
+                match service_conn(shared, conn, &notified, shutting) {
                     ConnFate::Keep(moved) => progress |= moved,
                     ConnFate::Close => {
                         conns.remove(id);
@@ -655,6 +727,12 @@ impl OasisServer {
                 };
                 shared.completions.wait_timeout(tick);
             }
+        }
+        self.shared.open_conns.store(0, Ordering::Relaxed);
+        // The metrics listener polls the shutdown flag (set before the
+        // loop above exited), so this join is bounded by one poll tick.
+        if let Some(thread) = metrics_thread {
+            let _ = thread.join();
         }
         // Background compactions abort cleanly (their publish is refused
         // once shutdown began) — but they must finish before the process
@@ -723,6 +801,9 @@ enum ConnFate {
 enum Action {
     /// The response is fully known already.
     Reply(Vec<Frame>),
+    /// The response is known *and* carries a query trace (a traced
+    /// cache hit) that must flow through the flush span and slow log.
+    ReplyTraced(Vec<Frame>, Box<QueryTrace>),
     /// A search was admitted; poll it to completion.
     Wait(Box<WaitingSearch>),
     /// Answer, then close the connection (protocol misuse).
@@ -735,7 +816,6 @@ fn service_conn(
     shared: &Arc<Shared>,
     conn: &mut Conn,
     notified: &HashSet<u64>,
-    open: u32,
     shutting: bool,
 ) -> ConnFate {
     let mut progress = false;
@@ -748,8 +828,9 @@ fn service_conn(
         if conn.closing {
             break; // a terminal reply is already queued; drop the rest
         }
-        match dispatch(shared, frame, open) {
+        match dispatch(shared, frame) {
             Action::Reply(frames) => conn.push_ready(frames),
+            Action::ReplyTraced(frames, trace) => conn.push_ready_traced(frames, trace),
             Action::Wait(waiting) => conn.push_waiting(*waiting),
             Action::ReplyClose(frames) => {
                 conn.push_ready(frames);
@@ -791,10 +872,12 @@ fn service_conn(
         conn.closing = true;
         progress = true;
     }
-    match conn.flush() {
+    let mut finished_traces: Vec<QueryTrace> = Vec::new();
+    match conn.flush(&mut finished_traces) {
         Ok(wrote) => progress |= wrote,
         Err(_) => return ConnFate::Close, // client gone mid-response
     }
+    deposit_traces(shared, finished_traces);
     if conn.is_drained() && (conn.closing || conn.peer_eof) {
         return ConnFate::Close;
     }
@@ -804,11 +887,12 @@ fn service_conn(
 /// Decide how to answer one client frame. Runs on the event loop, so it
 /// must not block on engine work — searches are admitted with a
 /// completion hook and polled later.
-fn dispatch(shared: &Arc<Shared>, frame: Frame, open: u32) -> Action {
+fn dispatch(shared: &Arc<Shared>, frame: Frame) -> Action {
     match frame {
         Frame::Search(req) => dispatch_search(shared, req),
         Frame::StatsRequest => Action::Reply(vec![stats_frame(shared)]),
-        Frame::MetricsRequest => Action::Reply(vec![metrics_frame(shared, open)]),
+        Frame::MetricsRequest => Action::Reply(vec![Frame::Metrics(metrics_report(shared))]),
+        Frame::TraceDumpRequest => Action::Reply(vec![trace_dump_frame(shared)]),
         Frame::Reload(reload) => Action::Reply(handle_reload(shared, &reload.path)),
         Frame::Append(append) => Action::Reply(handle_append(shared, &append.fasta)),
         Frame::Shutdown => {
@@ -873,6 +957,8 @@ fn dispatch_search(shared: &Arc<Shared>, req: SearchRequest) -> Action {
         }
     };
 
+    let query_len = encoded.len() as u32;
+    let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
     let key = CacheKey {
         generation,
         query: encoded.clone(),
@@ -893,6 +979,16 @@ fn dispatch_search(shared: &Arc<Shared>, req: SearchRequest) -> Action {
             service_us: 0,
             total_us: 0,
         }));
+        if shared.slow_threshold_us.is_some() {
+            // A traced cache hit still gets a record: no queue/execute
+            // spans (nothing executed), flush span stamped on the way
+            // out, cache_hit set so the slow log tells the paths apart.
+            let mut trace = QueryTrace::enabled(token, query_len);
+            trace.counters.cache_hit = true;
+            trace.counters.generation = generation;
+            trace.counters.hits = cached.len() as u64;
+            return Action::ReplyTraced(frames, Box::new(trace));
+        }
         return Action::Reply(frames);
     }
 
@@ -900,17 +996,21 @@ fn dispatch_search(shared: &Arc<Shared>, req: SearchRequest) -> Action {
     if req.all_occurrences {
         params = params.all_occurrences();
     }
-    let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
     let mut job = BatchQuery::named(token.to_string(), encoded, params);
     if let Some(top) = req.top {
         job = job.with_limit(top as usize);
     }
     let submitted = Instant::now();
     let completions = Arc::clone(&shared.completions);
-    let ticket = match shared
-        .serving
-        .try_submit_with_notify(job, Box::new(move || completions.push(token)))
-    {
+    let notify = Box::new(move || completions.push(token));
+    let admitted = if shared.slow_threshold_us.is_some() {
+        shared
+            .serving
+            .try_submit_traced(job, QueryTrace::enabled(token, query_len), notify)
+    } else {
+        shared.serving.try_submit_with_notify(job, notify)
+    };
+    let ticket = match admitted {
         Ok(ticket) => ticket,
         Err(AdmissionError::QueueFull { capacity }) => {
             return Action::Reply(error_frames(
@@ -937,18 +1037,22 @@ fn dispatch_search(shared: &Arc<Shared>, req: SearchRequest) -> Action {
         cache_key: Some(key),
         min_score,
         fallback_db: db,
+        fsyncs_at_submit: shared.wal_fsyncs.get(),
     }))
 }
 
-/// Poll one in-flight search: `Some(frames)` once it completed, died,
-/// or blew its deadline; `None` while still executing.
+/// Poll one in-flight search: `Some((frames, trace))` once it
+/// completed, died, or blew its deadline; `None` while still executing.
+/// The trace rides back only for traced completions — it still needs
+/// its flush span before it can be judged slow.
 fn resolve_waiting(
     shared: &Arc<Shared>,
     waiting: &mut WaitingSearch,
     now: Instant,
-) -> Option<Vec<Frame>> {
+) -> Option<(Vec<Frame>, Option<Box<QueryTrace>>)> {
     let token = waiting.token.to_string();
     if let Some(served) = waiting.ticket.try_take() {
+        let resolve_start = Instant::now();
         // Name hits against the generation that actually executed the
         // query.
         let (gen_db, generation) = shared
@@ -973,13 +1077,32 @@ fn resolve_waiting(
             service_us: served.service.as_micros() as u64,
             total_us: served.total.as_micros() as u64,
         }));
-        return Some(frames);
+        let resolve_end = Instant::now();
+        shared
+            .resolve_hist
+            .record_duration(resolve_end.saturating_duration_since(resolve_start));
+        let mut trace = served.trace;
+        let trace = if trace.is_enabled() {
+            trace.counters.generation = generation;
+            trace.counters.wal_fsyncs = shared
+                .wal_fsyncs
+                .get()
+                .saturating_sub(waiting.fsyncs_at_submit);
+            trace.record_span(stage::RESOLVE, resolve_start, resolve_end);
+            Some(Box::new(trace))
+        } else {
+            None
+        };
+        return Some((frames, trace));
     }
     if waiting.notified {
         // The completion hook fired but the ticket is empty: the query
         // panicked (the hook runs strictly after the outcome send).
         shared.exec().forget(&token);
-        return Some(error_frames(ErrorCode::Internal, "query execution failed"));
+        return Some((
+            error_frames(ErrorCode::Internal, "query execution failed"),
+            None,
+        ));
     }
     if let Some(deadline) = waiting.deadline {
         if now >= deadline {
@@ -988,12 +1111,15 @@ fn resolve_waiting(
             // token abandoned so the worker drops it on completion.
             shared.exec().abandon(token);
             let ms = waiting.deadline_ms.unwrap_or(0);
-            return Some(error_frames(
-                ErrorCode::DeadlineExceeded,
-                format!(
-                    "deadline of {ms} ms elapsed ({:?} in)",
-                    waiting.submitted.elapsed()
+            return Some((
+                error_frames(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "deadline of {ms} ms elapsed ({:?} in)",
+                        waiting.submitted.elapsed()
+                    ),
                 ),
+                None,
             ));
         }
     }
@@ -1044,24 +1170,52 @@ fn stats_frame(shared: &Shared) -> Frame {
     })
 }
 
-fn metrics_frame(shared: &Shared, open: u32) -> Frame {
-    let stats = shared.serving.stats();
-    let latency = shared.serving.latency_summary();
+/// One stage row of the `Metrics` frame, read from a histogram
+/// snapshot (one consistent merge per row).
+fn stage_summary(name: &str, snap: &HistogramSnapshot) -> StageSummary {
+    StageSummary {
+        stage: name.to_string(),
+        count: snap.count,
+        p50_us: snap.quantile(0.50),
+        p95_us: snap.quantile(0.95),
+        p99_us: snap.quantile(0.99),
+        max_us: snap.max,
+        sum_us: snap.sum,
+    }
+}
+
+/// Build the scrapeable metrics report. The served count and the
+/// total-latency percentiles come from one histogram merge
+/// ([`ServingEngine::snapshot`]), so a scrape never observes them torn;
+/// this is also what the `--metrics-addr` listener renders, so the wire
+/// frame and the Prometheus body always describe the same snapshot
+/// shape.
+fn metrics_report(shared: &Shared) -> MetricsReport {
+    let snap = shared.serving.snapshot();
     let cache = shared.cache.stats();
-    Frame::Metrics(MetricsReport {
-        served: stats.served,
-        rejected: stats.rejected,
-        queue_depth: shared.serving.queue_depth() as u32,
-        queue_capacity: shared.serving.queue_capacity() as u32,
-        p50_us: latency.p50.as_micros() as u64,
-        p95_us: latency.p95.as_micros() as u64,
-        p99_us: latency.p99.as_micros() as u64,
+    let stages = vec![
+        stage_summary(stage::QUEUE_WAIT, &snap.queue_wait),
+        stage_summary(stage::EXECUTE, &snap.service),
+        stage_summary(stage::RESOLVE, &shared.resolve_hist.snapshot()),
+        stage_summary(stage::FRAME_FLUSH, &shared.flush_hist.snapshot()),
+    ];
+    MetricsReport {
+        served: snap.served,
+        rejected: snap.rejected,
+        queue_depth: snap.queue_depth.min(u32::MAX as usize) as u32,
+        queue_capacity: snap.queue_capacity.min(u32::MAX as usize) as u32,
+        p50_us: snap.total.quantile(0.50),
+        p95_us: snap.total.quantile(0.95),
+        p99_us: snap.total.quantile(0.99),
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_evictions: cache.evictions,
         cache_entries: cache.entries,
         cache_capacity: cache.capacity,
-        connections_open: open,
+        connections_open: shared
+            .open_conns
+            .load(Ordering::Relaxed)
+            .min(u32::MAX as u64) as u32,
         connections_accepted: shared.accepted.load(Ordering::Relaxed),
         pipelined_peak: shared
             .pipelined_peak
@@ -1069,7 +1223,101 @@ fn metrics_frame(shared: &Shared, open: u32) -> Frame {
             .min(u32::MAX as u64) as u32,
         uptime_us: shared.started.elapsed().as_micros() as u64,
         per_generation: shared.per_generation_snapshot(),
+        stages,
+    }
+}
+
+/// Answer a `TraceDumpRequest`: the slow-query ring, oldest first.
+fn trace_dump_frame(shared: &Shared) -> Frame {
+    let snap = shared.slowlog.snapshot();
+    let entries = snap
+        .entries
+        .into_iter()
+        .map(|rec| TraceEntry {
+            id: rec.id,
+            query_len: rec.query_len,
+            total_us: rec.total_us,
+            generation: rec.counters.generation,
+            cache_hit: rec.counters.cache_hit,
+            nodes_expanded: rec.counters.nodes_expanded,
+            nodes_enqueued: rec.counters.nodes_enqueued,
+            columns_expanded: rec.counters.columns_expanded,
+            nodes_pruned: rec.counters.nodes_pruned,
+            hits: rec.counters.hits,
+            wal_fsyncs: rec.counters.wal_fsyncs,
+            spans: rec
+                .spans
+                .into_iter()
+                .map(|span| TraceSpan {
+                    stage: span.stage,
+                    start_us: span.start_us,
+                    dur_us: span.dur_us,
+                })
+                .collect(),
+        })
+        .collect();
+    Frame::TraceDump(TraceDump {
+        threshold_us: shared.slow_threshold_us.unwrap_or(u64::MAX),
+        capacity: snap.capacity.min(u32::MAX as usize) as u32,
+        dropped: snap.dropped,
+        entries,
     })
+}
+
+/// File flushed traces: stamp per-stage histograms and retain the ones
+/// that crossed the slow threshold in the ring. Traces only exist when
+/// tracing is enabled, so the disabled path pays one `is_empty` check.
+fn deposit_traces(shared: &Shared, traces: Vec<QueryTrace>) {
+    for trace in traces {
+        let record = trace.finish();
+        for span in &record.spans {
+            if span.stage == stage::FRAME_FLUSH {
+                shared.flush_hist.record(span.dur_us);
+            }
+        }
+        if shared
+            .slow_threshold_us
+            .is_some_and(|threshold| record.total_us >= threshold)
+        {
+            shared.slowlog.push(record);
+        }
+    }
+}
+
+/// The `--metrics-addr` thread: accept, answer one Prometheus scrape
+/// over minimal HTTP/1.0, close. Nonblocking accept polled against the
+/// shutdown flag so `run` can join this thread promptly.
+fn run_metrics_listener(listener: TcpListener, shared: &Shared) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_metrics_scrape(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(METRICS_POLL);
+            }
+            Err(_) => std::thread::sleep(METRICS_POLL),
+        }
+    }
+}
+
+/// Answer one metrics connection. The request is drained best-effort
+/// (curl sends a GET; a bare TCP client may send nothing) and the
+/// response is a complete HTTP/1.0 exchange, so any line-oriented tool
+/// can consume it.
+fn serve_metrics_scrape(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut request = [0u8; 4096];
+    let _ = stream.read(&mut request);
+    let body = metrics_report(shared).to_prometheus();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
 }
 
 fn handle_reload(shared: &Arc<Shared>, path: &str) -> Vec<Frame> {
@@ -1123,6 +1371,9 @@ fn handle_append(shared: &Arc<Shared>, fasta: &str) -> Vec<Frame> {
         Ok(receipt) => receipt,
         Err(e) => return error_frames(ErrorCode::Internal, format!("append: {e}")),
     };
+    // One durable append = one WAL fsync; traces report how many landed
+    // while a query was in flight.
+    shared.wal_fsyncs.inc();
     // Publish the fresh layered snapshot so queries (and hit naming) see
     // the appended sequences. The snapshot's database is the concatenated
     // one, so delta hits resolve names like any other hit.

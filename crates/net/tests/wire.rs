@@ -8,7 +8,7 @@ use oasis_net::frame::{read_frame, write_frame};
 use oasis_net::{
     AppendDone, AppendRequest, ErrorCode, ErrorFrame, Frame, GenerationServed, Hello,
     MetricsReport, NetError, ReloadDone, ReloadRequest, RemoteHit, ScoreRule, SearchDone,
-    SearchRequest, StatsReport, MAX_FRAME_BYTES,
+    SearchRequest, StageSummary, StatsReport, TraceDump, TraceEntry, TraceSpan, MAX_FRAME_BYTES,
 };
 use proptest::prelude::*;
 
@@ -196,11 +196,23 @@ proptest! {
                           entries in 0u32..u32::MAX, cache_cap in 0u32..u32::MAX,
                           open in 0u32..u32::MAX, accepted in 0u64..u64::MAX,
                           peak in 0u32..u32::MAX, uptime in 0u64..u64::MAX,
-                          gens in 0usize..5, gen_seed in 0u64..u64::MAX) {
+                          gens in 0usize..5, gen_seed in 0u64..u64::MAX,
+                          num_stages in 0usize..5, stage_seed in 0u64..u64::MAX) {
         let per_generation = (0..gens)
             .map(|i| GenerationServed {
                 generation: gen_seed.wrapping_add(i as u64),
                 served: gen_seed.rotate_left(i as u32),
+            })
+            .collect();
+        let stages = (0..num_stages)
+            .map(|i| StageSummary {
+                stage: string_from(stage_seed.wrapping_add(i as u64), 24),
+                count: stage_seed.rotate_left(i as u32),
+                p50_us: stage_seed.rotate_right(i as u32),
+                p95_us: stage_seed.wrapping_mul(3).wrapping_add(i as u64),
+                p99_us: stage_seed.wrapping_mul(5).wrapping_add(i as u64),
+                max_us: stage_seed.wrapping_mul(7).wrapping_add(i as u64),
+                sum_us: stage_seed.wrapping_mul(11).wrapping_add(i as u64),
             })
             .collect();
         let frame = Frame::Metrics(MetricsReport {
@@ -213,6 +225,44 @@ proptest! {
             pipelined_peak: peak,
             uptime_us: uptime,
             per_generation,
+            stages,
+        });
+        prop_assert_eq!(roundtrip(&frame), frame.clone());
+        assert_prefixes_rejected(&frame);
+    }
+
+    #[test]
+    fn trace_dump_roundtrips(threshold in 0u64..u64::MAX, capacity in 0u32..u32::MAX,
+                             dropped in 0u64..u64::MAX, num_entries in 0usize..4,
+                             num_spans in 0usize..5, seed in 0u64..u64::MAX,
+                             cache_hit in 0u8..2) {
+        let entries = (0..num_entries)
+            .map(|i| TraceEntry {
+                id: seed.wrapping_add(i as u64),
+                query_len: (seed >> 32) as u32,
+                total_us: seed.rotate_left(i as u32),
+                generation: seed.wrapping_mul(3),
+                cache_hit: cache_hit == 1,
+                nodes_expanded: seed.wrapping_mul(5),
+                nodes_enqueued: seed.wrapping_mul(7),
+                columns_expanded: seed.wrapping_mul(11),
+                nodes_pruned: seed.wrapping_mul(13),
+                hits: seed.wrapping_mul(17),
+                wal_fsyncs: seed.wrapping_mul(19),
+                spans: (0..num_spans)
+                    .map(|s| TraceSpan {
+                        stage: string_from(seed.wrapping_add(s as u64), 16),
+                        start_us: seed.rotate_right(s as u32),
+                        dur_us: seed.wrapping_add(s as u64 * 31),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let frame = Frame::TraceDump(TraceDump {
+            threshold_us: threshold,
+            capacity,
+            dropped,
+            entries,
         });
         prop_assert_eq!(roundtrip(&frame), frame.clone());
         assert_prefixes_rejected(&frame);
@@ -237,6 +287,7 @@ fn empty_payload_frames_roundtrip() {
     for frame in [
         Frame::StatsRequest,
         Frame::MetricsRequest,
+        Frame::TraceDumpRequest,
         Frame::Shutdown,
         Frame::ShutdownAck,
     ] {

@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # oasis-obs
+//!
+//! Dependency-free observability for the OASIS serving path: the paper's
+//! *online* framing is a promise about tail latency, and this crate is how
+//! the rest of the workspace keeps that promise measurable without
+//! distorting it.
+//!
+//! Four pieces, each bounded in memory and lock-free (or nearly so) on the
+//! hot path:
+//!
+//! * [`Histogram`] — a log-bucketed, HDR-style latency histogram with
+//!   shard-per-thread atomic counters. Recording is two relaxed atomic
+//!   adds plus a `fetch_max`; quantiles come from a merged
+//!   [`HistogramSnapshot`] and are *exact over buckets* (every sample is
+//!   counted, unlike the sampled ring it replaces) with ≤ 1/32 relative
+//!   bucket error.
+//! * [`Registry`] — a named collection of histograms and [`Counter`]s.
+//!   Registration takes a lock once at setup; recording goes through the
+//!   returned [`std::sync::Arc`] and never touches the registry again.
+//! * [`QueryTrace`] / [`TraceRecord`] — per-query span tracing. A trace
+//!   travels *by value* with the query through admission, execution,
+//!   resolution, and the frame flush; a disabled trace allocates nothing
+//!   and every recording call on it is a branch-and-return.
+//! * [`SlowLog`] — a bounded ring of finished [`TraceRecord`]s for
+//!   queries over a configurable threshold, dumpable over the wire
+//!   (`TraceDump` frame) and via `oasis admin slowlog`.
+//!
+//! [`PromWriter`] renders Prometheus text exposition (format 0.0.4) so the
+//! server's `--metrics-addr` listener and `oasis admin metrics --prom`
+//! emit byte-identical scrape bodies.
+
+pub mod hist;
+pub mod prom;
+pub mod slowlog;
+pub mod trace;
+
+pub use hist::{Counter, Histogram, HistogramSnapshot, Registry};
+pub use prom::PromWriter;
+pub use slowlog::{SlowLog, SlowLogSnapshot};
+pub use trace::{QueryTrace, StageSpan, TraceCounters, TraceRecord};

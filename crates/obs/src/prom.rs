@@ -1,0 +1,156 @@
+//! Prometheus text exposition (format 0.0.4).
+//!
+//! A tiny append-only writer for the plain-text scrape format, so every
+//! producer in the workspace renders metrics the same way — the server's
+//! `--metrics-addr` listener and the CLI's `admin metrics --prom` build
+//! their bodies through this one type and are byte-identical for the same
+//! snapshot.
+//!
+//! Only what OASIS needs: `# HELP` / `# TYPE` headers, bare and
+//! single-label samples, and a summary helper that emits the conventional
+//! `{quantile="…"}` series plus `_sum`, `_count`, and a `_max` gauge.
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+
+/// Append-only builder for a Prometheus scrape body.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty scrape body.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Emit `# HELP name text` and `# TYPE name kind` headers.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emit a bare sample: `name value`.
+    pub fn sample(&mut self, name: &str, value: u64) {
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Emit a single-label sample: `name{label="val"} value`.
+    pub fn labeled(&mut self, name: &str, label: &str, label_value: &str, value: u64) {
+        let _ = writeln!(self.out, "{name}{{{label}=\"{label_value}\"}} {value}");
+    }
+
+    /// Emit a two-label sample: `name{l1="v1",l2="v2"} value`. The second
+    /// label is conventionally `quantile`, for summary families whose
+    /// percentiles were computed upstream (a wire [`super::hist`] snapshot
+    /// is not always in hand — the CLI renders from decoded frames).
+    pub fn labeled2(&mut self, name: &str, l1: &str, v1: &str, l2: &str, v2: &str, value: u64) {
+        let _ = writeln!(self.out, "{name}{{{l1}=\"{v1}\",{l2}=\"{v2}\"}} {value}");
+    }
+
+    /// Emit a full summary family from a histogram snapshot: quantile
+    /// series (p50/p95/p99), `_sum`, `_count`, and a companion `_max`
+    /// gauge. `label`/`label_value` scope the family (pass empty `label`
+    /// for an unscoped one).
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        label_value: &str,
+        snap: &HistogramSnapshot,
+    ) {
+        self.header(name, "summary", help);
+        for (q, v) in [
+            ("0.5", snap.quantile(0.50)),
+            ("0.95", snap.quantile(0.95)),
+            ("0.99", snap.quantile(0.99)),
+        ] {
+            if label.is_empty() {
+                let _ = writeln!(self.out, "{name}{{quantile=\"{q}\"}} {v}");
+            } else {
+                let _ = writeln!(
+                    self.out,
+                    "{name}{{{label}=\"{label_value}\",quantile=\"{q}\"}} {v}"
+                );
+            }
+        }
+        if label.is_empty() {
+            let _ = writeln!(self.out, "{name}_sum {}", snap.sum);
+            let _ = writeln!(self.out, "{name}_count {}", snap.count);
+            let _ = writeln!(self.out, "{name}_max {}", snap.max);
+        } else {
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{{{label}=\"{label_value}\"}} {}",
+                snap.sum
+            );
+            let _ = writeln!(
+                self.out,
+                "{name}_count{{{label}=\"{label_value}\"}} {}",
+                snap.count
+            );
+            let _ = writeln!(
+                self.out,
+                "{name}_max{{{label}=\"{label_value}\"}} {}",
+                snap.max
+            );
+        }
+    }
+
+    /// Finish and return the scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn renders_pinned_format() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut w = PromWriter::new();
+        w.header("oasis_queries_served_total", "counter", "Queries served.");
+        w.sample("oasis_queries_served_total", 3);
+        w.labeled("oasis_stage_count", "stage", "execute", 3);
+        w.labeled2("oasis_stage_us", "stage", "execute", "quantile", "0.5", 20);
+        w.summary("oasis_query_latency_us", "Total latency.", "", "", &snap);
+        let body = w.finish();
+        assert!(body.contains("# HELP oasis_queries_served_total Queries served.\n"));
+        assert!(body.contains("# TYPE oasis_queries_served_total counter\n"));
+        assert!(body.contains("oasis_queries_served_total 3\n"));
+        assert!(body.contains("oasis_stage_count{stage=\"execute\"} 3\n"));
+        assert!(body.contains("oasis_stage_us{stage=\"execute\",quantile=\"0.5\"} 20\n"));
+        assert!(body.contains("# TYPE oasis_query_latency_us summary\n"));
+        assert!(body.contains("oasis_query_latency_us{quantile=\"0.5\"} 20\n"));
+        assert!(body.contains("oasis_query_latency_us_sum 60\n"));
+        assert!(body.contains("oasis_query_latency_us_count 3\n"));
+        assert!(body.contains("oasis_query_latency_us_max 30\n"));
+    }
+
+    #[test]
+    fn labeled_summary_scopes_every_series() {
+        let h = Histogram::new();
+        h.record(7);
+        let mut w = PromWriter::new();
+        w.summary(
+            "oasis_stage_us",
+            "Per-stage.",
+            "stage",
+            "resolve",
+            &h.snapshot(),
+        );
+        let body = w.finish();
+        assert!(body.contains("oasis_stage_us{stage=\"resolve\",quantile=\"0.99\"} 7\n"));
+        assert!(body.contains("oasis_stage_us_count{stage=\"resolve\"} 1\n"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Property: histogram quantiles track an exact sorted-oracle within the
+//! log-bucket error bound, for arbitrary sample sets — the accuracy
+//! contract `oasis admin metrics` now rests on (the old sampled ring gave
+//! no bound at all once the window overflowed).
+
+use oasis_obs::Histogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted sample set.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantiles_within_bucket_error(
+        vals in proptest::collection::vec(0u64..5_000_000u64, 1..400),
+        spike in 0u64..u64::MAX
+    ) {
+        let h = Histogram::new();
+        let mut all = vals.clone();
+        // One unbounded outlier per case exercises the high octaves.
+        all.push(spike);
+        for &v in &all {
+            h.record(v);
+        }
+        all.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, all.len() as u64);
+        prop_assert_eq!(snap.max, *all.last().unwrap());
+        for &q in &[0.0f64, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = oracle(&all, q);
+            let got = snap.quantile(q);
+            // Never under-reports the exact rank value…
+            prop_assert!(got >= exact, "q={} got={} exact={}", q, got, exact);
+            // …and over-reports by at most one part in 32 (bucket width).
+            prop_assert!(
+                got <= exact.saturating_add(exact / 32).saturating_add(1),
+                "q={} got={} exact={}", q, got, exact
+            );
+        }
+    }
+
+    #[test]
+    fn sum_and_mean_are_exact(vals in proptest::collection::vec(0u64..1_000_000u64, 1..200)) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let sum: u64 = vals.iter().sum();
+        prop_assert_eq!(snap.sum, sum);
+        prop_assert_eq!(snap.mean(), sum / vals.len() as u64);
+    }
+}

@@ -68,11 +68,13 @@ USAGE:
   oasis serve  --index <dir> --addr <host:port> [--workers N] [--queue N]
                [--pool-mb M] [--matrix unit|blosum62|pam30] [--gap G]
                [--compact-after N] [--max-conns N] [--cache-entries N]
+               [--metrics-addr <host:port>] [--slow-ms N]
   oasis query  --remote <host:port> <QUERY> [--evalue E | --min-score S]
                [--top K] [--deadline-ms D] [--timeout-ms T]
   oasis query  --remote <host:port> --queries <queries.fasta> [same options]
   oasis admin  --remote <host:port> stats
-  oasis admin  --remote <host:port> metrics
+  oasis admin  --remote <host:port> metrics [--prom]
+  oasis admin  --remote <host:port> slowlog
   oasis admin  --remote <host:port> reload <dir>
   oasis admin  --remote <host:port> append <queries.fasta>
   oasis admin  --remote <host:port> shutdown
@@ -128,13 +130,24 @@ answering queries before the call returns, and once the delta reaches
 --compact-after sequences (default 256; 0 disables) a background
 compaction folds them into a fresh base generation with zero downtime.
 `admin metrics` scrapes the front door — queue depth, cache
-hit/miss/eviction counters, connection and pipeline gauges, latency
-tails, and per-generation served counts — while `admin stats` keeps
-the index-centric view (delta/WAL/compaction) plus the cache and
-connection gauges, both through one aligned table format. Remote
-commands bound connection setup with --timeout-ms (default 10000;
-0 waits forever; given explicitly, it also bounds every response
-wait).
+hit/miss/eviction counters, connection and pipeline gauges, exact
+histogram latency tails, per-stage timing summaries
+(queue_wait/execute/resolve/frame_flush), and per-generation served
+counts — while `admin stats` keeps the index-centric view
+(delta/WAL/compaction) plus the cache and connection gauges, both
+through one aligned table format. `admin metrics --prom` emits the same
+snapshot as a Prometheus text-exposition body, byte-identical to what
+`serve --metrics-addr <host:port>` answers on every connection (curl
+its /metrics or read the socket raw; with port 0 the resolved address
+prints as a `metrics on <addr>` stdout line). `serve --slow-ms N`
+(default 250; 0 logs every query) traces each query through the
+pipeline and retains queries slower than N milliseconds in a bounded
+slow-query ring; `admin slowlog` dumps it with full stage spans and
+work counters (nodes expanded/pruned, DP columns, cache hit,
+generation, WAL fsyncs in flight). Remote commands bound connection
+setup with --timeout-ms (default 10000; 0 waits forever; given
+explicitly, it also bounds every response wait). See
+docs/OBSERVABILITY.md for the full metric and stage taxonomy.
 
 `lint` runs the workspace invariant checker (oasis-lint) over this
 repository's own sources — serving-path panic-freedom, lock discipline,
@@ -196,8 +209,11 @@ struct Flags {
     max_conns: Option<usize>,
     cache_entries: Option<usize>,
     timeout_ms: Option<u64>,
+    metrics_addr: Option<String>,
+    slow_ms: Option<u64>,
     json: bool,
     compact: bool,
+    prom: bool,
 }
 
 impl Flags {
@@ -269,8 +285,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_conns: None,
         cache_entries: None,
         timeout_ms: None,
+        metrics_addr: None,
+        slow_ms: None,
         json: false,
         compact: false,
+        prom: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -375,8 +394,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|e| format!("--timeout-ms: {e}"))?,
                 )
             }
+            "--metrics-addr" => f.metrics_addr = Some(value("--metrics-addr")?),
+            "--slow-ms" => {
+                f.slow_ms = Some(
+                    value("--slow-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-ms: {e}"))?,
+                )
+            }
             "--json" => f.json = true,
             "--compact" => f.compact = true,
+            "--prom" => f.prom = true,
             "--deadline-ms" => {
                 f.deadline_ms = Some(
                     value("--deadline-ms")?
@@ -1375,6 +1403,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         flags.pool_bytes(),
     )
     .map_err(|e| format!("{dir}: {e}"))?;
+    let metrics_addr = match flags.metrics_addr.as_deref() {
+        Some(spec) => {
+            use std::net::ToSocketAddrs as _;
+            Some(
+                spec.to_socket_addrs()
+                    .map_err(|e| format!("--metrics-addr {spec}: {e}"))?
+                    .next()
+                    .ok_or_else(|| format!("--metrics-addr {spec}: resolved to no address"))?,
+            )
+        }
+        None => None,
+    };
     let config = oasis::net::ServerConfig {
         workers: flags.workers.unwrap_or(0),
         queue_capacity: flags.queue.unwrap_or(64),
@@ -1382,6 +1422,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         compact_after: flags.compact_after.unwrap_or(256),
         max_conns: flags.max_conns.unwrap_or(1024),
         cache_entries: flags.cache_entries.unwrap_or(512),
+        metrics_addr,
+        // Tracing is on by default with a high-enough bar that only
+        // genuinely slow queries are retained; --slow-ms 0 logs all.
+        slow_ms: Some(flags.slow_ms.unwrap_or(250)),
     };
     let server = oasis::net::OasisServer::bind(addr.as_str(), served, scoring, config)
         .map_err(|e| e.to_string())?;
@@ -1402,6 +1446,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     // Machine-readable: scripts resolve `--addr host:0` from this line.
     println!("listening on {}", server.local_addr());
+    if let Some(maddr) = server.metrics_addr() {
+        // Same contract for `--metrics-addr host:0`.
+        println!("metrics on {maddr}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     server.run().map_err(|e| e.to_string())
@@ -1662,6 +1710,12 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
         }
         ["metrics"] => {
             let m = client.metrics().map_err(|e| e.to_string())?;
+            if flags.prom {
+                // The raw Prometheus scrape body, byte-identical to what
+                // the server's --metrics-addr listener serves.
+                print!("{}", m.to_prometheus());
+                return Ok(());
+            }
             let us = std::time::Duration::from_micros;
             admin_row("served", m.served);
             admin_row("rejected", m.rejected);
@@ -1678,12 +1732,69 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
                     us(m.p99_us)
                 ),
             );
+            for s in &m.stages {
+                admin_row(
+                    &format!("· {}", s.stage),
+                    format_args!(
+                        "p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?} ({} samples)",
+                        us(s.p50_us),
+                        us(s.p95_us),
+                        us(s.p99_us),
+                        us(s.max_us),
+                        s.count
+                    ),
+                );
+            }
             print_front_door_rows(&m);
             admin_row("uptime", format_args!("{:.2?}", us(m.uptime_us)));
             for g in &m.per_generation {
                 admin_row(
                     &format!("gen {}", g.generation),
                     format_args!("{} served", g.served),
+                );
+            }
+            Ok(())
+        }
+        ["slowlog"] => {
+            let dump = client.trace_dump().map_err(|e| e.to_string())?;
+            let us = std::time::Duration::from_micros;
+            if dump.threshold_us == u64::MAX {
+                println!("slow-query tracing is disabled on this server");
+                return Ok(());
+            }
+            println!(
+                "slow-query log: threshold {:.2?}, {}/{} retained, {} dropped",
+                us(dump.threshold_us),
+                dump.entries.len(),
+                dump.capacity,
+                dump.dropped
+            );
+            for e in &dump.entries {
+                println!(
+                    "#{}  len {}  total {:.2?}  gen {}{}",
+                    e.id,
+                    e.query_len,
+                    us(e.total_us),
+                    e.generation,
+                    if e.cache_hit { "  [cache hit]" } else { "" }
+                );
+                let spans: Vec<String> = e
+                    .spans
+                    .iter()
+                    .map(|s| format!("{} +{:.2?} {:.2?}", s.stage, us(s.start_us), us(s.dur_us)))
+                    .collect();
+                if !spans.is_empty() {
+                    println!("  stages: {}", spans.join(" | "));
+                }
+                println!(
+                    "  work: {} expanded / {} enqueued / {} pruned, {} columns, \
+                     {} hit(s), {} wal fsync(s)",
+                    e.nodes_expanded,
+                    e.nodes_enqueued,
+                    e.nodes_pruned,
+                    e.columns_expanded,
+                    e.hits,
+                    e.wal_fsyncs
                 );
             }
             Ok(())
@@ -1715,7 +1826,7 @@ fn cmd_admin(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         _ => Err("usage: oasis admin --remote <host:port> \
-                  stats|metrics|reload <dir>|append <fasta>|shutdown"
+                  stats|metrics [--prom]|slowlog|reload <dir>|append <fasta>|shutdown"
             .to_string()),
     }
 }

@@ -24,6 +24,8 @@
 //! * [`net`] — the network serving subsystem: the versioned binary wire
 //!   protocol, the `oasis serve` daemon over a shared serving engine, and
 //!   the remote client.
+//! * [`obs`] — observability: log-bucketed latency histograms, per-query
+//!   span tracing, the slow-query log, and Prometheus text exposition.
 //! * [`blast`] — a clean-room BLAST-like heuristic baseline.
 //! * [`workloads`] — deterministic synthetic SWISS-PROT / Drosophila /
 //!   ProClass-style workload generators.
@@ -61,6 +63,7 @@ pub use oasis_core as core;
 pub use oasis_engine as engine;
 pub use oasis_lint as lint;
 pub use oasis_net as net;
+pub use oasis_obs as obs;
 pub use oasis_storage as storage;
 pub use oasis_suffix as suffix;
 pub use oasis_workloads as workloads;

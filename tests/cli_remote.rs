@@ -27,6 +27,8 @@ fn oasis(args: &[&str], dir: &PathBuf) -> Output {
 struct Server {
     child: Child,
     addr: String,
+    /// The `--metrics-addr` scrape endpoint, when one was requested.
+    metrics_addr: Option<String>,
 }
 
 impl Drop for Server {
@@ -56,16 +58,28 @@ fn spawn_server(dir: &PathBuf, extra: &[&str]) -> Server {
         .stderr(Stdio::null())
         .spawn()
         .expect("spawn oasis serve");
-    // The daemon prints `listening on <addr>` once bound; resolve the
-    // ephemeral port from that line.
+    // The daemon prints `listening on <addr>` once bound (followed by
+    // `metrics on <addr>` when a scrape endpoint was requested); resolve
+    // the ephemeral ports from those lines.
+    let want_metrics = extra.contains(&"--metrics-addr");
     let stdout = child.stdout.take().expect("piped stdout");
     let mut lines = std::io::BufReader::new(stdout).lines();
     let start = Instant::now();
+    let mut addr = None;
+    let mut metrics_addr = None;
     let addr = loop {
         match lines.next() {
             Some(Ok(line)) => {
-                if let Some(addr) = line.strip_prefix("listening on ") {
-                    break addr.to_string();
+                if let Some(a) = line.strip_prefix("listening on ") {
+                    addr = Some(a.to_string());
+                }
+                if let Some(m) = line.strip_prefix("metrics on ") {
+                    metrics_addr = Some(m.to_string());
+                }
+                if let Some(a) = &addr {
+                    if !want_metrics || metrics_addr.is_some() {
+                        break a.clone();
+                    }
                 }
             }
             _ => panic!("serve exited before announcing its address"),
@@ -75,7 +89,11 @@ fn spawn_server(dir: &PathBuf, extra: &[&str]) -> Server {
             "serve never announced its address"
         );
     };
-    Server { child, addr }
+    Server {
+        child,
+        addr,
+        metrics_addr,
+    }
 }
 
 #[test]
@@ -277,6 +295,114 @@ fn remote_query_is_byte_identical_to_local_search_and_admin_works() {
         std::thread::sleep(Duration::from_millis(50));
     };
     assert!(status.success(), "serve exited with {status}");
+}
+
+#[test]
+fn prom_exposition_metrics_endpoint_and_slowlog_work_end_to_end() {
+    let dir = workdir("obs");
+    std::fs::write(
+        dir.join("db.fa"),
+        ">s0\nAGTACGCCTAG\n>s1\nTACCG\n>s2\nGGTAGG\n>s3\nGATTACA\n",
+    )
+    .unwrap();
+    let out = oasis(
+        &[
+            "index",
+            "build",
+            "db.fa",
+            "--out",
+            "idx",
+            "--dna",
+            "--block-size",
+            "64",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "index build failed: {out:?}");
+
+    // `--slow-ms 0` logs every traced query; `--metrics-addr 127.0.0.1:0`
+    // opens the plain-HTTP scrape endpoint on an ephemeral port.
+    let server = spawn_server(&dir, &["--metrics-addr", "127.0.0.1:0", "--slow-ms", "0"]);
+    let addr = server.addr.clone();
+    let maddr = server
+        .metrics_addr
+        .clone()
+        .expect("serve announced its metrics endpoint");
+
+    // One executed search and one repeat (a result-cache hit) — both
+    // must land in the slow log, and both count toward the histograms.
+    for _ in 0..2 {
+        let remote = oasis(
+            &["query", "--remote", &addr, "TACG", "--min-score", "2"],
+            &dir,
+        );
+        assert!(remote.status.success(), "remote query failed: {remote:?}");
+    }
+
+    // Prometheus exposition through the admin CLI: the pinned family
+    // names and the histogram-backed quantile series must be present.
+    let prom = oasis(&["admin", "--remote", &addr, "metrics", "--prom"], &dir);
+    assert!(prom.status.success(), "metrics --prom failed: {prom:?}");
+    let text = String::from_utf8_lossy(&prom.stdout);
+    assert!(
+        text.contains("# TYPE oasis_queries_served_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("\noasis_queries_served_total 1\n"), "{text}");
+    assert!(
+        text.contains("oasis_query_latency_us{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    for stage in ["queue_wait", "execute", "resolve", "frame_flush"] {
+        assert!(
+            text.contains(&format!(
+                "oasis_stage_latency_us{{stage=\"{stage}\",quantile=\"0.5\"}}"
+            )),
+            "missing {stage} series in:\n{text}"
+        );
+    }
+    assert!(text.contains("oasis_cache_hits_total 1"), "{text}");
+
+    // The same exposition over plain HTTP — what an actual scraper sees.
+    let scrape = {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&maddr).expect("connect metrics endpoint");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: oasis\r\n\r\n")
+            .expect("write scrape request");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("read scrape");
+        body
+    };
+    assert!(scrape.starts_with("HTTP/1.0 200 OK\r\n"), "{scrape}");
+    assert!(
+        scrape.contains("Content-Type: text/plain; version=0.0.4"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("\noasis_queries_served_total 1\n"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("oasis_stage_latency_us{stage=\"execute\""),
+        "{scrape}"
+    );
+
+    // The slow log holds both queries: the executed one with the full
+    // four-stage trace and its work counters, the repeat flagged as a
+    // cache hit.
+    let slowlog = oasis(&["admin", "--remote", &addr, "slowlog"], &dir);
+    assert!(slowlog.status.success(), "slowlog failed: {slowlog:?}");
+    let text = String::from_utf8_lossy(&slowlog.stdout);
+    assert!(text.contains("slow-query log:"), "{text}");
+    for stage in ["queue_wait", "execute", "resolve", "frame_flush"] {
+        assert!(text.contains(stage), "missing {stage} span in:\n{text}");
+    }
+    assert!(text.contains("[cache hit]"), "{text}");
+    assert!(text.contains("expanded"), "{text}");
+
+    let shutdown = oasis(&["admin", "--remote", &addr, "shutdown"], &dir);
+    assert!(shutdown.status.success(), "shutdown failed: {shutdown:?}");
 }
 
 #[test]
